@@ -1,0 +1,30 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's figures (or an ablation
+of a prose claim) and reports it two ways: printed to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to watch) and written under
+``benchmarks/out/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_report(name: str, title: str, lines: list[str]) -> Path:
+    """Print a result table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    body = "\n".join([title, "=" * len(title), *lines, ""])
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(body)
+    print("\n" + body)
+    return path
+
+
+@pytest.fixture
+def report():
+    return write_report

@@ -1,0 +1,56 @@
+"""Figure 1 — DSEARCH speedup over 83 semi-idle homogeneous donors.
+
+Paper: "Figure 1 shows how DSEARCH scales with increasing numbers of
+processors ... we used a laboratory of 83 homogeneous processors
+(Pentium III 1GHz)."  The plotted curve is near-linear with mild,
+growing sub-linearity — roughly 72-76× at 83 processors.
+
+Reproduction: a ~8-hour (single-donor) sensitive search replayed on
+simulated pools of 1..83 donors behind one 100 Mbit/s server link.
+Success criterion (shape): monotone speedup, ≥ 0.85 efficiency at 83.
+"""
+
+import pytest
+
+from bench_common import dsearch_trace, run_trace_speedup
+
+PROCESSORS = [1, 5, 10, 20, 30, 40, 50, 60, 70, 83]
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_dsearch_speedup(benchmark, report):
+    trace = dsearch_trace()
+
+    def sweep():
+        return run_trace_speedup(
+            trace, PROCESSORS, instances=1, unit_target_seconds=60.0
+        )
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"workload: {trace.total_items} database sequences, "
+        f"T1 ~= {trace.total_cost / 3600:.1f} donor-hours",
+        "",
+        f"{'procs':>6} {'runtime(s)':>12} {'speedup':>9} {'efficiency':>11}",
+    ]
+    for pt in curve:
+        lines.append(
+            f"{pt.processors:>6} {pt.runtime:>12.0f} {pt.speedup:>9.2f} "
+            f"{pt.efficiency:>11.2%}"
+        )
+    report("fig1_dsearch_speedup", "Figure 1: DSEARCH speedup (simulated)", lines)
+    benchmark.extra_info["speedups"] = {
+        pt.processors: round(pt.speedup, 2) for pt in curve
+    }
+
+    # Shape assertions (the reproduction contract).
+    speedups = [pt.speedup for pt in curve]
+    assert all(b > a for a, b in zip(speedups, speedups[1:])), "must be monotone"
+    final = curve[-1]
+    assert final.processors == 83
+    assert final.speedup >= 0.85 * 83, "sub-linearity too strong vs paper"
+    assert final.speedup <= 83.0 + 1e-6, "super-linear speedup is a bug"
+    # Mild droop must exist (perfect linearity would mean the model
+    # ignores network contention and the straggler tail entirely).
+    assert final.efficiency < 0.995

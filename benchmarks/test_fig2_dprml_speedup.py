@@ -1,0 +1,66 @@
+"""Figure 2 — DPRml speedup, 50-taxa dataset, 6 simultaneous instances.
+
+Paper: "Fig. 2 shows the efficiency of running 6 instances of the
+application in parallel" on a 50-taxa dataset, 5..40 processors,
+near-linear (≈ 38× at 40).  The six instances matter because "DPRml is
+a staged computation so running a single instance ... will result in
+clients becoming idle whilst waiting for stages to be completed."
+
+Reproduction: the stepwise search really runs once on a simulated
+50-taxon alignment; its measured per-placement costs become a staged
+workload trace; six copies are replayed simultaneously on pools of
+1..40 simulated donors.  Success criterion (shape): monotone, ≥ 0.85
+efficiency at 40 with six instances.
+"""
+
+import pytest
+
+from bench_common import dprml_trace, run_trace_speedup
+
+PROCESSORS = [1, 5, 10, 15, 20, 25, 30, 35, 40]
+INSTANCES = 6
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_dprml_speedup(benchmark, report):
+    trace = dprml_trace()
+
+    def sweep():
+        # DPRml farms placements at fine granularity (each is minutes of
+        # work); a 30 s unit target keeps stage-end stragglers short.
+        return run_trace_speedup(
+            trace,
+            PROCESSORS,
+            instances=INSTANCES,
+            unit_target_seconds=30.0,
+        )
+
+    curve = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"workload: {len(trace.stages)} stages, {trace.total_items} placements "
+        f"per instance, {INSTANCES} simultaneous instances",
+        f"single-instance T1 ~= {trace.total_cost / 3600:.1f} donor-hours",
+        "",
+        f"{'procs':>6} {'runtime(s)':>12} {'speedup':>9} {'efficiency':>11}",
+    ]
+    for pt in curve:
+        lines.append(
+            f"{pt.processors:>6} {pt.runtime:>12.0f} {pt.speedup:>9.2f} "
+            f"{pt.efficiency:>11.2%}"
+        )
+    report(
+        "fig2_dprml_speedup",
+        f"Figure 2: DPRml speedup, {INSTANCES} simultaneous instances (simulated)",
+        lines,
+    )
+    benchmark.extra_info["speedups"] = {
+        pt.processors: round(pt.speedup, 2) for pt in curve
+    }
+
+    speedups = [pt.speedup for pt in curve]
+    assert all(b > a for a, b in zip(speedups, speedups[1:])), "must be monotone"
+    final = curve[-1]
+    assert final.processors == 40
+    assert final.speedup >= 0.85 * 40, "sub-linearity too strong vs paper"
+    assert final.speedup <= 40 + 1e-6

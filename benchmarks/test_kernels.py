@@ -1,0 +1,90 @@
+"""Substrate kernel throughput: alignment cells/s and likelihood evals/s.
+
+Not a paper figure — these calibrate the cost models the simulation
+uses (CELLS_PER_SECOND in bench_common) and catch performance
+regressions in the two numeric kernels everything else sits on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bio.align import blosum62, dna_scheme, needleman_wunsch_score, smith_waterman_score
+from repro.bio.phylo.likelihood import TreeLikelihood
+from repro.bio.phylo.models import HKY85, GammaRates
+from repro.bio.phylo.optimize import optimize_branch
+from repro.bio.phylo.simulate import random_yule_tree, simulate_alignment
+from repro.bio.seq import DNA, PROTEIN
+from repro.bio.seq.generate import random_sequence
+
+RNG = np.random.default_rng(3)
+Q_DNA = random_sequence("q", 400, DNA, RNG)
+S_DNA = random_sequence("s", 400, DNA, RNG)
+Q_PROT = random_sequence("qp", 350, PROTEIN, RNG)
+S_PROT = random_sequence("sp", 350, PROTEIN, RNG)
+DNA_SCHEME = dna_scheme()
+B62 = blosum62()
+
+
+@pytest.mark.benchmark(group="kernels-align")
+def test_kernel_smith_waterman_dna(benchmark):
+    score = benchmark(smith_waterman_score, Q_DNA, S_DNA, DNA_SCHEME)
+    assert score >= 0
+    cells = len(Q_DNA) * len(S_DNA)
+    benchmark.extra_info["Mcells_per_s"] = round(
+        cells / benchmark.stats["mean"] / 1e6, 1
+    )
+
+
+@pytest.mark.benchmark(group="kernels-align")
+def test_kernel_needleman_wunsch_protein(benchmark):
+    benchmark(needleman_wunsch_score, Q_PROT, S_PROT, B62)
+    cells = len(Q_PROT) * len(S_PROT)
+    benchmark.extra_info["Mcells_per_s"] = round(
+        cells / benchmark.stats["mean"] / 1e6, 1
+    )
+
+
+@pytest.fixture(scope="module")
+def likelihood_setup():
+    tree = random_yule_tree(50, seed=5, mean_branch=0.1)
+    model = HKY85(2.0, np.array([0.3, 0.2, 0.2, 0.3]))
+    aln = simulate_alignment(tree, model, 500, seed=6)
+    return tree, aln, model
+
+
+@pytest.mark.benchmark(group="kernels-phylo")
+def test_kernel_full_likelihood_50_taxa(benchmark, likelihood_setup):
+    tree, aln, model = likelihood_setup
+
+    def fresh_eval():
+        return TreeLikelihood(tree, aln, model).log_likelihood()
+
+    ll = benchmark(fresh_eval)
+    assert ll < 0
+
+
+@pytest.mark.benchmark(group="kernels-phylo")
+def test_kernel_cached_branch_optimisation(benchmark, likelihood_setup):
+    tree, aln, model = likelihood_setup
+    tl = TreeLikelihood(tree, aln, model)
+    tl.log_likelihood()
+    leaf = tree.leaves()[10]
+
+    def opt():
+        return optimize_branch(tl, leaf, tol=1e-4)
+
+    ll = benchmark(opt)
+    assert ll < 0
+
+
+@pytest.mark.benchmark(group="kernels-phylo")
+def test_kernel_gamma4_likelihood(benchmark, likelihood_setup):
+    tree, aln, model = likelihood_setup
+
+    def fresh_eval():
+        return TreeLikelihood(
+            tree, aln, model, rates=GammaRates(0.5, 4)
+        ).log_likelihood()
+
+    ll = benchmark(fresh_eval)
+    assert ll < 0

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The full deployment story on one machine.
+
+The paper's topology: one server; donor clients on lab PCs; users who
+"do not need any knowledge of the topology or workings of the system in
+order to submit problems and get their processed results back".
+
+This example plays all three roles with real TCP between them:
+
+1. starts a task-farm server on a localhost port (``repro-server``'s
+   internals);
+2. launches donor OS processes against it (``repro-donor``'s
+   internals);
+3. acts as a *user*: connects a ``RemoteSubmitter``, ships a DSEARCH
+   problem, watches progress, and prints the farm's operator status
+   mid-run.
+
+Run:  python examples/deployment.py
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.apps.dsearch import DSearchConfig
+from repro.apps.dsearch.driver import build_problem
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import random_sequence, seeded_database
+from repro.cluster.local import RemoteSubmitter, ServerFacade
+from repro.cluster.local.cluster import _worker_main
+from repro.core.scheduler import AdaptiveGranularity
+from repro.core.server import TaskFarmServer
+from repro.rmi import RMIServer
+
+
+def main() -> None:
+    # --- role 1: the server machine -----------------------------------
+    server = TaskFarmServer(
+        policy=AdaptiveGranularity(target_seconds=0.5, probe_items=2),
+        lease_timeout=30.0,
+    )
+    rmi = RMIServer()
+    rmi.bind("taskfarm", ServerFacade(server))
+    print(f"[server] task farm listening on {rmi.host}:{rmi.port}")
+
+    # --- role 3 first: the user submits a problem ----------------------
+    # (Donors exit when the farm has nothing left to do, so for a short
+    # demo the job goes in before the donors come up; a production
+    # service would keep donors resident.)
+    rng = np.random.default_rng(11)
+    query = random_sequence("gene-of-interest", 90, DNA, rng)
+    database, homologs = seeded_database(query, 200, 2, seed=12)
+    problem = build_problem(database, [query], DSearchConfig(top_hits=5))
+
+    with RemoteSubmitter(rmi.host, rmi.port) as farm:
+        pid = farm.submit(problem)
+        print(f"[user]   submitted problem {pid}: search {len(database)} sequences")
+
+        # --- role 2: three donor lab PCs (separate OS processes) -------
+        ctx = mp.get_context("fork")
+        donors = [
+            ctx.Process(
+                target=_worker_main,
+                args=(rmi.host, rmi.port, f"lab-pc-{i:02d}", 0.05),
+                daemon=True,
+            )
+            for i in range(3)
+        ]
+        for proc in donors:
+            proc.start()
+        print(f"[donors] {len(donors)} donor processes started")
+
+        milestones = {0.25, 0.5, 0.75}
+
+        def on_progress(fraction: float) -> None:
+            due = {m for m in milestones if fraction >= m}
+            for m in sorted(due):
+                print(f"[user]   progress {m:.0%}")
+                milestones.discard(m)
+
+        report = farm.wait(pid, timeout=300.0, poll_interval=0.05,
+                           on_progress=on_progress)
+        print("\n[server] operator status after completion:")
+        print(farm.status_report())
+
+    print("\n[user]   top hits:")
+    for rank, hit in enumerate(report.hits["gene-of-interest"], start=1):
+        marker = "  <-- planted homolog" if hit.subject_id in homologs else ""
+        print(f"         {rank}. {hit.subject_id:<14} score {hit.score:.0f}{marker}")
+
+    for proc in donors:
+        proc.join(timeout=10.0)
+        if proc.is_alive():
+            proc.terminate()
+    rmi.close()
+    print("[server] shut down")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DSEARCH example: a sensitive distributed database search.
+
+Builds a synthetic protein-sized DNA database with three planted
+homologs of the query (diverged copies), writes the paper's input files
+(FASTA database, FASTA queries, configuration file), runs the search on
+a thread cluster with Smith-Waterman, and prints the ranked hits — the
+planted homologs should dominate the top of the list.
+
+Run:  python examples/dsearch_search.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.dsearch import DSearchConfig, run_dsearch
+from repro.bio.align import dna_scheme, local_align
+from repro.bio.seq import DNA, read_fasta, write_fasta
+from repro.bio.seq.generate import random_sequence, seeded_database
+
+
+def main() -> None:
+    rng = np.random.default_rng(2005)
+    query = random_sequence("myquery", 120, DNA, rng)
+    database, homolog_ids = seeded_database(
+        query, decoy_count=120, homolog_count=3, seed=7, substitution_rate=0.12
+    )
+    print(f"database: {len(database)} sequences, homologs planted: {homolog_ids}")
+
+    # The paper's four inputs: database FASTA, query FASTA, scoring
+    # scheme and configuration file.
+    workdir = Path(tempfile.mkdtemp(prefix="dsearch-"))
+    write_fasta(workdir / "database.fasta", database)
+    write_fasta(workdir / "queries.fasta", [query])
+    (workdir / "dsearch.conf").write_text(
+        "algorithm = sw\n"
+        "scoring = dna\n"
+        "match = 5\n"
+        "mismatch = -4\n"
+        "gap_open = -10\n"
+        "gap_extend = -1\n"
+        "top_hits = 8\n"
+    )
+    config = DSearchConfig.from_path(workdir / "dsearch.conf")
+    database = read_fasta(workdir / "database.fasta", DNA)
+    queries = read_fasta(workdir / "queries.fasta", DNA)
+
+    report = run_dsearch(database, queries, config, workers=4)
+
+    print(f"\ntop hits for {query.seq_id!r}:")
+    print(f"{'rank':>4}  {'subject':<14}{'score':>8}  {'len':>5}")
+    for rank, hit in enumerate(report.hits[query.seq_id], start=1):
+        marker = "  <-- planted homolog" if hit.subject_id in homolog_ids else ""
+        print(
+            f"{rank:>4}  {hit.subject_id:<14}{hit.score:>8.1f}  "
+            f"{hit.subject_length:>5}{marker}"
+        )
+
+    # Show the actual alignment of the best hit (full-traceback path).
+    best = report.hits[query.seq_id][0]
+    subject = next(s for s in database if s.seq_id == best.subject_id)
+    scheme = config.scheme()
+    print("\nbest local alignment:")
+    print(local_align(query, subject, scheme).pretty(width=60))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's programming model in one file.
+
+"The user is required to extend two classes to create a Problem to run
+on the system" — here we estimate π by Monte Carlo:
+
+* ``PiDataManager`` (server side) partitions the sample budget into
+  work units and accumulates the hit counts.
+* ``PiAlgorithm`` (client side) does the actual sampling.
+
+The same Problem then runs on two backends: donor threads in this
+process, and real donor OS processes talking RMI over localhost — the
+live topology of the paper's deployment.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.local import LocalCluster, ThreadCluster
+from repro.core.problem import Algorithm, DataManager, Problem
+from repro.core.scheduler import AdaptiveGranularity
+from repro.core.workunit import UnitPayload, WorkResult
+
+
+class PiDataManager(DataManager):
+    """Server side: split the sample budget, sum the hits."""
+
+    def __init__(self, total_samples: int, samples_per_item: int = 10_000):
+        self.total_samples = total_samples
+        self.samples_per_item = samples_per_item
+        self._issued_items = 0
+        self._done_items = 0
+        self._hits = 0
+        self._samples = 0
+
+    def total_items(self) -> int:
+        return -(-self.total_samples // self.samples_per_item)
+
+    def next_unit(self, max_items: int) -> UnitPayload | None:
+        remaining = self.total_items() - self._issued_items
+        if remaining <= 0:
+            return None
+        take = min(max_items, remaining)
+        # Seed each unit by its offset so results are reproducible
+        # whichever donor computes them.
+        payload = (self._issued_items, take, self.samples_per_item)
+        self._issued_items += take
+        return UnitPayload(payload=payload, items=take, input_bytes=24)
+
+    def handle_result(self, result: WorkResult) -> None:
+        hits, samples = result.value
+        self._hits += hits
+        self._samples += samples
+        self._done_items += result.items
+
+    def is_complete(self) -> bool:
+        return self._done_items >= self.total_items()
+
+    def final_result(self) -> float:
+        return 4.0 * self._hits / self._samples
+
+
+class PiAlgorithm(Algorithm):
+    """Client side: sample points in the unit square."""
+
+    def compute(self, payload) -> tuple[int, int]:
+        offset, items, per_item = payload
+        rng = np.random.default_rng(1234 + offset)
+        samples = items * per_item
+        xy = rng.random((samples, 2))
+        hits = int((np.square(xy).sum(axis=1) <= 1.0).sum())
+        return hits, samples
+
+    def cost(self, payload) -> float:
+        _offset, items, per_item = payload
+        return float(items * per_item)
+
+
+def main() -> None:
+    print("== Thread cluster (donors in this process) ==")
+    cluster = ThreadCluster(workers=4, policy=AdaptiveGranularity(target_seconds=0.2))
+    pid = cluster.submit(
+        Problem("pi", PiDataManager(2_000_000), PiAlgorithm())
+    )
+    cluster.run()
+    print(f"   pi ~= {cluster.final_result(pid):.4f}")
+
+    print("== Local cluster (donor processes over RMI) ==")
+    with LocalCluster(workers=2, policy=AdaptiveGranularity(target_seconds=0.2)) as lc:
+        pid = lc.submit(Problem("pi-rmi", PiDataManager(1_000_000), PiAlgorithm()))
+        lc.start()
+        print(f"   pi ~= {lc.wait(pid, timeout=120):.4f}")
+
+
+if __name__ == "__main__":
+    main()

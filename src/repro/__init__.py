@@ -1,0 +1,41 @@
+"""repro — reproduction of *Bioinformatics on a Heterogeneous Java
+Distributed System* (Page, Keane, Naughton; IPDPS 2005).
+
+The package provides three layers, mirroring the paper:
+
+``repro.core``
+    The programmable task-farming framework: users extend
+    :class:`~repro.core.problem.DataManager` (server side, partitions the
+    problem and combines results) and
+    :class:`~repro.core.problem.Algorithm` (client side, the computation)
+    and submit a self-contained :class:`~repro.core.problem.Problem`.
+
+``repro.rmi`` and ``repro.cluster``
+    The communication substrate (remote method invocation over TCP plus a
+    raw-socket bulk data channel, replacing Java RMI + sockets) and two
+    cluster backends: a real multi-process cluster on localhost and a
+    deterministic discrete-event simulation of a heterogeneous donor pool.
+
+``repro.bio`` and ``repro.apps``
+    The bioinformatics substrates (sequences, rigorous alignment,
+    maximum-likelihood phylogenetics) and the two applications built on
+    the framework: DSEARCH (sensitive database search) and DPRml
+    (distributed phylogeny reconstruction by maximum likelihood).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.problem import Algorithm, DataManager, Problem
+from repro.core.server import TaskFarmServer
+from repro.core.workunit import UnitStatus, WorkResult, WorkUnit
+
+__all__ = [
+    "Algorithm",
+    "DataManager",
+    "Problem",
+    "TaskFarmServer",
+    "UnitStatus",
+    "WorkResult",
+    "WorkUnit",
+    "__version__",
+]

@@ -1,0 +1,1 @@
+"""The paper's two applications, built on the task-farming framework."""

@@ -1,0 +1,24 @@
+"""DBOOT: distributed bootstrap support — a third application.
+
+The paper closes with "we will be creating more distributed
+bioinformatics applications"; the nonparametric bootstrap is the
+obvious next one (biologists bootstrap every published tree) and it
+exercises the framework's embarrassingly parallel path with a
+result-assembly step (vote counting) that is order-independent.
+"""
+
+from repro.apps.dboot.app import (
+    BootstrapAlgorithm,
+    BootstrapDataManager,
+    BootstrapReport,
+    build_problem,
+    run_dboot,
+)
+
+__all__ = [
+    "BootstrapAlgorithm",
+    "BootstrapDataManager",
+    "BootstrapReport",
+    "build_problem",
+    "run_dboot",
+]

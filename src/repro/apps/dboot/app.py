@@ -1,0 +1,146 @@
+"""The distributed bootstrap: DataManager + Algorithm + drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bio.phylo.alignment import SiteAlignment
+from repro.bio.phylo.bootstrap import (
+    SupportedSplit,
+    bootstrap_alignment,
+    nj_replicate_tree,
+    split_support,
+)
+from repro.bio.phylo.tree import Tree, parse_newick
+from repro.core.problem import Algorithm, DataManager, Problem
+from repro.core.workunit import UnitPayload, WorkResult
+from repro.util.rng import spawn_rng
+
+
+@dataclass(slots=True)
+class BootstrapReport:
+    """Reference tree with per-split bootstrap support."""
+
+    reference_newick: str
+    supports: list[SupportedSplit]
+    replicates: int
+
+    def support_for(self, names: frozenset[str]) -> float:
+        for entry in self.supports:
+            if entry.split == names:
+                return entry.support
+        raise KeyError(f"no reference split {sorted(names)}")
+
+    def strongly_supported(self, threshold: float = 0.7) -> list[SupportedSplit]:
+        return [s for s in self.supports if s.support >= threshold]
+
+
+class BootstrapAlgorithm(Algorithm):
+    """Donor side: build replicate trees for a batch of seeds.
+
+    Returns each replicate's split set (frozensets of leaf names) —
+    compact, and all the server needs for vote counting.
+    """
+
+    def __init__(self, alignment: SiteAlignment, base_seed: int):
+        self.alignment = alignment
+        self.base_seed = base_seed
+
+    def compute(self, payload: Any) -> list[set[frozenset[str]]]:
+        replicate_ids = payload
+        out = []
+        for replicate_id in replicate_ids:
+            rng = spawn_rng(self.base_seed, "dboot", replicate_id)
+            replicate = bootstrap_alignment(self.alignment, rng)
+            out.append(nj_replicate_tree(replicate).splits())
+        return out
+
+    def cost(self, payload: Any) -> float:
+        # NJ is O(taxa^3) + distances O(taxa^2 * patterns).
+        n = self.alignment.n_taxa
+        per_replicate = n**3 + n**2 * self.alignment.n_patterns
+        return len(payload) * per_replicate / 1e6
+
+
+class BootstrapDataManager(DataManager):
+    """Server side: deal out replicate ids, count split votes."""
+
+    def __init__(
+        self,
+        alignment: SiteAlignment,
+        replicates: int = 100,
+        seed: int = 0,
+        reference: Tree | None = None,
+    ):
+        if replicates < 1:
+            raise ValueError("need at least one replicate")
+        if alignment.n_taxa < 4:
+            raise ValueError("bootstrap support needs at least four taxa")
+        self.alignment = alignment
+        self.replicates = replicates
+        self.seed = seed
+        self.reference = reference or nj_replicate_tree(alignment)
+        self._next = 0
+        self._splits: list[set[frozenset[str]]] = []
+
+    def total_items(self) -> int:
+        return self.replicates
+
+    def next_unit(self, max_items: int) -> UnitPayload | None:
+        if self._next >= self.replicates:
+            return None
+        take = min(max_items, self.replicates - self._next)
+        ids = tuple(range(self._next, self._next + take))
+        self._next += take
+        return UnitPayload(payload=ids, items=take, input_bytes=8 * take)
+
+    def handle_result(self, result: WorkResult) -> None:
+        self._splits.extend(result.value)
+
+    def is_complete(self) -> bool:
+        return len(self._splits) >= self.replicates
+
+    def final_result(self) -> BootstrapReport:
+        return BootstrapReport(
+            reference_newick=self.reference.newick(),
+            supports=split_support(self.reference, self._splits),
+            replicates=len(self._splits),
+        )
+
+    def progress(self) -> float:
+        return len(self._splits) / self.replicates
+
+
+def build_problem(
+    alignment: SiteAlignment,
+    replicates: int = 100,
+    seed: int = 0,
+    reference: Tree | None = None,
+    name: str = "dboot",
+) -> Problem:
+    """Assemble a distributed bootstrap Problem."""
+    return Problem(
+        name=name,
+        data_manager=BootstrapDataManager(alignment, replicates, seed, reference),
+        algorithm=BootstrapAlgorithm(alignment, seed),
+    )
+
+
+def run_dboot(
+    alignment: SiteAlignment,
+    replicates: int = 100,
+    seed: int = 0,
+    workers: int = 4,
+) -> BootstrapReport:
+    """Run a whole bootstrap on a local thread cluster."""
+    from repro.cluster.local import ThreadCluster
+    from repro.core.scheduler import AdaptiveGranularity
+
+    cluster = ThreadCluster(
+        workers=workers,
+        policy=AdaptiveGranularity(target_seconds=0.5, probe_items=1),
+    )
+    pid = cluster.submit(build_problem(alignment, replicates, seed))
+    cluster.run()
+    return cluster.final_result(pid)

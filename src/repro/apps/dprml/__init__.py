@@ -1,0 +1,26 @@
+"""DPRml: Distributed Phylogeny Reconstruction by Maximum Likelihood.
+
+The paper (Sect. 3.2): a cross-platform distributed implementation of
+stepwise-insertion ML tree building [11, 16] with "one of the most
+extensive ranges of DNA substitution models".  DPRml "is a staged
+computation": stage *i* fans the ``2i−5`` candidate placements of the
+next taxon out to donors and synchronises before stage *i+1*, so "running
+a single instance of the application will result in clients becoming
+idle whilst waiting for stages to be completed" — which is why Fig. 2
+measures six simultaneous instances.
+"""
+
+from repro.apps.dprml.config import DPRmlConfig
+from repro.apps.dprml.datamanager import DPRmlDataManager, DPRmlReport
+from repro.apps.dprml.algorithm import DPRmlAlgorithm
+from repro.apps.dprml.driver import build_problem, run_dprml, run_many_dprml
+
+__all__ = [
+    "DPRmlAlgorithm",
+    "DPRmlConfig",
+    "DPRmlDataManager",
+    "DPRmlReport",
+    "build_problem",
+    "run_dprml",
+    "run_many_dprml",
+]

@@ -1,0 +1,96 @@
+"""DPRml configuration: model choice and search parameters.
+
+Recognised keys (the DPRml "straightforward configuration file")::
+
+    model        = jc69 | k80 | f81 | f84 | hky85 | tn93 | gtr
+    kappa        = 2.0        # transition/transversion (where applicable)
+    freq_a/c/g/t = 0.25       # base frequencies (where applicable)
+    gamma_alpha  = 0          # 0 disables rate heterogeneity
+    gamma_categories = 4
+    local_passes = 1          # per-placement local optimisation passes
+    leaf_branch  = 0.1        # initial pendant branch length
+    order_seed   = 0          # randomised addition order (stochastic runs)
+    unit_target_seconds = 30  # adaptive granularity target
+    final_nni    = false      # NNI rearrangement pass before final polish
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bio.phylo.models import GammaRates, SubstitutionModel, model_by_name
+from repro.util.config import ConfigFile
+
+MODELS = ("jc69", "k80", "f81", "f84", "hky85", "tn93", "gtr")
+
+
+@dataclass(frozen=True)
+class DPRmlConfig:
+    """Validated DPRml settings."""
+
+    model: str = "hky85"
+    kappa: float = 2.0
+    freqs: tuple[float, float, float, float] = (0.25, 0.25, 0.25, 0.25)
+    gamma_alpha: float = 0.0
+    gamma_categories: int = 4
+    local_passes: int = 1
+    leaf_branch: float = 0.1
+    order_seed: int = 0
+    unit_target_seconds: float = 30.0
+    final_nni: bool = False
+
+    def __post_init__(self) -> None:
+        if self.model not in MODELS:
+            raise ValueError(f"model must be one of {MODELS}")
+        if self.kappa <= 0:
+            raise ValueError("kappa must be positive")
+        if self.gamma_alpha < 0:
+            raise ValueError("gamma_alpha must be >= 0 (0 disables)")
+        if self.gamma_categories < 1:
+            raise ValueError("gamma_categories must be >= 1")
+        if self.local_passes < 1:
+            raise ValueError("local_passes must be >= 1")
+        if self.leaf_branch <= 0:
+            raise ValueError("leaf_branch must be positive")
+        if self.unit_target_seconds <= 0:
+            raise ValueError("unit_target_seconds must be positive")
+        if abs(sum(self.freqs) - 1.0) > 1e-9 or any(f <= 0 for f in self.freqs):
+            raise ValueError("freqs must be positive and sum to 1")
+
+    @classmethod
+    def from_config(cls, cfg: ConfigFile) -> "DPRmlConfig":
+        freqs = (
+            cfg.get_float("freq_a", 0.25),
+            cfg.get_float("freq_c", 0.25),
+            cfg.get_float("freq_g", 0.25),
+            cfg.get_float("freq_t", 0.25),
+        )
+        return cls(
+            model=cfg.get_choice("model", MODELS, "hky85"),
+            kappa=cfg.get_float("kappa", 2.0),
+            freqs=freqs,
+            gamma_alpha=cfg.get_float("gamma_alpha", 0.0),
+            gamma_categories=cfg.get_int("gamma_categories", 4),
+            local_passes=cfg.get_int("local_passes", 1),
+            leaf_branch=cfg.get_float("leaf_branch", 0.1),
+            order_seed=cfg.get_int("order_seed", 0),
+            unit_target_seconds=cfg.get_float("unit_target_seconds", 30.0),
+            final_nni=cfg.get_bool("final_nni", False),
+        )
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "DPRmlConfig":
+        return cls.from_config(ConfigFile.from_path(path))
+
+    def substitution_model(self) -> SubstitutionModel:
+        return model_by_name(
+            self.model, kappa=self.kappa, freqs=np.asarray(self.freqs)
+        )
+
+    def rates(self) -> GammaRates:
+        if self.gamma_alpha > 0:
+            return GammaRates(self.gamma_alpha, self.gamma_categories)
+        return GammaRates.uniform()

@@ -1,0 +1,192 @@
+"""The DPRml server-side DataManager: the staged stepwise search.
+
+A small state machine with a full barrier between stages:
+
+``INIT``
+    One "polish" unit settles the 3-taxon starting tree's branch
+    lengths donor-side.
+``PLACING``
+    Stage *i* creates one task per edge of the current tree (``2i−5``
+    of them), hands them out in adaptively sized batches, and only when
+    every batch is back applies the winning placement and opens stage
+    *i+1* — the barrier the paper describes.
+``FINAL``
+    One last "polish" unit re-optimises all branch lengths.
+
+The DataManager never computes a likelihood itself — all numeric work
+runs on donors, exactly as in the paper's server.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.apps.dprml.config import DPRmlConfig
+from repro.bio.phylo.alignment import SiteAlignment
+from repro.bio.phylo.distances import nj_addition_order
+from repro.bio.phylo.stepwise import PlacementScore, apply_placement
+from repro.bio.phylo.tree import Tree, parse_newick
+from repro.core.problem import DataManager
+from repro.core.workunit import UnitPayload, WorkResult
+from repro.util.rng import spawn_rng
+
+
+@dataclass(slots=True)
+class DPRmlReport:
+    """The assembled answer of one DPRml run."""
+
+    newick: str
+    log_likelihood: float
+    addition_order: list[str]
+    stage_winners: list[PlacementScore] = field(default_factory=list)
+    evaluations: int = 0
+
+
+class _State(enum.Enum):
+    INIT = "init"
+    PLACING = "placing"
+    FINAL = "final"
+    DONE = "done"
+
+
+class DPRmlDataManager(DataManager):
+    """Drives the staged search; see module docstring."""
+
+    def __init__(self, alignment: SiteAlignment, config: DPRmlConfig | None = None):
+        if alignment.n_taxa < 4:
+            raise ValueError("DPRml needs at least four taxa")
+        self.config = config or DPRmlConfig()
+        self.alignment = alignment
+        base_order = nj_addition_order(alignment)
+        if self.config.order_seed:
+            # Stochastic runs: biologists launch several instances with
+            # different (randomised) addition orders.
+            rng = spawn_rng(self.config.order_seed, "dprml-order")
+            perm = rng.permutation(len(base_order))
+            base_order = [base_order[i] for i in perm]
+        self.order = list(base_order)
+        self.tree = Tree.star(self.order[:3], branch_length=self.config.leaf_branch)
+
+        self._state = _State.INIT
+        self._unit_out = False          # INIT/FINAL: polish unit in flight
+        self._stage = 0                 # index of the taxon being placed
+        self._pending: list[int] = []   # edge indices not yet issued
+        self._outstanding = 0           # placements issued, awaiting results
+        self._stage_newick = ""
+        self._best: PlacementScore | None = None
+        self._winners: list[PlacementScore] = []
+        self._evaluations = 0
+        self._final: DPRmlReport | None = None
+        self._items_done = 0
+        n = alignment.n_taxa
+        self._total_items = 2 + sum(2 * i - 5 for i in range(4, n + 1))
+
+    # -- stage machinery -------------------------------------------------
+
+    def _taxon_for_stage(self) -> str:
+        return self.order[3 + self._stage]
+
+    def _open_stage(self) -> None:
+        self._stage_newick = self.tree.newick()
+        self._pending = list(range(len(self.tree.edges())))
+        self._outstanding = 0
+        self._best = None
+
+    def _advance_after_stage(self) -> None:
+        assert self._best is not None
+        apply_placement(
+            self.tree,
+            self._taxon_for_stage(),
+            self._best,
+            leaf_branch=self.config.leaf_branch,
+        )
+        self._winners.append(self._best)
+        self._stage += 1
+        if 3 + self._stage < len(self.order):
+            self._open_stage()
+        else:
+            self._state = _State.FINAL
+
+    # -- DataManager interface ----------------------------------------------
+
+    def total_items(self) -> int:
+        return self._total_items
+
+    def next_unit(self, max_items: int) -> UnitPayload | None:
+        if self._state is _State.INIT:
+            if self._unit_out:
+                return None
+            self._unit_out = True
+            newick = self.tree.newick()
+            return UnitPayload(
+                payload=("polish", newick, 1), items=1, input_bytes=len(newick) + 64
+            )
+        if self._state is _State.PLACING:
+            if not self._pending:
+                return None  # barrier: wait for this stage's results
+            take = min(max_items, len(self._pending))
+            batch = tuple(self._pending[:take])
+            del self._pending[:take]
+            self._outstanding += take
+            payload = ("place", self._stage_newick, self._taxon_for_stage(), batch)
+            return UnitPayload(
+                payload=payload,
+                items=take,
+                input_bytes=len(self._stage_newick) + 64 + 8 * take,
+            )
+        if self._state is _State.FINAL:
+            if self._unit_out:
+                return None
+            self._unit_out = True
+            newick = self.tree.newick()
+            return UnitPayload(
+                payload=("polish", newick, 2), items=1, input_bytes=len(newick) + 64
+            )
+        return None
+
+    def handle_result(self, result: WorkResult) -> None:
+        kind, value = result.value
+        if kind == "place":
+            if self._state is not _State.PLACING:
+                raise RuntimeError("placement result outside a placing stage")
+            for score in value:
+                self._evaluations += 1
+                if score.better_than(self._best):
+                    self._best = score
+            self._outstanding -= len(value)
+            self._items_done += len(value)
+            if not self._pending and self._outstanding == 0:
+                self._advance_after_stage()
+        elif kind == "polish":
+            newick, loglik = value
+            self._items_done += 1
+            self._unit_out = False
+            if self._state is _State.INIT:
+                self.tree = parse_newick(newick)
+                self._state = _State.PLACING
+                self._open_stage()
+            elif self._state is _State.FINAL:
+                self._state = _State.DONE
+                self._final = DPRmlReport(
+                    newick=newick,
+                    log_likelihood=loglik,
+                    addition_order=list(self.order),
+                    stage_winners=list(self._winners),
+                    evaluations=self._evaluations,
+                )
+            else:
+                raise RuntimeError("polish result outside INIT/FINAL state")
+        else:
+            raise ValueError(f"unknown result kind {kind!r}")
+
+    def is_complete(self) -> bool:
+        return self._state is _State.DONE
+
+    def final_result(self) -> DPRmlReport:
+        if self._final is None:
+            raise RuntimeError("DPRml run not complete")
+        return self._final
+
+    def progress(self) -> float:
+        return self._items_done / self._total_items

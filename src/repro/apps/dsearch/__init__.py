@@ -1,0 +1,24 @@
+"""DSEARCH: sensitive database searching using distributed computing.
+
+The paper (Sect. 3.1): the FASTA database is split "into dynamically
+sized units that are subsequently searched on the donor machines", the
+granularity "dynamically controlled during each search to match the
+processing abilities of the current set of donor machines", and the
+user picks a built-in rigorous algorithm via "a straightforward
+configuration file".  Inputs: "a FASTA database file, a FASTA query
+sequences file, a scoring scheme, and a configuration file."
+"""
+
+from repro.apps.dsearch.config import DSearchConfig
+from repro.apps.dsearch.datamanager import DSearchDataManager, SearchReport
+from repro.apps.dsearch.algorithm import DSearchAlgorithm
+from repro.apps.dsearch.driver import build_problem, run_dsearch
+
+__all__ = [
+    "DSearchAlgorithm",
+    "DSearchConfig",
+    "DSearchDataManager",
+    "SearchReport",
+    "build_problem",
+    "run_dsearch",
+]

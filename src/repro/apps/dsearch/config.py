@@ -1,0 +1,89 @@
+"""DSEARCH configuration: the paper's "straightforward configuration
+file" mapped onto :class:`~repro.util.config.ConfigFile`.
+
+Recognised keys::
+
+    algorithm   = sw | nw | banded      # which rigorous aligner
+    scoring     = dna | blosum62 | pam250
+    match       = 5                     # dna scheme only
+    mismatch    = -4                    # dna scheme only
+    gap_open    = -10
+    gap_extend  = -1
+    band        = 32                    # banded only
+    top_hits    = 10                    # hits kept per query
+    unit_target_seconds = 60            # adaptive granularity target
+    both_strands = false                # DNA: also search the reverse strand
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bio.align.scoring import ScoringScheme, dna_scheme, scheme_by_name
+from repro.util.config import ConfigFile
+
+ALGORITHMS = ("sw", "nw", "banded")
+SCORINGS = ("dna", "blosum62", "pam250")
+
+
+@dataclass(frozen=True)
+class DSearchConfig:
+    """Validated DSEARCH settings."""
+
+    algorithm: str = "sw"
+    scoring: str = "dna"
+    match: float = 5.0
+    mismatch: float = -4.0
+    gap_open: float = -10.0
+    gap_extend: float = -1.0
+    band: int = 32
+    top_hits: int = 10
+    unit_target_seconds: float = 60.0
+    both_strands: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(f"algorithm must be one of {ALGORITHMS}")
+        if self.scoring not in SCORINGS:
+            raise ValueError(f"scoring must be one of {SCORINGS}")
+        if self.top_hits < 1:
+            raise ValueError("top_hits must be >= 1")
+        if self.band < 0:
+            raise ValueError("band must be >= 0")
+        if self.unit_target_seconds <= 0:
+            raise ValueError("unit_target_seconds must be positive")
+        if self.both_strands and self.scoring != "dna":
+            raise ValueError("both_strands only makes sense for DNA searches")
+
+    @classmethod
+    def from_config(cls, cfg: ConfigFile) -> "DSearchConfig":
+        return cls(
+            algorithm=cfg.get_choice("algorithm", ALGORITHMS, "sw"),
+            scoring=cfg.get_choice("scoring", SCORINGS, "dna"),
+            match=cfg.get_float("match", 5.0),
+            mismatch=cfg.get_float("mismatch", -4.0),
+            gap_open=cfg.get_float("gap_open", -10.0),
+            gap_extend=cfg.get_float("gap_extend", -1.0),
+            band=cfg.get_int("band", 32),
+            top_hits=cfg.get_int("top_hits", 10),
+            unit_target_seconds=cfg.get_float("unit_target_seconds", 60.0),
+            both_strands=cfg.get_bool("both_strands", False),
+        )
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "DSearchConfig":
+        return cls.from_config(ConfigFile.from_path(path))
+
+    def scheme(self) -> ScoringScheme:
+        """Build the scoring scheme this configuration describes."""
+        if self.scoring == "dna":
+            return dna_scheme(
+                match=self.match,
+                mismatch=self.mismatch,
+                gap_open=self.gap_open,
+                gap_extend=self.gap_extend,
+            )
+        return scheme_by_name(
+            self.scoring, gap_open=self.gap_open, gap_extend=self.gap_extend
+        )

@@ -1,0 +1,98 @@
+"""The DSEARCH server-side DataManager: slice the database, merge hits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.apps.dsearch.config import DSearchConfig
+from repro.bio.align.hits import Hit, merge_topk
+from repro.bio.seq.sequence import Sequence
+from repro.core.problem import DataManager
+from repro.core.workunit import UnitPayload, WorkResult
+
+
+@dataclass(slots=True)
+class SearchReport:
+    """The assembled answer: global top hits per query plus accounting."""
+
+    hits: dict[str, list[Hit]]
+    database_size: int
+    queries: list[str]
+    units: int = 0
+
+    def best_hit(self, query_id: str) -> Hit | None:
+        ranked = self.hits.get(query_id, [])
+        return ranked[0] if ranked else None
+
+
+class DSearchDataManager(DataManager):
+    """Partitions the FASTA database into contiguous slices.
+
+    Units are *items = database sequences*, the granularity currency
+    the adaptive scheduler controls.  Each result is a per-query local
+    top-k which is merged order-independently into the global top-k.
+    """
+
+    def __init__(
+        self,
+        database: list[Sequence],
+        queries: list[Sequence],
+        config: DSearchConfig | None = None,
+    ):
+        if not database:
+            raise ValueError("empty database")
+        if not queries:
+            raise ValueError("no query sequences")
+        self.config = config or DSearchConfig()
+        self.database = list(database)
+        self.queries = list(queries)
+        self._cursor = 0
+        self._done_items = 0
+        self._units = 0
+        self._partial_hits: dict[str, list[list[Hit]]] = {
+            q.seq_id: [] for q in self.queries
+        }
+        query_bytes = sum(len(q) for q in self.queries)
+        self._query_overhead = query_bytes + 64 * len(self.queries)
+
+    def total_items(self) -> int:
+        return len(self.database)
+
+    def next_unit(self, max_items: int) -> UnitPayload | None:
+        if self._cursor >= len(self.database):
+            return None
+        lo = self._cursor
+        hi = min(len(self.database), lo + max_items)
+        self._cursor = hi
+        subjects = self.database[lo:hi]
+        subject_bytes = sum(len(s) for s in subjects)
+        return UnitPayload(
+            payload=(self.queries, subjects),
+            items=hi - lo,
+            input_bytes=self._query_overhead + subject_bytes + 64 * len(subjects),
+        )
+
+    def handle_result(self, result: WorkResult) -> None:
+        for query_id, hits in result.value.items():
+            self._partial_hits[query_id].append(hits)
+        self._done_items += result.items
+        self._units += 1
+
+    def is_complete(self) -> bool:
+        return self._done_items >= len(self.database)
+
+    def final_result(self) -> SearchReport:
+        merged = {
+            query_id: merge_topk(self.config.top_hits, *parts)
+            for query_id, parts in self._partial_hits.items()
+        }
+        return SearchReport(
+            hits=merged,
+            database_size=len(self.database),
+            queries=[q.seq_id for q in self.queries],
+            units=self._units,
+        )
+
+    def progress(self) -> float:
+        return self._done_items / len(self.database)

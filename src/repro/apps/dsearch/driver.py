@@ -1,0 +1,57 @@
+"""DSEARCH end-to-end drivers over any cluster backend."""
+
+from __future__ import annotations
+
+from repro.apps.dsearch.algorithm import DSearchAlgorithm
+from repro.apps.dsearch.config import DSearchConfig
+from repro.apps.dsearch.datamanager import DSearchDataManager, SearchReport
+from repro.bio.seq.fasta import format_fasta
+from repro.bio.seq.sequence import Sequence
+from repro.core.problem import Problem
+
+
+def build_problem(
+    database: list[Sequence],
+    queries: list[Sequence],
+    config: DSearchConfig | None = None,
+    name: str = "dsearch",
+) -> Problem:
+    """Assemble the self-contained DSEARCH Problem object.
+
+    Exactly the paper's recipe: a DataManager, an Algorithm, and the
+    data (the FASTA files ride along as blobs for the bulk channel).
+    """
+    config = config or DSearchConfig()
+    return Problem(
+        name=name,
+        data_manager=DSearchDataManager(database, queries, config),
+        algorithm=DSearchAlgorithm(config),
+        blobs={
+            "database.fasta": format_fasta(database).encode(),
+            "queries.fasta": format_fasta(queries).encode(),
+        },
+    )
+
+
+def run_dsearch(
+    database: list[Sequence],
+    queries: list[Sequence],
+    config: DSearchConfig | None = None,
+    workers: int = 4,
+) -> SearchReport:
+    """Convenience: run a whole search on a local thread cluster."""
+    from repro.cluster.local import ThreadCluster
+    from repro.core.scheduler import AdaptiveGranularity
+
+    config = config or DSearchConfig()
+    cluster = ThreadCluster(
+        workers=workers,
+        policy=AdaptiveGranularity(
+            target_seconds=config.unit_target_seconds,
+            probe_items=max(1, len(database) // (workers * 8) or 1),
+            max_items=max(1, len(database) // max(1, workers)),
+        ),
+    )
+    pid = cluster.submit(build_problem(database, queries, config))
+    cluster.run()
+    return cluster.final_result(pid)

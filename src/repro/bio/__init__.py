@@ -1,0 +1,6 @@
+"""Bioinformatics substrates: sequences, alignment, phylogenetics.
+
+These are from-scratch implementations of everything the paper's two
+applications depend on — the role PAL v1.4 and the authors' own
+alignment code played in the original system.
+"""

@@ -1,0 +1,48 @@
+"""Rigorous pairwise sequence alignment.
+
+The paper's DSEARCH offers "one of the built-in search algorithms"
+citing Needleman-Wunsch [10], Smith-Waterman [14] and the subquadratic
+method of Crochemore et al. [4].  This package implements:
+
+* :mod:`repro.bio.align.scoring` — scoring schemes: simple DNA
+  match/mismatch plus the standard BLOSUM62 and PAM250 protein matrices,
+  with affine gap penalties.
+* :mod:`repro.bio.align.kernels` — the shared vectorised Gotoh row-sweep
+  (exact affine-gap DP with the within-row dependency resolved by a
+  max-scan, so each row is pure NumPy).
+* :mod:`repro.bio.align.nw` / :mod:`repro.bio.align.sw` — global and
+  local alignment scores on that kernel.
+* :mod:`repro.bio.align.banded` — banded global alignment, the reduced-
+  work stand-in for the subquadratic algorithm of [4].
+* :mod:`repro.bio.align.traceback` — small-input full-matrix aligners
+  with traceback, used for validation and display.
+* :mod:`repro.bio.align.hits` — hit records and top-k merging, the
+  result currency of a distributed search.
+"""
+
+from repro.bio.align.scoring import ScoringScheme, blosum62, dna_scheme, pam250
+from repro.bio.align.nw import needleman_wunsch_score
+from repro.bio.align.sw import smith_waterman_score
+from repro.bio.align.banded import banded_global_score
+from repro.bio.align.traceback import (
+    Alignment,
+    global_align,
+    local_align,
+)
+from repro.bio.align.hits import Hit, TopK, merge_topk
+
+__all__ = [
+    "Alignment",
+    "Hit",
+    "ScoringScheme",
+    "TopK",
+    "banded_global_score",
+    "blosum62",
+    "dna_scheme",
+    "global_align",
+    "local_align",
+    "merge_topk",
+    "needleman_wunsch_score",
+    "pam250",
+    "smith_waterman_score",
+]

@@ -1,0 +1,152 @@
+"""Hirschberg's algorithm: global alignment strings in linear memory.
+
+The reference traceback aligner (:mod:`repro.bio.align.traceback`)
+stores O(mn) matrices — fine for inspecting top hits, hopeless for
+chromosome-length sequences.  Hirschberg's divide-and-conquer recovers
+the *alignment itself* in O(m+n) memory and ~2× the score-only time:
+split the query in half, find where the optimal path crosses the
+subject (by combining a forward score row of the top half with a
+backward score row of the reversed bottom half), recurse on the two
+sub-problems.
+
+This implementation uses **linear gap penalties** (cost ``g`` per
+gapped residue).  Affine-gap Hirschberg needs both gap-state boundary
+rows and is substantially subtler; the linear case is the classic
+algorithm and is what this module provides — construct scoring schemes
+with ``gap_open=0`` to use it.  Scores agree exactly with
+:func:`~repro.bio.align.nw.needleman_wunsch_score` under such schemes,
+which the test suite checks by property.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.align.kernels import _check_pair
+from repro.bio.align.scoring import ScoringScheme
+from repro.bio.align.traceback import Alignment
+from repro.bio.seq.sequence import Sequence
+
+
+def _require_linear_gaps(scheme: ScoringScheme) -> float:
+    if scheme.gap_open != 0:
+        raise ValueError(
+            "Hirschberg alignment requires linear gap penalties "
+            f"(gap_open=0); got gap_open={scheme.gap_open}"
+        )
+    return scheme.gap_extend
+
+
+def _score_last_row(
+    q_codes: np.ndarray, s_codes: np.ndarray, matrix: np.ndarray, g: float
+) -> np.ndarray:
+    """Last row of the NW score matrix for (q, s), linear gaps, O(n) memory."""
+    n = s_codes.shape[0]
+    prev = g * np.arange(n + 1, dtype=np.float64)
+    for i in range(1, q_codes.shape[0] + 1):
+        sub = matrix[q_codes[i - 1]][s_codes]
+        current = np.empty(n + 1)
+        current[0] = g * i
+        # best[j] = max(diag + substitution, up + gap) for j = 1..n; the
+        # remaining left-gap dependency H[i][j-1] + g unrolls into a
+        # prefix max-scan, the same trick as the affine kernel:
+        #   H[i][j] = max(best[j], g*j + max_{k<j}(M[k] - g*k))
+        # where M[0] = H[i][0] and M[k] = best[k].
+        best = np.maximum(prev[:-1] + sub, prev[1:] + g)
+        M = np.concatenate(([current[0]], best))
+        running = np.maximum.accumulate(M - g * np.arange(n + 1))
+        current[1:] = np.maximum(best, g * np.arange(1, n + 1) + running[:-1])
+        prev = current
+    return prev
+
+
+def _align_small(q: str, s: str, q_codes, s_codes, matrix, g: float):
+    """Base case: full DP with traceback on tiny inputs."""
+    m, n = len(q), len(s)
+    H = np.zeros((m + 1, n + 1))
+    H[0, :] = g * np.arange(n + 1)
+    H[:, 0] = g * np.arange(m + 1)
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            H[i, j] = max(
+                H[i - 1, j - 1] + matrix[q_codes[i - 1], s_codes[j - 1]],
+                H[i - 1, j] + g,
+                H[i, j - 1] + g,
+            )
+    out_q, out_s = [], []
+    i, j = m, n
+    while i > 0 or j > 0:
+        if (
+            i > 0
+            and j > 0
+            and np.isclose(H[i, j], H[i - 1, j - 1] + matrix[q_codes[i - 1], s_codes[j - 1]])
+        ):
+            out_q.append(q[i - 1])
+            out_s.append(s[j - 1])
+            i -= 1
+            j -= 1
+        elif i > 0 and np.isclose(H[i, j], H[i - 1, j] + g):
+            out_q.append(q[i - 1])
+            out_s.append("-")
+            i -= 1
+        else:
+            out_q.append("-")
+            out_s.append(s[j - 1])
+            j -= 1
+    return "".join(reversed(out_q)), "".join(reversed(out_s))
+
+
+def _hirschberg(q: str, s: str, q_codes, s_codes, matrix, g: float):
+    m, n = len(q), len(s)
+    if m == 0:
+        return "-" * n, s
+    if n == 0:
+        return q, "-" * m
+    if m <= 2 or n <= 2:
+        return _align_small(q, s, q_codes, s_codes, matrix, g)
+    mid = m // 2
+    top = _score_last_row(q_codes[:mid], s_codes, matrix, g)
+    bottom = _score_last_row(q_codes[mid:][::-1], s_codes[::-1], matrix, g)[::-1]
+    split = int(np.argmax(top + bottom))
+    left_q, left_s = _hirschberg(
+        q[:mid], s[:split], q_codes[:mid], s_codes[:split], matrix, g
+    )
+    right_q, right_s = _hirschberg(
+        q[mid:], s[split:], q_codes[mid:], s_codes[split:], matrix, g
+    )
+    return left_q + right_q, left_s + right_s
+
+
+def hirschberg_align(
+    query: Sequence, subject: Sequence, scheme: ScoringScheme
+) -> Alignment:
+    """Optimal global alignment in linear memory (linear gap scheme)."""
+    _check_pair(query, subject, scheme)
+    g = _require_linear_gaps(scheme)
+    q_codes = np.asarray(query.codes, dtype=np.intp)
+    s_codes = np.asarray(subject.codes, dtype=np.intp)
+    q_aln, s_aln = _hirschberg(
+        str(query), str(subject), q_codes, s_codes, scheme.matrix, g
+    )
+    score = _alignment_score(q_aln, s_aln, query, subject, scheme, g)
+    return Alignment(
+        query_id=query.seq_id,
+        subject_id=subject.seq_id,
+        score=score,
+        query_aligned=q_aln,
+        subject_aligned=s_aln,
+    )
+
+
+def _alignment_score(
+    q_aln: str, s_aln: str, query: Sequence, subject: Sequence, scheme, g: float
+) -> float:
+    """Score a rendered alignment directly (also a handy validator)."""
+    alphabet = scheme.alphabet
+    score = 0.0
+    for a, b in zip(q_aln, s_aln):
+        if a == "-" or b == "-":
+            score += g
+        else:
+            score += scheme.matrix[alphabet.encode(a)[0], alphabet.encode(b)[0]]
+    return score

@@ -1,0 +1,92 @@
+"""Hit records and top-k result merging.
+
+A distributed search returns, per query, the best *k* database matches.
+Each donor computes a local top-k over its database slice; the server
+merges slices with :func:`merge_topk`.  Merging is associative and
+commutative with deterministic tie-breaking, so the assembled result is
+independent of the order donor results arrive in — a requirement for a
+system where unit completion order is scheduling noise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True, order=False)
+class Hit:
+    """One query-vs-subject match."""
+
+    query_id: str
+    subject_id: str
+    score: float
+    subject_length: int = 0
+
+    def sort_key(self) -> tuple:
+        """Descending score; ties broken by subject id for determinism."""
+        return (-self.score, self.subject_id)
+
+
+class TopK:
+    """A bounded best-hits accumulator for one query."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        # Min-heap of (score, reversed-tiebreak, Hit) keeps the current
+        # worst retained hit at the root.
+        self._heap: list[tuple[float, tuple, Hit]] = []
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def offer(self, hit: Hit) -> bool:
+        """Consider a hit; returns True when it is retained."""
+        # Higher score wins; on equal scores the lexicographically
+        # smaller subject id wins (so results are order-independent).
+        entry = (hit.score, _reverse_str_key(hit.subject_id), hit)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry[:2] > self._heap[0][:2]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def extend(self, hits: Iterable[Hit]) -> None:
+        for hit in hits:
+            self.offer(hit)
+
+    def best(self) -> list[Hit]:
+        """Retained hits, best first."""
+        return sorted((e[2] for e in self._heap), key=Hit.sort_key)
+
+    def __iter__(self) -> Iterator[Hit]:
+        return iter(self.best())
+
+
+class _reverse_str_key:
+    """Orders strings descending inside an ascending-heap tuple."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __lt__(self, other: "_reverse_str_key") -> bool:
+        return self.value > other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _reverse_str_key) and other.value == self.value
+
+
+def merge_topk(k: int, *hit_lists: Iterable[Hit]) -> list[Hit]:
+    """Merge any number of per-slice hit lists into one global top-k."""
+    top = TopK(k)
+    for hits in hit_lists:
+        top.extend(hits)
+    return top.best()

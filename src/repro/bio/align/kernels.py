@@ -1,0 +1,134 @@
+"""The vectorised Gotoh row-sweep shared by NW, SW and banded alignment.
+
+Affine-gap dynamic programming has three recurrences per cell::
+
+    E[i,j] = max(E[i,j-1], H[i,j-1] + open) + extend      (gap in query)
+    F[i,j] = max(F[i-1,j], H[i-1,j] + open) + extend      (gap in subject)
+    H[i,j] = max(H[i-1,j-1] + S(q_i, s_j), E[i,j], F[i,j] [, 0 local])
+
+``F`` and the diagonal term depend only on the previous row and
+vectorise directly.  ``E`` has a within-row dependency (``E[i,j-1]``),
+which is resolved exactly by a prefix max-scan: unrolling the
+recurrence,
+
+    E[i,j] = open + j·extend + max_{k<j} (H'[i,k] − k·extend)
+
+where ``H'`` is the row value *before* adding E.  Chains through an
+earlier ``E[i,k]`` are dominated inside the scan because
+``open ≤ 0`` implies ``E+open+extend ≤ E+extend``.  One
+``np.maximum.accumulate`` therefore computes the whole row of E, and
+each DP row is a handful of NumPy primitives — this is the same
+"lazy-E" trick used by striped SIMD aligners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.align.scoring import ScoringScheme
+from repro.bio.seq.sequence import Sequence
+
+#: Effectively -infinity while staying far from float64 overflow.
+NEG = -1.0e30
+
+
+def _check_pair(query: Sequence, subject: Sequence, scheme: ScoringScheme) -> None:
+    if query.alphabet != scheme.alphabet or subject.alphabet != scheme.alphabet:
+        raise ValueError(
+            f"scheme {scheme.name!r} is over alphabet {scheme.alphabet.name!r}; "
+            f"got query {query.alphabet.name!r} / subject {subject.alphabet.name!r}"
+        )
+    if len(query) == 0 or len(subject) == 0:
+        raise ValueError("cannot align empty sequences")
+
+
+def gotoh_rows(
+    query: Sequence,
+    subject: Sequence,
+    scheme: ScoringScheme,
+    local: bool,
+    band: int | None = None,
+):
+    """Generator over DP rows ``(i, H_row)``; shared by all aligners.
+
+    Row 0 is the boundary row.  With ``band`` set, cells with
+    ``|i - j| > band`` are masked to ``NEG`` (banded global alignment).
+    """
+    _check_pair(query, subject, scheme)
+    m, n = len(query), len(subject)
+    go, ge = scheme.gap_open, scheme.gap_extend
+    profile = scheme.profile(query.codes)  # (m, A+1)
+    s_codes = np.asarray(subject.codes, dtype=np.intp)
+    jidx = np.arange(n + 1, dtype=np.float64)
+
+    if local:
+        H_prev = np.zeros(n + 1)
+    else:
+        H_prev = go + ge * jidx
+        H_prev[0] = 0.0
+    F_prev = np.full(n + 1, NEG)
+    if band is not None:
+        _mask_band(H_prev, 0, n, band)
+    yield 0, H_prev
+
+    for i in range(1, m + 1):
+        F = np.maximum(F_prev, H_prev + go) + ge
+        sub = profile[i - 1][s_codes]  # S(q_i, s_j) for j = 1..n
+        H = np.empty(n + 1)
+        H[0] = 0.0 if local else go + ge * i
+        Htmp = np.maximum(H_prev[:-1] + sub, F[1:])
+        if local:
+            np.maximum(Htmp, 0.0, out=Htmp)
+        H[1:] = Htmp
+        # Exact within-row E via prefix max-scan (see module docstring).
+        c = H - ge * jidx  # uses H' (pre-E) values
+        run = np.maximum.accumulate(c)
+        E = go + ge * jidx[1:] + run[:-1]
+        np.maximum(H[1:], E, out=H[1:])
+        if local:
+            np.maximum(H[1:], 0.0, out=H[1:])
+        if band is not None:
+            _mask_band(H, i, n, band)
+        yield i, H
+        H_prev, F_prev = H, F
+
+
+def _mask_band(row: np.ndarray, i: int, n: int, band: int) -> None:
+    lo = i - band
+    hi = i + band
+    if lo > 0:
+        row[: min(lo, n + 1)] = NEG
+    if hi < n:
+        row[hi + 1 :] = NEG
+
+
+def global_score(
+    query: Sequence,
+    subject: Sequence,
+    scheme: ScoringScheme,
+    band: int | None = None,
+) -> float:
+    """Needleman-Wunsch (optionally banded) global alignment score."""
+    if band is not None:
+        # The end cell (m, n) must be reachable inside the band.
+        band = max(band, abs(len(query) - len(subject)))
+    last = None
+    for _i, row in gotoh_rows(query, subject, scheme, local=False, band=band):
+        last = row
+    assert last is not None
+    return float(last[-1])
+
+
+def local_score(query: Sequence, subject: Sequence, scheme: ScoringScheme) -> float:
+    """Smith-Waterman local alignment score (always >= 0)."""
+    best = 0.0
+    for _i, row in gotoh_rows(query, subject, scheme, local=True):
+        row_max = float(row.max())
+        if row_max > best:
+            best = row_max
+    return best
+
+
+def cell_count(query: Sequence, subject: Sequence) -> int:
+    """DP cells for a full alignment — the unit-cost model of DSEARCH."""
+    return len(query) * len(subject)

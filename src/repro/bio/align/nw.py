@@ -1,0 +1,20 @@
+"""Needleman-Wunsch global alignment [10 in the paper].
+
+Score-only, linear memory, vectorised rows — the form DSEARCH runs over
+whole database slices.  For the aligned strings themselves use
+:func:`repro.bio.align.traceback.global_align` (quadratic memory,
+intended for the handful of top hits a user inspects).
+"""
+
+from __future__ import annotations
+
+from repro.bio.align.kernels import global_score
+from repro.bio.align.scoring import ScoringScheme
+from repro.bio.seq.sequence import Sequence
+
+
+def needleman_wunsch_score(
+    query: Sequence, subject: Sequence, scheme: ScoringScheme
+) -> float:
+    """Optimal global alignment score under affine gap penalties."""
+    return global_score(query, subject, scheme)

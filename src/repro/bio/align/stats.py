@@ -1,0 +1,115 @@
+"""Statistical significance of local alignment scores.
+
+A raw Smith-Waterman score is meaningless without context: long or
+compositionally biased subjects score high by chance.  The classical
+result (Karlin-Altschul) is that local scores of unrelated sequences
+follow an extreme-value (Gumbel) distribution,
+
+    P(S >= x) ~ 1 - exp(-K·m·n·e^(-λx)),
+
+with parameters λ, K depending on the scoring system.  Gapped λ/K have
+no closed form, so we do what practitioners do: calibrate empirically.
+:func:`calibrate` aligns shuffled sequence pairs, fits the Gumbel by
+the method of moments, and the resulting :class:`ScoreStatistics`
+converts hit scores to E-values — the expected number of chance hits
+that good in a database of the searched size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bio.align.kernels import local_score
+from repro.bio.align.scoring import ScoringScheme
+from repro.bio.seq.sequence import Sequence
+
+#: Euler-Mascheroni constant (Gumbel mean = mu + gamma/lambda).
+EULER_GAMMA = 0.5772156649015329
+
+
+@dataclass(frozen=True, slots=True)
+class ScoreStatistics:
+    """A calibrated Gumbel null model for one scoring system.
+
+    Attributes
+    ----------
+    lam:
+        The Gumbel scale ("lambda" in Karlin-Altschul notation).
+    k:
+        Effective search-space constant K.
+    calibration_length:
+        m·n of the pairs used in calibration (the search-space size the
+        raw parameters correspond to).
+    """
+
+    lam: float
+    k: float
+    calibration_length: float
+
+    def __post_init__(self) -> None:
+        if self.lam <= 0 or self.k <= 0 or self.calibration_length <= 0:
+            raise ValueError("Gumbel parameters must be positive")
+
+    def evalue(self, score: float, search_space: float) -> float:
+        """Expected chance hits scoring >= *score* in *search_space* = m·n·(#subjects scanned, folded into n)."""
+        if search_space <= 0:
+            raise ValueError("search space must be positive")
+        return self.k * search_space * math.exp(-self.lam * score)
+
+    def pvalue(self, score: float, search_space: float) -> float:
+        """P(at least one chance hit >= score)."""
+        return -math.expm1(-self.evalue(score, search_space))
+
+    def bit_score(self, score: float) -> float:
+        """Scale-free score: (λS − ln K) / ln 2."""
+        return (self.lam * score - math.log(self.k)) / math.log(2.0)
+
+
+def shuffled(seq: Sequence, rng: np.random.Generator, tag: int) -> Sequence:
+    """A composition-preserving shuffle (the standard null)."""
+    codes = seq.codes.copy()
+    rng.shuffle(codes)
+    return Sequence(f"{seq.seq_id}_shuf{tag}", codes, seq.alphabet)
+
+
+def calibrate(
+    query: Sequence,
+    subjects: list[Sequence],
+    scheme: ScoringScheme,
+    samples: int = 60,
+    seed: int = 0,
+) -> ScoreStatistics:
+    """Fit the Gumbel null by aligning the query against shuffles.
+
+    Uses the method of moments: for Gumbel, λ = π/(σ·√6) and
+    μ = mean − γ/λ, then K = e^(λμ)/(m·n).
+    """
+    if samples < 10:
+        raise ValueError("need at least 10 calibration samples")
+    if not subjects:
+        raise ValueError("need at least one subject to shuffle")
+    rng = np.random.default_rng(seed)
+    scores = []
+    areas = []
+    for i in range(samples):
+        subject = subjects[i % len(subjects)]
+        null = shuffled(subject, rng, i)
+        scores.append(local_score(query, null, scheme))
+        areas.append(len(query) * len(null))
+    scores_arr = np.asarray(scores, dtype=float)
+    sigma = float(scores_arr.std(ddof=1))
+    if sigma <= 0:
+        raise ValueError("degenerate calibration: all null scores equal")
+    lam = math.pi / (sigma * math.sqrt(6.0))
+    mu = float(scores_arr.mean()) - EULER_GAMMA / lam
+    mean_area = float(np.mean(areas))
+    k = math.exp(lam * mu) / mean_area
+    return ScoreStatistics(lam=lam, k=max(k, 1e-12), calibration_length=mean_area)
+
+
+def database_search_space(query: Sequence, database: list[Sequence]) -> float:
+    """Total m·n over a whole database (the E-value search space)."""
+    return float(len(query)) * float(sum(len(s) for s in database))

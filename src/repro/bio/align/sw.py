@@ -1,0 +1,19 @@
+"""Smith-Waterman local alignment [14 in the paper].
+
+The most sensitive database-search algorithm: finds the best-scoring
+*subsequence* pair, so a conserved domain is detected however much the
+flanking sequence has diverged.  Score-only, linear memory, vectorised.
+"""
+
+from __future__ import annotations
+
+from repro.bio.align.kernels import local_score
+from repro.bio.align.scoring import ScoringScheme
+from repro.bio.seq.sequence import Sequence
+
+
+def smith_waterman_score(
+    query: Sequence, subject: Sequence, scheme: ScoringScheme
+) -> float:
+    """Optimal local alignment score (>= 0) under affine gap penalties."""
+    return local_score(query, subject, scheme)

@@ -1,0 +1,178 @@
+"""Reference full-matrix aligners with traceback.
+
+Pure-Python, quadratic-memory Gotoh — the readable specification
+against which the vectorised kernels are property-tested, and the code
+path that renders the actual aligned strings for the top hits a user
+inspects.  Not meant for whole-database scans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bio.align.kernels import NEG, _check_pair
+from repro.bio.align.scoring import ScoringScheme
+from repro.bio.seq.sequence import Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Alignment:
+    """One pairwise alignment with its rendered gapped strings."""
+
+    query_id: str
+    subject_id: str
+    score: float
+    query_aligned: str
+    subject_aligned: str
+    query_start: int = 0
+    subject_start: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.query_aligned) != len(self.subject_aligned):
+            raise ValueError("aligned strings must have equal length")
+
+    @property
+    def length(self) -> int:
+        return len(self.query_aligned)
+
+    @property
+    def identity(self) -> float:
+        """Fraction of alignment columns with identical residues."""
+        if not self.length:
+            return 0.0
+        same = sum(
+            1
+            for a, b in zip(self.query_aligned, self.subject_aligned)
+            if a == b and a != "-"
+        )
+        return same / self.length
+
+    @property
+    def gaps(self) -> int:
+        return self.query_aligned.count("-") + self.subject_aligned.count("-")
+
+    def pretty(self, width: int = 60) -> str:
+        """Human-readable block rendering with a match line."""
+        match_line = "".join(
+            "|" if a == b and a != "-" else " "
+            for a, b in zip(self.query_aligned, self.subject_aligned)
+        )
+        blocks = []
+        for start in range(0, self.length, width):
+            q = self.query_aligned[start : start + width]
+            m = match_line[start : start + width]
+            s = self.subject_aligned[start : start + width]
+            blocks.append(f"Q {q}\n  {m}\nS {s}")
+        header = (
+            f"{self.query_id} vs {self.subject_id}  "
+            f"score={self.score:.1f} identity={self.identity:.1%}"
+        )
+        return header + "\n" + "\n\n".join(blocks)
+
+
+def _fill_matrices(query, subject, scheme, local):
+    m, n = len(query), len(subject)
+    go, ge = scheme.gap_open, scheme.gap_extend
+    H = np.full((m + 1, n + 1), NEG)
+    E = np.full((m + 1, n + 1), NEG)  # gap in query (horizontal)
+    F = np.full((m + 1, n + 1), NEG)  # gap in subject (vertical)
+    H[0, 0] = 0.0
+    for j in range(1, n + 1):
+        E[0, j] = go + ge * j
+        H[0, j] = 0.0 if local else E[0, j]
+    for i in range(1, m + 1):
+        F[i, 0] = go + ge * i
+        H[i, 0] = 0.0 if local else F[i, 0]
+    for i in range(1, m + 1):
+        qi = int(query.codes[i - 1])
+        for j in range(1, n + 1):
+            sj = int(subject.codes[j - 1])
+            E[i, j] = max(E[i, j - 1] + ge, H[i, j - 1] + go + ge)
+            F[i, j] = max(F[i - 1, j] + ge, H[i - 1, j] + go + ge)
+            best = max(
+                H[i - 1, j - 1] + scheme.score(qi, sj), E[i, j], F[i, j]
+            )
+            H[i, j] = max(best, 0.0) if local else best
+    return H, E, F
+
+
+def _traceback(query, subject, scheme, H, E, F, i, j, local):
+    go, ge = scheme.gap_open, scheme.gap_extend
+    q_text, s_text = str(query), str(subject)
+    q_out: list[str] = []
+    s_out: list[str] = []
+    state = "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            if local and H[i, j] == 0.0:
+                break
+            if i > 0 and j > 0 and np.isclose(
+                H[i, j],
+                H[i - 1, j - 1]
+                + scheme.score(int(query.codes[i - 1]), int(subject.codes[j - 1])),
+            ):
+                q_out.append(q_text[i - 1])
+                s_out.append(s_text[j - 1])
+                i -= 1
+                j -= 1
+            elif j > 0 and np.isclose(H[i, j], E[i, j]):
+                state = "E"
+            elif i > 0 and np.isclose(H[i, j], F[i, j]):
+                state = "F"
+            else:  # pragma: no cover - would indicate a DP bug
+                raise RuntimeError(f"traceback stuck in H at ({i},{j})")
+        elif state == "E":
+            q_out.append("-")
+            s_out.append(s_text[j - 1])
+            closed = np.isclose(E[i, j], H[i, j - 1] + go + ge)
+            j -= 1
+            if closed:
+                state = "H"
+        else:  # state == "F"
+            q_out.append(q_text[i - 1])
+            s_out.append("-")
+            closed = np.isclose(F[i, j], H[i - 1, j] + go + ge)
+            i -= 1
+            if closed:
+                state = "H"
+    return "".join(reversed(q_out)), "".join(reversed(s_out)), i, j
+
+
+def global_align(
+    query: Sequence, subject: Sequence, scheme: ScoringScheme
+) -> Alignment:
+    """Full Needleman-Wunsch with traceback."""
+    _check_pair(query, subject, scheme)
+    H, E, F = _fill_matrices(query, subject, scheme, local=False)
+    m, n = len(query), len(subject)
+    q_aln, s_aln, _i, _j = _traceback(query, subject, scheme, H, E, F, m, n, False)
+    return Alignment(
+        query_id=query.seq_id,
+        subject_id=subject.seq_id,
+        score=float(H[m, n]),
+        query_aligned=q_aln,
+        subject_aligned=s_aln,
+    )
+
+
+def local_align(
+    query: Sequence, subject: Sequence, scheme: ScoringScheme
+) -> Alignment:
+    """Full Smith-Waterman with traceback of the best local hit."""
+    _check_pair(query, subject, scheme)
+    H, E, F = _fill_matrices(query, subject, scheme, local=True)
+    end = np.unravel_index(int(np.argmax(H)), H.shape)
+    i, j = int(end[0]), int(end[1])
+    score = float(H[i, j])
+    q_aln, s_aln, qi, sj = _traceback(query, subject, scheme, H, E, F, i, j, True)
+    return Alignment(
+        query_id=query.seq_id,
+        subject_id=subject.seq_id,
+        score=score,
+        query_aligned=q_aln,
+        subject_aligned=s_aln,
+        query_start=qi,
+        subject_start=sj,
+    )

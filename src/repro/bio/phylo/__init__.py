@@ -1,0 +1,78 @@
+"""Maximum-likelihood phylogenetics — the PAL-v1.4 replacement.
+
+Everything DPRml needs, implemented from scratch:
+
+* :mod:`repro.bio.phylo.tree` — binary trees over an unrooted topology
+  (root is a trifurcation), Newick I/O, edge insertion/removal.
+* :mod:`repro.bio.phylo.models` — DNA substitution models (JC69, K80,
+  F81, F84, HKY85, TN93, GTR) with discrete-Gamma rate heterogeneity;
+  "one of the most extensive ranges of DNA substitution models" is the
+  paper's claim for DPRml, so the whole family is here.
+* :mod:`repro.bio.phylo.alignment` — site-pattern-compressed alignments.
+* :mod:`repro.bio.phylo.likelihood` — Felsenstein pruning with per-node
+  scaling and dirty-node caching.
+* :mod:`repro.bio.phylo.optimize` — Brent branch-length optimisation.
+* :mod:`repro.bio.phylo.stepwise` — the fastDNAml-style stepwise
+  insertion search DPRml distributes.
+* :mod:`repro.bio.phylo.distances` / :mod:`simulate` — JC distances,
+  neighbour joining, and sequence evolution simulation for validation.
+"""
+
+from repro.bio.phylo.tree import Node, Tree, TreeError, parse_newick, rf_distance
+from repro.bio.phylo.models import (
+    GTR,
+    HKY85,
+    JC69,
+    K80,
+    F81,
+    F84,
+    TN93,
+    GammaRates,
+    SubstitutionModel,
+    model_by_name,
+)
+from repro.bio.phylo.alignment import SiteAlignment
+from repro.bio.phylo.likelihood import TreeLikelihood
+from repro.bio.phylo.optimize import optimize_all_branches, optimize_branch
+from repro.bio.phylo.distances import jc_distance_matrix, neighbor_joining
+from repro.bio.phylo.simulate import simulate_alignment
+from repro.bio.phylo.stepwise import StepwiseSearch, StepwiseResult
+from repro.bio.phylo.bootstrap import run_bootstrap
+from repro.bio.phylo.consensus import majority_consensus, strict_consensus
+from repro.bio.phylo.draw import ascii_outline, ascii_tree
+from repro.bio.phylo.estimate import fit_hky_gamma
+from repro.bio.phylo.nni import nni_search
+
+__all__ = [
+    "ascii_outline",
+    "ascii_tree",
+    "fit_hky_gamma",
+    "majority_consensus",
+    "nni_search",
+    "run_bootstrap",
+    "strict_consensus",
+    "F81",
+    "F84",
+    "GTR",
+    "GammaRates",
+    "HKY85",
+    "JC69",
+    "K80",
+    "Node",
+    "SiteAlignment",
+    "StepwiseResult",
+    "StepwiseSearch",
+    "SubstitutionModel",
+    "TN93",
+    "Tree",
+    "TreeError",
+    "TreeLikelihood",
+    "jc_distance_matrix",
+    "model_by_name",
+    "neighbor_joining",
+    "optimize_all_branches",
+    "optimize_branch",
+    "parse_newick",
+    "rf_distance",
+    "simulate_alignment",
+]

@@ -1,0 +1,90 @@
+"""Nonparametric bootstrap for phylogenies (Felsenstein 1985).
+
+Resample alignment columns with replacement, rebuild a tree per
+replicate, and report for each internal edge of a reference tree the
+fraction of replicates containing the same bipartition — the standard
+measure of clade support.  Replicates are independent, which makes the
+bootstrap the textbook task-farm workload; the distributed version
+lives in :mod:`repro.apps.dboot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bio.phylo.alignment import SiteAlignment
+from repro.bio.phylo.distances import jc_distance_matrix, neighbor_joining
+from repro.bio.phylo.tree import Tree
+
+
+def bootstrap_alignment(
+    alignment: SiteAlignment, rng: np.random.Generator
+) -> SiteAlignment:
+    """One bootstrap replicate: resample sites with replacement.
+
+    Operates in pattern space: resampling sites is equivalent to
+    drawing a multinomial over patterns with the original weights,
+    which avoids materialising the expanded alignment.
+    """
+    total = int(alignment.weights.sum())
+    probabilities = alignment.weights / alignment.weights.sum()
+    new_weights = rng.multinomial(total, probabilities)
+    keep = new_weights > 0
+    replicate = SiteAlignment.__new__(SiteAlignment)
+    replicate.names = list(alignment.names)
+    replicate.n_sites = total
+    replicate.patterns = alignment.patterns[:, keep].copy()
+    replicate.weights = new_weights[keep].astype(np.float64)
+    return replicate
+
+
+def nj_replicate_tree(alignment: SiteAlignment) -> Tree:
+    """The standard fast replicate builder: JC distances + NJ."""
+    return neighbor_joining(alignment.names, jc_distance_matrix(alignment))
+
+
+@dataclass(frozen=True, slots=True)
+class SupportedSplit:
+    """One reference bipartition with its bootstrap support."""
+
+    split: frozenset[str]
+    support: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.support <= 1.0):
+            raise ValueError("support must be in [0, 1]")
+
+
+def split_support(
+    reference: Tree, replicate_splits: list[set[frozenset[str]]]
+) -> list[SupportedSplit]:
+    """Support of each reference split across replicate split sets."""
+    if not replicate_splits:
+        raise ValueError("need at least one replicate")
+    n = len(replicate_splits)
+    supported = []
+    for split in sorted(reference.splits(), key=lambda s: (len(s), sorted(s))):
+        count = sum(1 for splits in replicate_splits if split in splits)
+        supported.append(SupportedSplit(split=split, support=count / n))
+    return supported
+
+
+def run_bootstrap(
+    alignment: SiteAlignment,
+    replicates: int = 100,
+    seed: int = 0,
+    reference: Tree | None = None,
+) -> tuple[Tree, list[SupportedSplit]]:
+    """Sequential bootstrap (the in-process reference implementation)."""
+    if replicates < 1:
+        raise ValueError("need at least one replicate")
+    rng = np.random.default_rng(seed)
+    if reference is None:
+        reference = nj_replicate_tree(alignment)
+    all_splits = []
+    for _ in range(replicates):
+        replicate = bootstrap_alignment(alignment, rng)
+        all_splits.append(nj_replicate_tree(replicate).splits())
+    return reference, split_support(reference, all_splits)

@@ -1,0 +1,120 @@
+"""Consensus trees: combining many estimates into one summary.
+
+DPRml users "generally run stochastic algorithms ... a number of
+times" (the paper's justification for Fig. 2's six instances); the
+standard way to summarise the resulting tree set — or a set of
+bootstrap replicates — is the **majority-rule consensus**: keep every
+bipartition appearing in more than half the input trees (they are
+guaranteed mutually compatible), then assemble them into one tree
+whose internal nodes carry their support frequencies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.bio.phylo.tree import Node, Tree, TreeError
+
+
+@dataclass(frozen=True, slots=True)
+class ConsensusSplit:
+    """One consensus bipartition with its input frequency."""
+
+    split: frozenset[str]
+    frequency: float
+
+
+def _validate_inputs(trees: list[Tree]) -> list[str]:
+    if not trees:
+        raise ValueError("need at least one input tree")
+    names = sorted(trees[0].leaf_names())
+    for tree in trees[1:]:
+        if sorted(tree.leaf_names()) != names:
+            raise TreeError("consensus requires a common leaf set")
+    return names
+
+
+def majority_splits(
+    trees: list[Tree], threshold: float = 0.5
+) -> list[ConsensusSplit]:
+    """Bipartitions occurring in more than ``threshold`` of the trees.
+
+    ``threshold`` must be at least 0.5: above one half, any two
+    surviving splits are automatically compatible (they cannot both be
+    in the majority and conflict), which is what makes the consensus
+    tree well-defined.
+    """
+    if not (0.5 <= threshold < 1.0):
+        raise ValueError("threshold must be in [0.5, 1)")
+    _validate_inputs(trees)
+    counts: Counter[frozenset[str]] = Counter()
+    for tree in trees:
+        counts.update(tree.splits())
+    n = len(trees)
+    out = [
+        ConsensusSplit(split=split, frequency=count / n)
+        for split, count in counts.items()
+        if count / n > threshold
+    ]
+    # Big clades first so nesting during assembly is single-pass.
+    out.sort(key=lambda c: (-len(c.split), sorted(c.split)))
+    return out
+
+
+def majority_consensus(
+    trees: list[Tree], threshold: float = 0.5
+) -> tuple[Tree, list[ConsensusSplit]]:
+    """Build the majority-rule consensus tree.
+
+    Returns ``(tree, splits)`` where internal node *names* carry the
+    split frequency as a percentage (the way published trees label
+    support).  Splits not in the majority collapse into polytomies.
+    """
+    names = _validate_inputs(trees)
+    splits = majority_splits(trees, threshold)
+
+    root = Node()
+    leaf_nodes: dict[str, Node] = {}
+    for name in names:
+        leaf_nodes[name] = root.add_child(Node(name, branch_length=1.0))
+
+    # Insert splits from largest to smallest: gather the members'
+    # current top-level subtrees under a fresh internal node.
+    membership: dict[str, Node] = dict(leaf_nodes)  # leaf -> containing subtree root
+    for cons in splits:
+        holders = {membership[name] for name in cons.split}
+        parents = {id(h.parent) for h in holders}
+        if len(parents) != 1:
+            # Incompatible with an already-inserted split; cannot happen
+            # above 50% but guard against threshold misuse.
+            raise TreeError(f"split {sorted(cons.split)} incompatible with consensus")
+        parent = next(iter(holders)).parent
+        fresh = Node(f"{cons.frequency * 100:.0f}", branch_length=1.0)
+        for holder in sorted(holders, key=lambda h: min(_leafset(h))):
+            holder.detach()
+            fresh.add_child(holder)
+        parent.add_child(fresh)
+        # All members now live under `fresh`.
+        for name in cons.split:
+            membership[name] = fresh
+
+    return Tree(root), splits
+
+
+def _leafset(node: Node) -> set[str]:
+    out = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            out.add(current.name)
+        stack.extend(current.children)
+    return out
+
+
+def strict_consensus(trees: list[Tree]) -> tuple[Tree, list[ConsensusSplit]]:
+    """Consensus of splits present in *every* input tree."""
+    _validate_inputs(trees)
+    # A threshold just below 1 keeps only splits with count == len(trees).
+    return majority_consensus(trees, threshold=1.0 - 0.5 / max(1, len(trees)))

@@ -1,0 +1,106 @@
+"""ASCII rendering of phylogenetic trees.
+
+Terminal-friendly output for the CLI tools and examples — a user who
+just reconstructed a tree wants to *see* it without leaving the shell.
+Two renderings:
+
+* :func:`ascii_tree` — a left-to-right cladogram with box-drawing
+  connectors; branch lengths optionally scale the horizontal spans.
+* :func:`ascii_outline` — an indented outline (one node per line) that
+  is diff-friendly and shows exact branch lengths.
+"""
+
+from __future__ import annotations
+
+from repro.bio.phylo.tree import Node, Tree
+
+
+def ascii_outline(tree: Tree, lengths: bool = True) -> str:
+    """Indented one-node-per-line rendering."""
+    lines: list[str] = []
+
+    def visit(node: Node, depth: int) -> None:
+        label = node.name or "*"
+        if lengths and node.parent is not None:
+            label += f" :{node.branch_length:.4g}"
+        lines.append("  " * depth + label)
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(tree.root, 0)
+    return "\n".join(lines)
+
+
+def ascii_tree(
+    tree: Tree,
+    width: int = 60,
+    use_lengths: bool = True,
+) -> str:
+    """Left-to-right cladogram with box-drawing characters.
+
+    Parameters
+    ----------
+    width:
+        Target column for the leaf labels.
+    use_lengths:
+        Scale horizontal runs by branch length (a true phylogram);
+        otherwise every edge gets equal width (a cladogram).
+    """
+    if width < 20:
+        raise ValueError("width must be at least 20 columns")
+    # Horizontal position of each node.
+    xpos: dict[Node, float] = {tree.root: 0.0}
+    max_x = 0.0
+    for node in tree.preorder():
+        if node.parent is not None:
+            step = node.branch_length if use_lengths else 1.0
+            xpos[node] = xpos[node.parent] + max(step, 1e-9)
+            max_x = max(max_x, xpos[node])
+    if max_x <= 0:
+        max_x = 1.0
+    scale = (width - 12) / max_x
+
+    def col(node: Node) -> int:
+        return 2 + int(round(xpos[node] * scale))
+
+    # Vertical position: leaves get consecutive rows, internals center
+    # over their children.
+    row: dict[Node, int] = {}
+    next_row = 0
+    for node in tree.postorder():
+        if node.is_leaf:
+            row[node] = next_row
+            next_row += 2
+        else:
+            rows = [row[c] for c in node.children]
+            row[node] = (min(rows) + max(rows)) // 2
+
+    height = next_row - 1
+    grid = [[" "] * (width + 20) for _ in range(height)]
+
+    def put(r: int, c: int, text: str) -> None:
+        for offset, ch in enumerate(text):
+            if 0 <= r < height and 0 <= c + offset < len(grid[0]):
+                grid[r][c + offset] = ch
+
+    for node in tree.postorder():
+        r, c = row[node], col(node)
+        if node.is_leaf:
+            put(r, c + 1, f" {node.name}")
+        if node.children:
+            child_rows = [row[ch] for ch in node.children]
+            top, bottom = min(child_rows), max(child_rows)
+            for rr in range(top, bottom + 1):
+                put(rr, c, "|")
+            put(r, c, "+")
+            for child in node.children:
+                cr, cc = row[child], col(child)
+                put(cr, c, "+")
+                for x in range(c + 1, cc):
+                    put(cr, x, "-")
+        if node.parent is not None:
+            # the horizontal run from the parent junction is drawn by
+            # the parent above; nothing more to do here.
+            pass
+
+    return "\n".join("".join(line).rstrip() for line in grid)

@@ -1,0 +1,247 @@
+"""DNA substitution models.
+
+Every model is a time-reversible continuous-time Markov chain on
+{A, C, G, T} defined by symmetric exchangeabilities ``R`` and stationary
+frequencies ``π``: ``Q[i,j] = R[i,j]·π[j]`` for ``i≠j``, diagonal set so
+rows sum to zero, and the whole matrix scaled so the expected
+substitution rate at stationarity is 1 — branch lengths are then in
+expected substitutions per site, the standard unit.
+
+Transition matrices ``P(t) = exp(Qt)`` come from the symmetrised
+eigendecomposition (exact for reversible models, no Padé iteration):
+with ``D = diag(√π)``, ``B = D·Q·D⁻¹`` is symmetric, so
+``P(t) = D⁻¹·U·exp(Λt)·Uᵀ·D``.
+
+Rate heterogeneity across sites uses Yang's (1994) discrete Gamma:
+``K`` equal-probability categories, each represented by its mean rate,
+with overall mean exactly 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammainc
+from scipy.stats import gamma as gamma_dist
+
+#: Nucleotide order everywhere: A, C, G, T (matches the DNA alphabet).
+N_STATES = 4
+
+_PURINES = (0, 2)  # A, G
+_PYRIMIDINES = (1, 3)  # C, T
+
+
+def _validate_freqs(freqs: np.ndarray) -> np.ndarray:
+    freqs = np.asarray(freqs, dtype=np.float64)
+    if freqs.shape != (N_STATES,):
+        raise ValueError(f"need {N_STATES} frequencies, got shape {freqs.shape}")
+    if (freqs <= 0).any():
+        raise ValueError("all base frequencies must be positive")
+    if not np.isclose(freqs.sum(), 1.0):
+        raise ValueError(f"frequencies must sum to 1, got {freqs.sum()}")
+    return freqs / freqs.sum()
+
+
+class SubstitutionModel:
+    """A reversible DNA model built from exchangeabilities and π."""
+
+    def __init__(self, name: str, exchangeabilities: np.ndarray, freqs: np.ndarray):
+        R = np.asarray(exchangeabilities, dtype=np.float64)
+        if R.shape != (N_STATES, N_STATES):
+            raise ValueError(f"exchangeability matrix must be 4x4, got {R.shape}")
+        if not np.allclose(R, R.T):
+            raise ValueError("exchangeabilities must be symmetric")
+        if (R[~np.eye(N_STATES, dtype=bool)] <= 0).any():
+            raise ValueError("off-diagonal exchangeabilities must be positive")
+        self.name = name
+        self.freqs = _validate_freqs(freqs)
+        self.R = R
+
+        Q = R * self.freqs[None, :]
+        np.fill_diagonal(Q, 0.0)
+        np.fill_diagonal(Q, -Q.sum(axis=1))
+        # Normalise: expected rate  −Σ πᵢ Qᵢᵢ  = 1.
+        mu = -float(np.dot(self.freqs, np.diag(Q)))
+        if mu <= 0:
+            raise ValueError("degenerate rate matrix")
+        self.Q = Q / mu
+
+        sqrt_pi = np.sqrt(self.freqs)
+        B = (sqrt_pi[:, None] * self.Q) / sqrt_pi[None, :]
+        eigvals, eigvecs = np.linalg.eigh((B + B.T) / 2.0)
+        self._eigvals = eigvals
+        self._left = eigvecs.T * sqrt_pi[None, :]          # Uᵀ·D
+        self._right = (1.0 / sqrt_pi)[:, None] * eigvecs   # D⁻¹·U
+
+    def transition_matrix(self, t: float, rate: float = 1.0) -> np.ndarray:
+        """``P(rate·t)`` for one branch length (rows sum to 1)."""
+        if t < 0:
+            raise ValueError(f"negative branch length {t}")
+        exp_diag = np.exp(self._eigvals * (t * rate))
+        P = (self._right * exp_diag[None, :]) @ self._left
+        # Clip tiny negative round-off so downstream probabilities stay valid.
+        np.clip(P, 0.0, None, out=P)
+        return P / P.sum(axis=1, keepdims=True)
+
+    def transition_matrices(
+        self, t: float, rates: np.ndarray
+    ) -> np.ndarray:
+        """Stack of ``P(rate_k · t)`` over rate categories: (K, 4, 4)."""
+        return np.stack([self.transition_matrix(t, float(r)) for r in rates])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SubstitutionModel({self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# The model family (in increasing generality)
+# ---------------------------------------------------------------------------
+
+_UNIFORM = np.full(N_STATES, 0.25)
+
+
+def _kappa_exchange(kappa: float) -> np.ndarray:
+    """Transitions (A<->G, C<->T) kappa times faster than transversions."""
+    if kappa <= 0:
+        raise ValueError("kappa must be positive")
+    R = np.ones((N_STATES, N_STATES))
+    R[0, 2] = R[2, 0] = kappa
+    R[1, 3] = R[3, 1] = kappa
+    np.fill_diagonal(R, 0.0)
+    return R
+
+
+def JC69() -> SubstitutionModel:
+    """Jukes-Cantor 1969: equal rates, equal frequencies."""
+    return SubstitutionModel("JC69", _kappa_exchange(1.0), _UNIFORM)
+
+
+def K80(kappa: float = 2.0) -> SubstitutionModel:
+    """Kimura 1980: transition/transversion ratio, equal frequencies."""
+    return SubstitutionModel(f"K80(k={kappa:g})", _kappa_exchange(kappa), _UNIFORM)
+
+
+def F81(freqs) -> SubstitutionModel:
+    """Felsenstein 1981: unequal frequencies, equal exchangeabilities."""
+    return SubstitutionModel("F81", _kappa_exchange(1.0), freqs)
+
+
+def HKY85(kappa: float, freqs) -> SubstitutionModel:
+    """Hasegawa-Kishino-Yano 1985: kappa + unequal frequencies."""
+    return SubstitutionModel(
+        f"HKY85(k={kappa:g})", _kappa_exchange(kappa), freqs
+    )
+
+
+def F84(kappa: float, freqs) -> SubstitutionModel:
+    """Felsenstein 1984 (as in PHYLIP/PAL): transition bias split by
+    purine/pyrimidine frequencies."""
+    if kappa <= 0:
+        raise ValueError("kappa must be positive")
+    freqs = _validate_freqs(np.asarray(freqs, dtype=np.float64))
+    pi_r = freqs[list(_PURINES)].sum()
+    pi_y = freqs[list(_PYRIMIDINES)].sum()
+    R = np.ones((N_STATES, N_STATES))
+    R[0, 2] = R[2, 0] = 1.0 + kappa / pi_r
+    R[1, 3] = R[3, 1] = 1.0 + kappa / pi_y
+    np.fill_diagonal(R, 0.0)
+    return SubstitutionModel(f"F84(k={kappa:g})", R, freqs)
+
+
+def TN93(kappa_r: float, kappa_y: float, freqs) -> SubstitutionModel:
+    """Tamura-Nei 1993: separate purine and pyrimidine transition rates."""
+    if kappa_r <= 0 or kappa_y <= 0:
+        raise ValueError("kappas must be positive")
+    R = np.ones((N_STATES, N_STATES))
+    R[0, 2] = R[2, 0] = kappa_r
+    R[1, 3] = R[3, 1] = kappa_y
+    np.fill_diagonal(R, 0.0)
+    return SubstitutionModel(f"TN93({kappa_r:g},{kappa_y:g})", R, freqs)
+
+
+def GTR(rates, freqs) -> SubstitutionModel:
+    """General time-reversible: six exchangeabilities
+    (AC, AG, AT, CG, CT, GT order) + frequencies."""
+    rates = np.asarray(rates, dtype=np.float64)
+    if rates.shape != (6,):
+        raise ValueError("GTR needs exactly six exchangeabilities")
+    if (rates <= 0).any():
+        raise ValueError("GTR exchangeabilities must be positive")
+    ac, ag, at, cg, ct, gt = rates
+    R = np.array(
+        [
+            [0.0, ac, ag, at],
+            [ac, 0.0, cg, ct],
+            [ag, cg, 0.0, gt],
+            [at, ct, gt, 0.0],
+        ]
+    )
+    return SubstitutionModel("GTR", R, freqs)
+
+
+def model_by_name(name: str, **params) -> SubstitutionModel:
+    """Configuration-file model lookup (DPRml's ``model =`` key).
+
+    Recognised names: jc69, k80, f81, f84, hky85, tn93, gtr.  Parameters
+    not supplied fall back to neutral defaults (kappa=2, uniform π,
+    unit GTR rates).
+    """
+    key = name.lower()
+    freqs = params.get("freqs", _UNIFORM)
+    kappa = params.get("kappa", 2.0)
+    if key == "jc69":
+        return JC69()
+    if key == "k80":
+        return K80(kappa)
+    if key == "f81":
+        return F81(freqs)
+    if key == "f84":
+        return F84(kappa, freqs)
+    if key == "hky85":
+        return HKY85(kappa, freqs)
+    if key == "tn93":
+        return TN93(params.get("kappa_r", kappa), params.get("kappa_y", kappa), freqs)
+    if key == "gtr":
+        return GTR(params.get("rates", np.ones(6)), freqs)
+    raise ValueError(f"unknown substitution model {name!r}")
+
+
+class GammaRates:
+    """Discrete-Gamma site-rate heterogeneity (Yang 1994).
+
+    ``K`` equal-probability categories; category *k*'s rate is the mean
+    of the Gamma(α, 1/α) distribution over its quantile slice, so the
+    rates average exactly 1.
+    """
+
+    def __init__(self, alpha: float, categories: int = 4):
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if categories < 1:
+            raise ValueError("need at least one category")
+        self.alpha = alpha
+        self.categories = categories
+        if categories == 1:
+            self.rates = np.ones(1)
+        else:
+            k = categories
+            cuts = gamma_dist.ppf(np.arange(1, k) / k, alpha, scale=1.0 / alpha)
+            bounds = np.concatenate(([0.0], cuts, [np.inf]))
+            # E[X · 1{X<q}] for Gamma(a, scale s) is a·s·gammainc(a+1, q/s);
+            # here a·s = 1.
+            upper = gammainc(alpha + 1, bounds[1:] * alpha)
+            lower = gammainc(alpha + 1, bounds[:-1] * alpha)
+            self.rates = (upper - lower) * k
+        self.weights = np.full(self.categories, 1.0 / self.categories)
+
+    @classmethod
+    def uniform(cls) -> "GammaRates":
+        """The no-heterogeneity special case (one category, rate 1)."""
+        rates = cls.__new__(cls)
+        rates.alpha = np.inf
+        rates.categories = 1
+        rates.rates = np.ones(1)
+        rates.weights = np.ones(1)
+        return rates
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GammaRates(alpha={self.alpha}, K={self.categories})"

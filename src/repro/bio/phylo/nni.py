@@ -1,0 +1,161 @@
+"""Nearest-neighbour-interchange (NNI) local rearrangements.
+
+Stepwise insertion is greedy; fastDNAml and its parallel descendants
+[15, 16 in the paper] follow each insertion phase with local
+rearrangements to escape the worst local optima.  An NNI acts on an
+internal edge: the four subtrees around it can be joined in three
+topologies, two of which differ from the current one.
+
+``nni_candidates`` enumerates the rearrangements as independent,
+serialisable tasks (tree text + edge index + which swap), so a
+distributed searcher can farm them out exactly like placements;
+``nni_search`` is the in-process hill climber built on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.phylo.alignment import SiteAlignment
+from repro.bio.phylo.likelihood import TreeLikelihood
+from repro.bio.phylo.models import GammaRates, SubstitutionModel
+from repro.bio.phylo.optimize import optimize_branch
+from repro.bio.phylo.tree import Node, Tree, TreeError, parse_newick
+
+
+@dataclass(frozen=True, slots=True)
+class NNIMove:
+    """One candidate rearrangement: swap child *swap_child* of the edge's
+    lower node with the edge node's sibling."""
+
+    edge_index: int
+    swap_child: int  # 0 or 1
+
+    def __post_init__(self) -> None:
+        if self.swap_child not in (0, 1):
+            raise ValueError("swap_child must be 0 or 1")
+
+
+@dataclass(frozen=True, slots=True)
+class NNIScore:
+    """Outcome of evaluating one NNI move."""
+
+    move: NNIMove
+    log_likelihood: float
+
+
+def internal_edges(tree: Tree) -> list[int]:
+    """Edge indices whose child end is internal with two children —
+    the edges on which NNI is defined."""
+    return [
+        index
+        for index, node in enumerate(tree.edges())
+        if not node.is_leaf and len(node.children) == 2 and node.parent is not None
+    ]
+
+
+def nni_candidates(tree: Tree) -> list[NNIMove]:
+    """All NNI moves on the current topology (2 per internal edge)."""
+    return [
+        NNIMove(edge_index, swap)
+        for edge_index in internal_edges(tree)
+        for swap in (0, 1)
+    ]
+
+
+def _sibling(node: Node) -> Node:
+    parent = node.parent
+    if parent is None:
+        raise TreeError("root has no sibling")
+    others = [c for c in parent.children if c is not node]
+    if not others:
+        raise TreeError("node has no sibling")
+    # With a trifurcating root there can be two "siblings"; NNI uses the
+    # first in child order, deterministically.
+    return others[0]
+
+
+def apply_nni(tree: Tree, move: NNIMove) -> None:
+    """Perform *move* on *tree* in place.
+
+    Swaps one child of the edge's lower node with the lower node's
+    sibling (the classic NNI around the edge ``node → parent``).
+
+    The move's edge index is interpreted against the tree's *current*
+    postorder, so apply moves one at a time to the tree they were
+    enumerated on (rearranging shifts postorder positions).
+    """
+    edges = tree.edges()
+    if not (0 <= move.edge_index < len(edges)):
+        raise IndexError(f"edge {move.edge_index} out of range")
+    node = edges[move.edge_index]
+    if node.is_leaf or len(node.children) != 2:
+        raise TreeError("NNI requires an internal edge with two children")
+    parent = node.parent
+    sibling = _sibling(node)
+    child = node.children[move.swap_child]
+
+    # Swap `child` and `sibling` between node and parent, keeping each
+    # one's branch length with it (standard NNI convention).
+    child_pos = node.children.index(child)
+    sib_pos = parent.children.index(sibling)
+    node.children[child_pos] = sibling
+    parent.children[sib_pos] = child
+    child.parent = parent
+    sibling.parent = node
+
+
+def evaluate_nni(
+    tree_newick: str,
+    move: NNIMove,
+    alignment: SiteAlignment,
+    model: SubstitutionModel,
+    rates: GammaRates | None = None,
+    optimize_edge: bool = True,
+) -> NNIScore:
+    """Score one NNI move on a serialized tree (donor-executable)."""
+    tree = parse_newick(tree_newick)
+    apply_nni(tree, move)
+    sub = alignment.subset(tree.leaf_names())
+    tl = TreeLikelihood(tree, sub, model, rates)
+    if optimize_edge:
+        edge_node = tree.edges()[move.edge_index]
+        loglik = optimize_branch(tl, edge_node, tol=1e-4)
+    else:
+        loglik = tl.log_likelihood()
+    return NNIScore(move=move, log_likelihood=loglik)
+
+
+def nni_search(
+    tree: Tree,
+    alignment: SiteAlignment,
+    model: SubstitutionModel,
+    rates: GammaRates | None = None,
+    max_rounds: int = 10,
+    min_improvement: float = 1e-3,
+) -> tuple[Tree, float, int]:
+    """Hill-climb with NNI until no move improves the likelihood.
+
+    Returns ``(tree, log_likelihood, rounds_used)``.  The input tree is
+    not modified; work happens on a copy.
+    """
+    current = tree.copy()
+    sub = alignment.subset(current.leaf_names())
+    best_ll = TreeLikelihood(current, sub, model, rates).log_likelihood()
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        newick = current.newick()
+        best_move: NNIScore | None = None
+        for move in nni_candidates(current):
+            score = evaluate_nni(newick, move, alignment, model, rates)
+            if best_move is None or score.log_likelihood > best_move.log_likelihood:
+                best_move = score
+        if best_move is None or best_move.log_likelihood <= best_ll + min_improvement:
+            break
+        apply_nni(current, best_move.move)
+        sub = alignment.subset(current.leaf_names())
+        tl = TreeLikelihood(current, sub, model, rates)
+        edge_node = current.edges()[best_move.move.edge_index]
+        best_ll = optimize_branch(tl, edge_node, tol=1e-4)
+    return current, best_ll, rounds

@@ -1,0 +1,396 @@
+"""Phylogenetic trees and Newick I/O.
+
+Topologies are *unrooted* (what maximum likelihood under reversible
+models actually infers) but stored *rooted at a trifurcation*: the root
+has three children for trees of three or more taxa and every other
+internal node is binary — the classic fastDNAml/PAL representation.
+Likelihood is invariant to the root placement (the pulley principle),
+which the test suite verifies.
+
+Every non-root node identifies the **edge** between it and its parent;
+edge-indexed operations (insert a taxon on edge *k*, enumerate edges)
+use postorder position, which is deterministic and survives a
+Newick round trip — that is what lets a DPRml donor receive a tree as
+text plus an edge index and reconstruct the exact placement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+
+class TreeError(ValueError):
+    """Structural violation or malformed Newick."""
+
+
+class Node:
+    """One tree node; ``branch_length`` is the edge to its parent."""
+
+    __slots__ = ("name", "children", "parent", "branch_length")
+
+    def __init__(self, name: str = "", branch_length: float = 0.0):
+        self.name = name
+        self.children: list[Node] = []
+        self.parent: Node | None = None
+        self.branch_length = branch_length
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def add_child(self, child: "Node") -> "Node":
+        if child.parent is not None:
+            raise TreeError(f"node {child.name!r} already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def detach(self) -> "Node":
+        """Remove this node (and its subtree) from its parent."""
+        if self.parent is None:
+            raise TreeError("cannot detach the root")
+        self.parent.children.remove(self)
+        self.parent = None
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "leaf" if self.is_leaf else f"internal({len(self.children)})"
+        return f"Node({self.name!r}, {kind}, bl={self.branch_length:.4g})"
+
+
+class Tree:
+    """A tree built around one root node."""
+
+    def __init__(self, root: Node):
+        self.root = root
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def star(cls, names: list[str], branch_length: float = 0.1) -> "Tree":
+        """A star over *names* — the 3-taxon start of stepwise insertion."""
+        if len(names) < 2:
+            raise TreeError("a star tree needs at least two leaves")
+        if len(set(names)) != len(names):
+            raise TreeError("leaf names must be unique")
+        root = Node()
+        for name in names:
+            root.add_child(Node(name, branch_length))
+        return cls(root)
+
+    def copy(self) -> "Tree":
+        """Deep structural copy (names and branch lengths)."""
+
+        def clone(node: Node) -> Node:
+            fresh = Node(node.name, node.branch_length)
+            for child in node.children:
+                fresh.add_child(clone(child))
+            return fresh
+
+        return Tree(clone(self.root))
+
+    # -- traversal -----------------------------------------------------------
+
+    def postorder(self) -> Iterator[Node]:
+        """Children before parents; deterministic (child list order)."""
+        stack: list[tuple[Node, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+
+    def preorder(self) -> Iterator[Node]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in reversed(node.children):
+                stack.append(child)
+
+    def nodes(self) -> list[Node]:
+        return list(self.postorder())
+
+    def leaves(self) -> list[Node]:
+        return [n for n in self.postorder() if n.is_leaf]
+
+    def leaf_names(self) -> list[str]:
+        return [n.name for n in self.leaves()]
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves())
+
+    def edges(self) -> list[Node]:
+        """Every edge as its child node, in postorder.
+
+        Postorder position is the canonical **edge index** used across
+        process boundaries (see module docstring).
+        """
+        return [n for n in self.postorder() if n.parent is not None]
+
+    def find(self, name: str) -> Node:
+        for node in self.postorder():
+            if node.name == name:
+                return node
+        raise TreeError(f"no node named {name!r}")
+
+    def total_branch_length(self) -> float:
+        return sum(n.branch_length for n in self.postorder() if n.parent is not None)
+
+    # -- topology editing ------------------------------------------------
+
+    def insert_on_edge(
+        self,
+        edge: Node,
+        leaf_name: str,
+        leaf_branch: float = 0.1,
+        split: float = 0.5,
+    ) -> tuple[Node, Node]:
+        """Attach a new leaf in the middle of *edge*.
+
+        The edge ``(edge → parent)`` of length *b* becomes
+        ``edge → v`` (length ``b·split``) and ``v → parent`` (length
+        ``b·(1−split)``), with the new leaf hanging off ``v``.
+
+        Returns ``(v, leaf)`` so the insertion can be undone with
+        :meth:`remove_insertion`.
+        """
+        parent = edge.parent
+        if parent is None:
+            raise TreeError("cannot insert on the root (it has no edge)")
+        if not (0.0 < split < 1.0):
+            raise TreeError(f"split must be in (0, 1), got {split}")
+        b = edge.branch_length
+        v = Node("", branch_length=b * (1.0 - split))
+        # Keep the child position stable for deterministic traversal.
+        position = parent.children.index(edge)
+        parent.children[position] = v
+        v.parent = parent
+        edge.parent = None
+        edge.branch_length = b * split
+        v.add_child(edge)
+        leaf = v.add_child(Node(leaf_name, leaf_branch))
+        return v, leaf
+
+    def remove_insertion(self, v: Node) -> Node:
+        """Undo :meth:`insert_on_edge`: collapse *v* and detach its leaf.
+
+        Returns the removed leaf.  The original edge's branch length is
+        restored as the sum of the two halves (so an insert/remove pair
+        is exactly identity when lengths were not re-optimised).
+        """
+        if len(v.children) != 2 or v.parent is None:
+            raise TreeError("not an insertion node")
+        child, leaf = v.children
+        if not leaf.is_leaf:
+            child, leaf = leaf, child
+        if not leaf.is_leaf:
+            raise TreeError("insertion node has no leaf child")
+        parent = v.parent
+        position = parent.children.index(v)
+        child.branch_length += v.branch_length
+        v.children = []
+        child.parent = None
+        leaf.parent = None
+        parent.children[position] = child
+        child.parent = parent
+        v.parent = None
+        return leaf
+
+    def rerooted(self, at: Node) -> "Tree":
+        """A fresh tree over the same unrooted topology, rooted at *at*.
+
+        *at* must be an internal node of this tree.  Edge lengths are
+        preserved; under a reversible model the likelihood is invariant
+        to this operation (Felsenstein's pulley principle), which the
+        test suite uses as a correctness oracle.
+        """
+        if at.is_leaf:
+            raise TreeError("cannot reroot at a leaf (it would hide its data)")
+        adjacency: dict[Node, list[tuple[Node, float]]] = {}
+        for node in self.postorder():
+            if node.parent is not None:
+                adjacency.setdefault(node, []).append(
+                    (node.parent, node.branch_length)
+                )
+                adjacency.setdefault(node.parent, []).append(
+                    (node, node.branch_length)
+                )
+        new_root = Node(at.name)
+        stack: list[tuple[Node, Node, Node | None]] = [(at, new_root, None)]
+        while stack:
+            old, fresh, came_from = stack.pop()
+            for neighbor, length in adjacency.get(old, ()):
+                if neighbor is came_from:
+                    continue
+                child = Node(neighbor.name, length)
+                fresh.add_child(child)
+                stack.append((neighbor, child, old))
+        return Tree(new_root)
+
+    # -- comparison ----------------------------------------------------------
+
+    def splits(self) -> set[frozenset[str]]:
+        """Non-trivial bipartitions, each named by its smaller leaf set
+        (by sorted-name tie break), for Robinson-Foulds comparison."""
+        all_names = frozenset(self.leaf_names())
+        below: dict[Node, frozenset[str]] = {}
+        result: set[frozenset[str]] = set()
+        for node in self.postorder():
+            if node.is_leaf:
+                below[node] = frozenset((node.name,))
+            else:
+                below[node] = frozenset().union(*(below[c] for c in node.children))
+            if node.parent is not None and not node.is_leaf:
+                side = below[node]
+                other = all_names - side
+                if len(side) >= 2 and len(other) >= 2:
+                    canonical = min(side, other, key=lambda s: (len(s), sorted(s)))
+                    result.add(canonical)
+        return result
+
+    # -- Newick ----------------------------------------------------------------
+
+    def newick(self, lengths: bool = True, precision: int = 10) -> str:
+        """Serialize to Newick text (deterministic child order)."""
+
+        def render(node: Node) -> str:
+            if node.is_leaf:
+                label = _quote_name(node.name)
+            else:
+                inner = ",".join(render(c) for c in node.children)
+                label = f"({inner}){_quote_name(node.name)}"
+            if lengths and node.parent is not None:
+                label += f":{node.branch_length:.{precision}g}"
+            return label
+
+        return render(self.root) + ";"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Tree({self.n_leaves} leaves)"
+
+
+def _quote_name(name: str) -> str:
+    if not name:
+        return ""
+    if any(ch in name for ch in "();,: \t'\""):
+        escaped = name.replace("'", "''")
+        return f"'{escaped}'"
+    return name
+
+
+def rf_distance(a: Tree, b: Tree) -> int:
+    """Robinson-Foulds distance: splits present in exactly one tree."""
+    if sorted(a.leaf_names()) != sorted(b.leaf_names()):
+        raise TreeError("trees must share the same leaf set")
+    return len(a.splits() ^ b.splits())
+
+
+# ---------------------------------------------------------------------------
+# Newick parsing (recursive descent)
+# ---------------------------------------------------------------------------
+
+
+class _NewickParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> TreeError:
+        return TreeError(f"newick:{self.pos}: {message}")
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def take(self) -> str:
+        ch = self.peek()
+        self.pos += 1
+        return ch
+
+    def skip_ws(self) -> None:
+        # Note: peek() returns "" at EOF, and `"" in " \t"` is True
+        # (empty substring), so the emptiness check is load-bearing.
+        while self.peek() != "" and self.peek() in " \t\n\r":
+            self.pos += 1
+
+    def parse(self) -> Node:
+        self.skip_ws()
+        node = self.parse_node()
+        self.skip_ws()
+        if self.peek() != ";":
+            raise self.error("expected ';' at end of tree")
+        self.take()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing characters after ';'")
+        return node
+
+    def parse_node(self) -> Node:
+        self.skip_ws()
+        node = Node()
+        if self.peek() == "(":
+            self.take()
+            while True:
+                node.add_child(self.parse_node())
+                self.skip_ws()
+                ch = self.take()
+                if ch == ",":
+                    continue
+                if ch == ")":
+                    break
+                raise self.error(f"expected ',' or ')', got {ch!r}")
+        node.name = self.parse_name()
+        self.skip_ws()
+        if self.peek() == ":":
+            self.take()
+            node.branch_length = self.parse_number()
+        return node
+
+    def parse_name(self) -> str:
+        self.skip_ws()
+        if self.peek() == "'":
+            self.take()
+            out = []
+            while True:
+                ch = self.take()
+                if not ch:
+                    raise self.error("unterminated quoted name")
+                if ch == "'":
+                    if self.peek() == "'":  # escaped quote
+                        out.append(self.take())
+                    else:
+                        break
+                else:
+                    out.append(ch)
+            return "".join(out)
+        out = []
+        while self.peek() and self.peek() not in "();,:":
+            out.append(self.take())
+        return "".join(out).strip()
+
+    def parse_number(self) -> float:
+        self.skip_ws()
+        start = self.pos
+        while self.peek() and self.peek() in "+-0123456789.eE":
+            self.take()
+        token = self.text[start : self.pos]
+        try:
+            value = float(token)
+        except ValueError:
+            raise self.error(f"bad branch length {token!r}") from None
+        if value < 0:
+            raise self.error(f"negative branch length {value}")
+        return value
+
+
+def parse_newick(text: str) -> Tree:
+    """Parse one Newick tree."""
+    tree = Tree(_NewickParser(text).parse())
+    names = tree.leaf_names()
+    if len(set(names)) != len(names):
+        raise TreeError("duplicate leaf names in newick input")
+    return tree

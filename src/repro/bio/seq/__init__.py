@@ -1,0 +1,25 @@
+"""Biological sequences: alphabets, FASTA I/O, synthetic data."""
+
+from repro.bio.seq.alphabet import DNA, PROTEIN, Alphabet
+from repro.bio.seq.sequence import Sequence
+from repro.bio.seq.fasta import parse_fasta, read_fasta, write_fasta
+from repro.bio.seq.generate import (
+    mutate_sequence,
+    random_database,
+    random_sequence,
+    seeded_database,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "PROTEIN",
+    "Sequence",
+    "mutate_sequence",
+    "parse_fasta",
+    "random_database",
+    "random_sequence",
+    "read_fasta",
+    "seeded_database",
+    "write_fasta",
+]

@@ -1,0 +1,80 @@
+"""Sequence alphabets with dense integer encodings.
+
+Alignment kernels and likelihood calculations index substitution
+matrices by residue code, so every alphabet provides a bijective
+``letter ↔ uint8 code`` mapping plus a vectorised encoder.  Codes are
+dense (0..size-1) with one extra ``unknown`` code at index ``size`` for
+ambiguity characters (N for DNA, X for protein).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Alphabet:
+    """An ordered set of residue letters with uint8 codes."""
+
+    def __init__(self, name: str, letters: str, unknown: str):
+        if len(set(letters)) != len(letters):
+            raise ValueError(f"duplicate letters in alphabet {name!r}")
+        if unknown in letters:
+            raise ValueError("unknown character must not be a regular letter")
+        self.name = name
+        self.letters = letters
+        self.unknown = unknown
+        self.size = len(letters)
+        self.unknown_code = self.size
+        # Dense lookup table: byte value -> code (unknown for anything else).
+        table = np.full(256, self.unknown_code, dtype=np.uint8)
+        for code, letter in enumerate(letters):
+            table[ord(letter)] = code
+            table[ord(letter.lower())] = code
+        table[ord(unknown)] = self.unknown_code
+        table[ord(unknown.lower())] = self.unknown_code
+        self._encode_table = table
+        self._decode_table = np.frombuffer(
+            (letters + unknown).encode("ascii"), dtype=np.uint8
+        ).copy()
+
+    def encode(self, text: str | bytes) -> np.ndarray:
+        """Text → uint8 code array (case-insensitive; junk → unknown)."""
+        if isinstance(text, str):
+            text = text.encode("ascii", errors="replace")
+        raw = np.frombuffer(text, dtype=np.uint8)
+        return self._encode_table[raw]
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Code array → text (unknown code → the unknown letter)."""
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codes.size and codes.max() > self.unknown_code:
+            raise ValueError(f"code {codes.max()} outside alphabet {self.name!r}")
+        return self._decode_table[codes].tobytes().decode("ascii")
+
+    def is_valid(self, text: str) -> bool:
+        """True when every character is a known (non-ambiguous) letter."""
+        codes = self.encode(text)
+        return bool((codes != self.unknown_code).all())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Alphabet({self.name!r}, {self.letters!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Alphabet)
+            and other.letters == self.letters
+            and other.unknown == self.unknown
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.letters, self.unknown))
+
+
+#: Nucleotides in the order used by every substitution model (A, C, G, T).
+DNA = Alphabet("dna", "ACGT", "N")
+
+#: The 20 standard amino acids in the order of BLOSUM/PAM matrices.
+PROTEIN = Alphabet("protein", "ARNDCQEGHILKMFPSTWYV", "X")

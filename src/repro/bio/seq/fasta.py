@@ -1,0 +1,101 @@
+"""FASTA reading and writing.
+
+DSEARCH's inputs are "a FASTA database file [and] a FASTA query
+sequences file"; this module provides the streaming parser and writer
+both applications use.  The dialect is the permissive standard one:
+``>`` headers (first token is the id, the remainder the description),
+sequence lines until the next header, blank lines ignored.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.bio.seq.alphabet import Alphabet
+from repro.bio.seq.sequence import Sequence
+
+
+class FastaError(ValueError):
+    """Malformed FASTA input."""
+
+
+def parse_fasta(text: str, alphabet: Alphabet) -> list[Sequence]:
+    """Parse FASTA text into a list of sequences."""
+    return list(_iter_fasta(io.StringIO(text), alphabet, source="<string>"))
+
+
+def read_fasta(path: str | Path, alphabet: Alphabet) -> list[Sequence]:
+    """Read a FASTA file from disk."""
+    path = Path(path)
+    with path.open() as handle:
+        return list(_iter_fasta(handle, alphabet, source=str(path)))
+
+
+def iter_fasta(handle: TextIO, alphabet: Alphabet) -> Iterator[Sequence]:
+    """Stream records from an open handle (constant memory per record)."""
+    return _iter_fasta(handle, alphabet, source="<stream>")
+
+
+def _iter_fasta(handle: TextIO, alphabet: Alphabet, source: str) -> Iterator[Sequence]:
+    seq_id: str | None = None
+    description = ""
+    chunks: list[str] = []
+    seen_ids: set[str] = set()
+    lineno = 0
+    for raw in handle:
+        lineno += 1
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if seq_id is not None:
+                yield _make_record(seq_id, description, chunks, alphabet, source)
+            header = line[1:].strip()
+            if not header:
+                raise FastaError(f"{source}:{lineno}: empty FASTA header")
+            parts = header.split(None, 1)
+            seq_id = parts[0]
+            if seq_id in seen_ids:
+                raise FastaError(f"{source}:{lineno}: duplicate id {seq_id!r}")
+            seen_ids.add(seq_id)
+            description = parts[1] if len(parts) > 1 else ""
+            chunks = []
+        else:
+            if seq_id is None:
+                raise FastaError(
+                    f"{source}:{lineno}: sequence data before any '>' header"
+                )
+            chunks.append(line.replace(" ", ""))
+    if seq_id is not None:
+        yield _make_record(seq_id, description, chunks, alphabet, source)
+
+
+def _make_record(
+    seq_id: str, description: str, chunks: list[str], alphabet: Alphabet, source: str
+) -> Sequence:
+    residues = "".join(chunks)
+    if not residues:
+        raise FastaError(f"{source}: record {seq_id!r} has no sequence data")
+    return Sequence(seq_id, residues, alphabet, description)
+
+
+def format_fasta(sequences: Iterable[Sequence], width: int = 70) -> str:
+    """Render sequences as FASTA text with wrapped lines."""
+    if width < 1:
+        raise ValueError("line width must be >= 1")
+    out: list[str] = []
+    for seq in sequences:
+        out.append(f">{seq.header()}\n")
+        text = str(seq)
+        for start in range(0, len(text), width):
+            out.append(text[start : start + width] + "\n")
+    return "".join(out)
+
+
+def write_fasta(
+    path: str | Path, sequences: Iterable[Sequence], width: int = 70
+) -> None:
+    """Write sequences to a FASTA file."""
+    Path(path).write_text(format_fasta(sequences, width=width))

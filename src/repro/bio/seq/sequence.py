@@ -1,0 +1,107 @@
+"""The Sequence record: an identified, encoded residue string."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.seq.alphabet import DNA, PROTEIN, Alphabet
+
+
+class Sequence:
+    """One biological sequence with identity and dense encoding.
+
+    Residues are stored as a uint8 code array (see
+    :class:`~repro.bio.seq.alphabet.Alphabet`), which is what alignment
+    kernels and likelihood code consume directly; the textual form is
+    reconstructed on demand.
+    """
+
+    __slots__ = ("seq_id", "description", "codes", "alphabet")
+
+    def __init__(
+        self,
+        seq_id: str,
+        residues: str | np.ndarray,
+        alphabet: Alphabet,
+        description: str = "",
+    ):
+        if not seq_id:
+            raise ValueError("sequence id must be non-empty")
+        self.seq_id = seq_id
+        self.description = description
+        self.alphabet = alphabet
+        if isinstance(residues, np.ndarray):
+            codes = np.ascontiguousarray(residues, dtype=np.uint8)
+            if codes.size and codes.max() > alphabet.unknown_code:
+                raise ValueError(
+                    f"{seq_id}: code {codes.max()} outside alphabet {alphabet.name!r}"
+                )
+            self.codes = codes
+        else:
+            self.codes = alphabet.encode(residues)
+
+    # -- basic container behaviour ----------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def __str__(self) -> str:
+        return self.alphabet.decode(self.codes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        text = str(self)
+        shown = text if len(text) <= 24 else text[:21] + "..."
+        return f"Sequence({self.seq_id!r}, {shown!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Sequence)
+            and other.seq_id == self.seq_id
+            and other.alphabet == self.alphabet
+            and np.array_equal(other.codes, self.codes)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.seq_id, self.codes.tobytes()))
+
+    def __getitem__(self, index: slice) -> "Sequence":
+        if not isinstance(index, slice):
+            raise TypeError("use slicing; single residues via .codes")
+        return Sequence(
+            self.seq_id, self.codes[index].copy(), self.alphabet, self.description
+        )
+
+    # -- biology helpers ----------------------------------------------------
+
+    def reverse_complement(self) -> "Sequence":
+        """DNA only: the reverse complement strand."""
+        if self.alphabet != DNA:
+            raise ValueError("reverse_complement requires the DNA alphabet")
+        # A<->T (0<->3), C<->G (1<->2); unknown stays unknown.
+        comp = np.array([3, 2, 1, 0, DNA.unknown_code], dtype=np.uint8)
+        return Sequence(
+            self.seq_id, comp[self.codes[::-1]], DNA, self.description
+        )
+
+    def gc_content(self) -> float:
+        """DNA only: fraction of G/C among known residues."""
+        if self.alphabet != DNA:
+            raise ValueError("gc_content requires the DNA alphabet")
+        known = self.codes[self.codes != DNA.unknown_code]
+        if known.size == 0:
+            return 0.0
+        return float(np.isin(known, (1, 2)).mean())
+
+    def header(self) -> str:
+        """The FASTA header line content (id + description)."""
+        return f"{self.seq_id} {self.description}".strip()
+
+
+def dna(seq_id: str, residues: str, description: str = "") -> Sequence:
+    """Shorthand constructor for DNA sequences."""
+    return Sequence(seq_id, residues, DNA, description)
+
+
+def protein(seq_id: str, residues: str, description: str = "") -> Sequence:
+    """Shorthand constructor for protein sequences."""
+    return Sequence(seq_id, residues, PROTEIN, description)

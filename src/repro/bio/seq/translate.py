@@ -1,0 +1,140 @@
+"""Genetic-code translation and reading frames.
+
+DSEARCH-style searches often need protein-space comparison of DNA
+queries (diverged coding sequences keep protein similarity long after
+DNA similarity washes out).  This module provides the standard genetic
+code, codon translation, and six-frame translation of a DNA sequence
+into protein-space search queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bio.seq.alphabet import DNA, PROTEIN
+from repro.bio.seq.sequence import Sequence
+
+#: Stop codons translate to this marker (not a PROTEIN letter; stops
+#: terminate open reading frames rather than appearing in sequences).
+STOP = "*"
+
+#: The standard genetic code, codon → amino-acid letter (or ``*``).
+GENETIC_CODE = {
+    "TTT": "F", "TTC": "F", "TTA": "L", "TTG": "L",
+    "CTT": "L", "CTC": "L", "CTA": "L", "CTG": "L",
+    "ATT": "I", "ATC": "I", "ATA": "I", "ATG": "M",
+    "GTT": "V", "GTC": "V", "GTA": "V", "GTG": "V",
+    "TCT": "S", "TCC": "S", "TCA": "S", "TCG": "S",
+    "CCT": "P", "CCC": "P", "CCA": "P", "CCG": "P",
+    "ACT": "T", "ACC": "T", "ACA": "T", "ACG": "T",
+    "GCT": "A", "GCC": "A", "GCA": "A", "GCG": "A",
+    "TAT": "Y", "TAC": "Y", "TAA": "*", "TAG": "*",
+    "CAT": "H", "CAC": "H", "CAA": "Q", "CAG": "Q",
+    "AAT": "N", "AAC": "N", "AAA": "K", "AAG": "K",
+    "GAT": "D", "GAC": "D", "GAA": "E", "GAG": "E",
+    "TGT": "C", "TGC": "C", "TGA": "*", "TGG": "W",
+    "CGT": "R", "CGC": "R", "CGA": "R", "CGG": "R",
+    "AGT": "S", "AGC": "S", "AGA": "R", "AGG": "R",
+    "GGT": "G", "GGC": "G", "GGA": "G", "GGG": "G",
+}
+
+
+def translate_codon(codon: str) -> str:
+    """One codon → one amino acid letter (``*`` for stop, ``X`` for
+    any codon containing an ambiguous base)."""
+    if len(codon) != 3:
+        raise ValueError(f"a codon has three bases, got {codon!r}")
+    key = codon.upper()
+    if key in GENETIC_CODE:
+        return GENETIC_CODE[key]
+    return PROTEIN.unknown  # ambiguity (N etc.)
+
+
+def translate(seq: Sequence, frame: int = 0, to_stop: bool = False) -> Sequence:
+    """Translate a DNA sequence in one forward frame.
+
+    Parameters
+    ----------
+    frame:
+        0, 1 or 2 — offset into the sequence.
+    to_stop:
+        Truncate at the first stop codon; otherwise stops become ``X``
+        (keeping the result a valid PROTEIN sequence for alignment).
+    """
+    if seq.alphabet != DNA:
+        raise ValueError("translation requires a DNA sequence")
+    if frame not in (0, 1, 2):
+        raise ValueError(f"frame must be 0, 1 or 2, got {frame}")
+    text = str(seq)[frame:]
+    residues = []
+    for i in range(0, len(text) - 2, 3):
+        aa = translate_codon(text[i : i + 3])
+        if aa == STOP:
+            if to_stop:
+                break
+            aa = PROTEIN.unknown
+        residues.append(aa)
+    if not residues:
+        raise ValueError(f"{seq.seq_id}: frame {frame} yields no complete codon")
+    return Sequence(
+        f"{seq.seq_id}_f{frame}", "".join(residues), PROTEIN,
+        description=f"frame {frame} of {seq.seq_id}",
+    )
+
+
+def six_frame_translations(seq: Sequence) -> list[Sequence]:
+    """All six reading frames (three forward, three reverse-complement).
+
+    Reverse-strand frames are suffixed ``_rcN``.
+    """
+    frames = [translate(seq, frame) for frame in range(3)]
+    rc = seq.reverse_complement()
+    for frame in range(3):
+        translated = translate(rc, frame)
+        frames.append(
+            Sequence(
+                f"{seq.seq_id}_rc{frame}",
+                str(translated),
+                PROTEIN,
+                description=f"reverse frame {frame} of {seq.seq_id}",
+            )
+        )
+    return frames
+
+
+def open_reading_frames(seq: Sequence, min_codons: int = 30) -> list[Sequence]:
+    """ATG-to-stop open reading frames of at least *min_codons* codons,
+    across all six frames, as protein sequences."""
+    if min_codons < 1:
+        raise ValueError("min_codons must be >= 1")
+    orfs: list[Sequence] = []
+    for strand_tag, strand in (("+", seq), ("-", seq.reverse_complement())):
+        text = str(strand)
+        for frame in range(3):
+            i = frame
+            while i + 3 <= len(text):
+                if text[i : i + 3] == "ATG":
+                    residues = []
+                    j = i
+                    while j + 3 <= len(text):
+                        aa = translate_codon(text[j : j + 3])
+                        if aa == STOP:
+                            break
+                        residues.append(aa)
+                        j += 3
+                    if len(residues) >= min_codons:
+                        orfs.append(
+                            Sequence(
+                                f"{seq.seq_id}_orf{strand_tag}{i}",
+                                "".join(residues),
+                                PROTEIN,
+                                description=(
+                                    f"ORF strand {strand_tag} offset {i} "
+                                    f"({len(residues)} aa)"
+                                ),
+                            )
+                        )
+                    i = j + 3  # resume after this ORF's stop
+                else:
+                    i += 3
+    return orfs

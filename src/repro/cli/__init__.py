@@ -1,0 +1,12 @@
+"""Command-line entry points.
+
+The deployment story of the paper: a server runs somewhere on the
+network, lab PCs run the donor client "as a low priority background
+service", and users submit problems.  These commands are that story:
+
+* ``repro-server`` — host a task-farm server on a TCP port.
+* ``repro-donor``  — run a donor against a server (the lab-PC side).
+* ``repro-dsearch`` — run a DSEARCH job on a local cluster.
+* ``repro-dprml``  — run DPRml on a local cluster.
+* ``repro-dboot``  — run a distributed bootstrap on a local cluster.
+"""

@@ -1,0 +1,107 @@
+"""``repro-server`` and ``repro-donor``: the deployment commands."""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import time
+
+from repro.cluster.local import ServerFacade
+from repro.core.client import DonorClient
+from repro.core.scheduler import AdaptiveGranularity
+from repro.core.server import TaskFarmServer
+from repro.rmi import RMIServer, connect
+
+
+def server_main(argv: list[str] | None = None) -> int:
+    """Host a task-farm server on a TCP port until interrupted."""
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Host the task-farm server (donors connect with repro-donor).",
+    )
+    parser.add_argument("--host", default="0.0.0.0", help="bind address")
+    parser.add_argument("--port", type=int, default=9317, help="TCP port")
+    parser.add_argument(
+        "--lease-timeout", type=float, default=300.0,
+        help="seconds before an unanswered unit is reissued",
+    )
+    parser.add_argument(
+        "--unit-target-seconds", type=float, default=60.0,
+        help="adaptive granularity target per unit",
+    )
+    args = parser.parse_args(argv)
+
+    server = TaskFarmServer(
+        policy=AdaptiveGranularity(target_seconds=args.unit_target_seconds),
+        lease_timeout=args.lease_timeout,
+    )
+    facade = ServerFacade(server)
+    rmi = RMIServer(host=args.host, port=args.port)
+    rmi.bind("taskfarm", facade)
+    print(f"task-farm server listening on {rmi.host}:{rmi.port}", flush=True)
+
+    stop = {"flag": False}
+
+    def handle_signal(_sig, _frame):
+        stop["flag"] = True
+
+    signal.signal(signal.SIGINT, handle_signal)
+    signal.signal(signal.SIGTERM, handle_signal)
+    try:
+        while not stop["flag"]:
+            time.sleep(0.5)
+    finally:
+        rmi.close()
+        print("server stopped", flush=True)
+    return 0
+
+
+def donor_main(argv: list[str] | None = None) -> int:
+    """Run one donor loop against a remote server."""
+    parser = argparse.ArgumentParser(
+        prog="repro-donor",
+        description="Donate this machine's spare cycles to a task-farm server.",
+    )
+    parser.add_argument("server", help="server address as host:port")
+    parser.add_argument(
+        "--name", default=None, help="donor id (default: hostname-pid)"
+    )
+    parser.add_argument(
+        "--idle-sleep", type=float, default=2.0,
+        help="seconds to wait when the server has no work",
+    )
+    parser.add_argument(
+        "--max-units", type=int, default=None, help="stop after N units"
+    )
+    args = parser.parse_args(argv)
+
+    host, _, port_text = args.server.partition(":")
+    if not port_text:
+        parser.error("server must be host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"bad port {port_text!r}")
+
+    if args.name:
+        donor_id = args.name
+    else:
+        import os
+        import socket as socketlib
+
+        donor_id = f"{socketlib.gethostname()}-{os.getpid()}"
+
+    proxy = connect(host, port, "taskfarm")
+    try:
+        client = DonorClient(donor_id, proxy, idle_sleep=args.idle_sleep)
+        print(f"donor {donor_id} connected to {host}:{port}", flush=True)
+        units = client.run(max_units=args.max_units)
+        print(f"donor {donor_id} done after {units} units", flush=True)
+    finally:
+        proxy.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(server_main())

@@ -1,0 +1,124 @@
+"""``repro-dsearch``, ``repro-dprml``, ``repro-dboot``: job commands.
+
+Each reads the paper's input files (FASTA + a ``key = value``
+configuration file), runs the job on a local thread cluster, and
+writes plain-text results.  They are thin shells over the library —
+everything they do is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.apps.dboot import run_dboot
+from repro.apps.dprml import DPRmlConfig, run_dprml, run_many_dprml
+from repro.apps.dsearch import DSearchConfig, run_dsearch
+from repro.bio.phylo.alignment import SiteAlignment
+from repro.bio.seq import DNA, read_fasta
+
+
+def dsearch_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dsearch",
+        description="Sensitive distributed database search (DSEARCH).",
+    )
+    parser.add_argument("database", type=Path, help="FASTA database file")
+    parser.add_argument("queries", type=Path, help="FASTA query sequences file")
+    parser.add_argument("--config", type=Path, help="configuration file")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write hits as TSV (default stdout)"
+    )
+    args = parser.parse_args(argv)
+
+    config = DSearchConfig.from_path(args.config) if args.config else DSearchConfig()
+    database = read_fasta(args.database, DNA)
+    queries = read_fasta(args.queries, DNA)
+    report = run_dsearch(database, queries, config, workers=args.workers)
+
+    lines = ["query\trank\tsubject\tscore\tsubject_length"]
+    for query_id in report.queries:
+        for rank, hit in enumerate(report.hits[query_id], start=1):
+            lines.append(
+                f"{query_id}\t{rank}\t{hit.subject_id}\t{hit.score:.1f}\t"
+                f"{hit.subject_length}"
+            )
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        args.output.write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def dprml_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dprml",
+        description="Distributed phylogeny reconstruction by maximum likelihood.",
+    )
+    parser.add_argument("alignment", type=Path, help="aligned FASTA (DNA)")
+    parser.add_argument("--config", type=Path, help="configuration file")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--instances", type=int, default=1,
+        help="simultaneous stochastic instances (keep the best tree)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write best tree as Newick"
+    )
+    args = parser.parse_args(argv)
+
+    config = DPRmlConfig.from_path(args.config) if args.config else DPRmlConfig()
+    sequences = read_fasta(args.alignment, DNA)
+    alignment = SiteAlignment.from_sequences(sequences)
+
+    if args.instances > 1:
+        reports = run_many_dprml(
+            alignment, instances=args.instances, config=config, workers=args.workers
+        )
+        best = max(reports, key=lambda r: r.log_likelihood)
+        for i, rep in enumerate(reports):
+            marker = " (best)" if rep is best else ""
+            print(f"instance {i}: logL = {rep.log_likelihood:.2f}{marker}")
+    else:
+        best = run_dprml(alignment, config, workers=args.workers)
+        print(f"logL = {best.log_likelihood:.2f}")
+
+    if args.output:
+        args.output.write_text(best.newick + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(best.newick)
+    from repro.bio.phylo.draw import ascii_tree
+    from repro.bio.phylo.tree import parse_newick as _parse
+
+    print()
+    print(ascii_tree(_parse(best.newick), width=64))
+    return 0
+
+
+def dboot_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dboot",
+        description="Distributed bootstrap support values.",
+    )
+    parser.add_argument("alignment", type=Path, help="aligned FASTA (DNA)")
+    parser.add_argument("--replicates", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    sequences = read_fasta(args.alignment, DNA)
+    alignment = SiteAlignment.from_sequences(sequences)
+    report = run_dboot(
+        alignment, replicates=args.replicates, seed=args.seed, workers=args.workers
+    )
+    print(f"reference tree: {report.reference_newick}")
+    print(f"{'support':>8}  split")
+    for entry in report.supports:
+        members = ",".join(sorted(entry.split))
+        print(f"{entry.support:>7.0%}  {{{members}}}")
+    return 0

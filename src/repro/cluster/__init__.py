@@ -1,0 +1,13 @@
+"""Cluster backends.
+
+Two interchangeable ways to run a :class:`~repro.core.server.TaskFarmServer`
+with donors:
+
+* :mod:`repro.cluster.local` — real processes on this machine, talking
+  RMI over localhost TCP.  Exercises every byte of the live code path.
+* :mod:`repro.cluster.sim` — a deterministic discrete-event simulation
+  of the paper's deployment (hundreds of heterogeneous, semi-idle donor
+  PCs behind a shared 100 Mbit/s link), driving the *same* server state
+  machine under virtual time.  This is what regenerates the paper's
+  speedup figures on one machine.
+"""

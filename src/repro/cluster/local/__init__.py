@@ -1,0 +1,6 @@
+"""Real multi-process cluster on localhost (the live code path)."""
+
+from repro.cluster.local.cluster import LocalCluster, ServerFacade, ThreadCluster
+from repro.cluster.local.submit import RemoteSubmitter
+
+__all__ = ["LocalCluster", "RemoteSubmitter", "ServerFacade", "ThreadCluster"]

@@ -1,0 +1,284 @@
+"""Live cluster backends: donors as threads or as separate processes.
+
+:class:`ThreadCluster` runs donors as threads calling straight into the
+server — fast and deterministic enough for tests and small jobs.
+
+:class:`LocalCluster` is the full live path: the
+:class:`~repro.core.server.TaskFarmServer` sits behind an RMI facade on
+a TCP port, and each donor is a separate OS process running the real
+:class:`~repro.core.client.DonorClient` against an RMI proxy — exactly
+the paper's topology (one server, N donor machines) compressed onto
+localhost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.core.client import DonorClient, InProcessServerPort
+from repro.core.problem import Algorithm, Problem
+from repro.core.scheduler import GranularityPolicy
+from repro.core.server import Assignment, ProblemStatus, TaskFarmServer
+from repro.core.workunit import WorkResult
+from repro.rmi import RMIServer, connect
+
+
+class ServerFacade:
+    """Thread-safe, clock-injecting wrapper exported over RMI.
+
+    The pure state machine takes ``now`` everywhere and is not
+    thread-safe; this facade adds both (wall-clock time, one lock), and
+    sweeps expired leases on every interaction so no timer thread is
+    needed.
+    """
+
+    def __init__(self, server: TaskFarmServer):
+        self._server = server
+        self._lock = threading.RLock()
+
+    def _now(self) -> float:
+        return time.monotonic()
+
+    def register_donor(self, donor_id: str) -> None:
+        with self._lock:
+            self._server.register_donor(donor_id, self._now())
+
+    def deregister_donor(self, donor_id: str) -> None:
+        with self._lock:
+            self._server.deregister_donor(donor_id, self._now())
+
+    def request_work(self, donor_id: str) -> Assignment | None:
+        with self._lock:
+            now = self._now()
+            self._server.expire_leases(now)
+            return self._server.request_work(donor_id, now)
+
+    def submit_result(self, result: WorkResult) -> bool:
+        with self._lock:
+            return self._server.submit_result(result, self._now())
+
+    def heartbeat(self, donor_id: str) -> None:
+        with self._lock:
+            self._server.heartbeat(donor_id, self._now())
+
+    def report_failure(
+        self, problem_id: int, unit_id: int, donor_id: str, error: str
+    ) -> None:
+        with self._lock:
+            self._server.report_failure(
+                problem_id, unit_id, donor_id, error, self._now()
+            )
+
+    def get_algorithm(self, problem_id: int) -> Algorithm:
+        with self._lock:
+            return self._server.get_algorithm(problem_id)
+
+    def get_blob(self, problem_id: int, key: str) -> bytes:
+        with self._lock:
+            return self._server.get_blob(problem_id, key)
+
+    def all_complete(self) -> bool:
+        with self._lock:
+            return self._server.all_complete()
+
+    def submit(self, problem: Problem) -> int:
+        with self._lock:
+            return self._server.submit(problem, self._now())
+
+    def status_name(self, problem_id: int) -> str:
+        with self._lock:
+            return self._server.status(problem_id).value
+
+    def failure_reason(self, problem_id: int) -> str | None:
+        with self._lock:
+            return self._server.failure_reason(problem_id)
+
+    def progress(self, problem_id: int) -> float:
+        with self._lock:
+            return self._server.progress(problem_id)
+
+    def final_result(self, problem_id: int) -> Any:
+        with self._lock:
+            return self._server.final_result(problem_id)
+
+    def status_report(self) -> str:
+        """Operator snapshot (also callable remotely over RMI)."""
+        from repro.core.status import render_status
+
+        with self._lock:
+            return render_status(self._server, self._now())
+
+
+class ThreadCluster:
+    """Donors as threads against an in-process server."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        policy: GranularityPolicy | None = None,
+        lease_timeout: float = 30.0,
+        idle_sleep: float = 0.002,
+    ):
+        self.server = TaskFarmServer(policy=policy, lease_timeout=lease_timeout)
+        self._facade_lock = threading.RLock()
+        self.workers = workers
+        self.idle_sleep = idle_sleep
+        self._threads: list[threading.Thread] = []
+
+    def submit(self, problem: Problem) -> int:
+        with self._facade_lock:
+            return self.server.submit(problem, time.monotonic())
+
+    def run(self) -> None:
+        """Run donors until every submitted problem completes."""
+        port = _LockedPort(self.server, self._facade_lock)
+        clients = [
+            DonorClient(f"thread-{i}", port, idle_sleep=self.idle_sleep)
+            for i in range(self.workers)
+        ]
+        self._threads = [
+            threading.Thread(target=client.run, daemon=True) for client in clients
+        ]
+        for t in self._threads:
+            t.start()
+        for t in self._threads:
+            t.join()
+
+    def final_result(self, problem_id: int) -> Any:
+        return self.server.final_result(problem_id)
+
+
+class _LockedPort(InProcessServerPort):
+    """An :class:`InProcessServerPort` made thread-safe with one lock."""
+
+    def __init__(self, server: TaskFarmServer, lock: threading.RLock):
+        super().__init__(server)
+        self._lock = lock
+
+    def register_donor(self, donor_id: str) -> None:
+        with self._lock:
+            super().register_donor(donor_id)
+
+    def deregister_donor(self, donor_id: str) -> None:
+        with self._lock:
+            super().deregister_donor(donor_id)
+
+    def request_work(self, donor_id: str):
+        with self._lock:
+            return super().request_work(donor_id)
+
+    def submit_result(self, result: WorkResult) -> bool:
+        with self._lock:
+            return super().submit_result(result)
+
+    def report_failure(
+        self, problem_id: int, unit_id: int, donor_id: str, error: str
+    ) -> None:
+        with self._lock:
+            super().report_failure(problem_id, unit_id, donor_id, error)
+
+    def heartbeat(self, donor_id: str) -> None:
+        with self._lock:
+            super().heartbeat(donor_id)
+
+    def get_algorithm(self, problem_id: int) -> Algorithm:
+        with self._lock:
+            return super().get_algorithm(problem_id)
+
+    def all_complete(self) -> bool:
+        with self._lock:
+            return super().all_complete()
+
+
+def _worker_main(host: str, port: int, donor_id: str, idle_sleep: float) -> None:
+    """Donor process entry point: the real client against RMI."""
+    proxy = connect(host, port, "taskfarm")
+    try:
+        client = DonorClient(donor_id, proxy, idle_sleep=idle_sleep)
+        client.run()
+    finally:
+        proxy.close()
+
+
+class LocalCluster:
+    """Server behind RMI + donor OS processes (the full live path).
+
+    Usage::
+
+        with LocalCluster(workers=4) as cluster:
+            pid = cluster.submit(problem)
+            cluster.start()
+            result = cluster.wait(pid, timeout=60)
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        policy: GranularityPolicy | None = None,
+        lease_timeout: float = 30.0,
+        idle_sleep: float = 0.05,
+    ):
+        self.server = TaskFarmServer(policy=policy, lease_timeout=lease_timeout)
+        self.facade = ServerFacade(self.server)
+        self.rmi = RMIServer()
+        self.rmi.bind("taskfarm", self.facade)
+        self.workers = workers
+        self.idle_sleep = idle_sleep
+        self._processes: list = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.rmi.host, self.rmi.port
+
+    def submit(self, problem: Problem) -> int:
+        return self.facade.submit(problem)
+
+    def start(self) -> None:
+        """Launch the donor processes."""
+        import multiprocessing as mp
+
+        ctx = mp.get_context("fork")
+        for i in range(self.workers):
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(self.rmi.host, self.rmi.port, f"proc-{i}", self.idle_sleep),
+                daemon=True,
+            )
+            proc.start()
+            self._processes.append(proc)
+
+    def wait(self, problem_id: int, timeout: float = 120.0) -> Any:
+        """Block until *problem_id* completes; returns its final result.
+
+        Raises ``RuntimeError`` if the problem fails (poison unit) and
+        ``TimeoutError`` on the deadline.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = self.facade.status_name(problem_id)
+            if status == ProblemStatus.COMPLETE.value:
+                return self.facade.final_result(problem_id)
+            if status == ProblemStatus.FAILED.value:
+                raise RuntimeError(
+                    f"problem {problem_id} failed: "
+                    f"{self.facade.failure_reason(problem_id)}"
+                )
+            time.sleep(0.02)
+        raise TimeoutError(f"problem {problem_id} did not complete in {timeout}s")
+
+    def shutdown(self) -> None:
+        for proc in self._processes:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        self._processes.clear()
+        self.rmi.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

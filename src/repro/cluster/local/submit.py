@@ -1,0 +1,90 @@
+"""Remote problem submission.
+
+The paper (Sect. 2.1): "The users of the system do not need any
+knowledge of the topology or workings of the system in order to submit
+problems and get their processed results back."  A
+:class:`RemoteSubmitter` is that user-side handle: it connects to a
+running ``repro-server``, ships a self-contained Problem over RMI,
+polls progress, and fetches the assembled result — from any machine
+that can reach the server.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.problem import Problem
+from repro.core.server import ProblemStatus
+from repro.rmi import connect
+
+
+class RemoteSubmitter:
+    """User-side handle on a remote task farm.
+
+    Example
+    -------
+    >>> with RemoteSubmitter("farm.example.org", 9317) as farm:
+    ...     pid = farm.submit(problem)
+    ...     result = farm.wait(pid, timeout=3600)
+    """
+
+    def __init__(self, host: str, port: int, object_name: str = "taskfarm"):
+        self._proxy = connect(host, port, object_name)
+
+    def submit(self, problem: Problem) -> int:
+        """Ship a Problem to the farm; returns its id."""
+        return self._proxy.submit(problem)
+
+    def progress(self, problem_id: int) -> float:
+        return self._proxy.progress(problem_id)
+
+    def is_complete(self, problem_id: int) -> bool:
+        return self._proxy.status_name(problem_id) == ProblemStatus.COMPLETE.value
+
+    def result(self, problem_id: int) -> Any:
+        """The final result; raises if the problem is still running."""
+        return self._proxy.final_result(problem_id)
+
+    def wait(
+        self,
+        problem_id: int,
+        timeout: float = 3600.0,
+        poll_interval: float = 0.5,
+        on_progress=None,
+    ) -> Any:
+        """Block until completion; returns the final result.
+
+        ``on_progress`` (if given) is called with the progress fraction
+        on every poll — hook for progress bars.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = self._proxy.status_name(problem_id)
+            if status == ProblemStatus.COMPLETE.value:
+                return self.result(problem_id)
+            if status == ProblemStatus.FAILED.value:
+                raise RuntimeError(
+                    f"problem {problem_id} failed: "
+                    f"{self._proxy.failure_reason(problem_id)}"
+                )
+            if on_progress is not None:
+                on_progress(self.progress(problem_id))
+            time.sleep(poll_interval)
+        raise TimeoutError(
+            f"problem {problem_id} did not complete within {timeout}s "
+            f"(progress {self.progress(problem_id):.1%})"
+        )
+
+    def status_report(self) -> str:
+        """The farm's operator status text."""
+        return self._proxy.status_report()
+
+    def close(self) -> None:
+        self._proxy.close()
+
+    def __enter__(self) -> "RemoteSubmitter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

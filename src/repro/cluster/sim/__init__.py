@@ -1,0 +1,19 @@
+"""Discrete-event simulation of a heterogeneous donor pool."""
+
+from repro.cluster.sim.engine import Acquire, Simulator, SimResource, Timeout
+from repro.cluster.sim.machines import MachineSpec, homogeneous_pool, heterogeneous_pool
+from repro.cluster.sim.network import NetworkModel
+from repro.cluster.sim.cluster import SimCluster, SimReport
+
+__all__ = [
+    "Acquire",
+    "MachineSpec",
+    "NetworkModel",
+    "SimCluster",
+    "SimReport",
+    "SimResource",
+    "Simulator",
+    "Timeout",
+    "heterogeneous_pool",
+    "homogeneous_pool",
+]

@@ -1,0 +1,264 @@
+"""SimCluster: the paper's deployment as a discrete-event simulation.
+
+Drives the *real* :class:`~repro.core.server.TaskFarmServer` (same
+scheduling code as the live cluster) under virtual time.  Each donor
+machine is a simulation process executing the donor protocol:
+
+    request work → download unit → compute → upload result → repeat
+
+Compute time is ``unit cost / machine's sampled rate``; transfers
+serialize through the shared server link.  Algorithms can really
+execute (results are genuine, used by the application tests) or be
+skipped in trace mode (cost-only payloads, used by the large speedup
+sweeps where only timing matters).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.sim.engine import Process, Simulator, Timeout
+from repro.cluster.sim.machines import MachineSpec
+from repro.cluster.sim.network import NetworkConfig, NetworkModel
+from repro.core.problem import Problem
+from repro.core.scheduler import GranularityPolicy
+from repro.core.server import Assignment, TaskFarmServer
+from repro.core.workunit import WorkResult
+from repro.util.events import EventLog
+from repro.util.rng import spawn_rng
+
+
+@dataclass(slots=True)
+class SimReport:
+    """Outcome of one simulated run."""
+
+    sim_time: float
+    makespans: dict[int, float]
+    results: dict[int, Any]
+    completed: bool
+    log: EventLog
+    machine_units: dict[str, int] = field(default_factory=dict)
+    machine_busy: dict[str, float] = field(default_factory=dict)
+    bytes_transferred: int = 0
+
+    def utilization(self, machine_id: str) -> float:
+        """Busy fraction of one machine over the whole run."""
+        if self.sim_time <= 0:
+            return 0.0
+        return min(1.0, self.machine_busy.get(machine_id, 0.0) / self.sim_time)
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.machine_busy:
+            return 0.0
+        return sum(self.utilization(m) for m in self.machine_busy) / len(self.machine_busy)
+
+
+class SimCluster:
+    """A simulated deployment of the task farm.
+
+    Parameters
+    ----------
+    machines:
+        The donor pool (speeds, availability, churn sessions).
+    policy:
+        Granularity policy for the embedded server.
+    lease_timeout:
+        Server lease duration in simulated seconds.
+    network:
+        Shared-link parameters; defaults to the paper's 100 Mbit/s LAN.
+    seed:
+        Root seed for every stochastic element (availability noise).
+    execute:
+        When True the Algorithm really runs (results are genuine); when
+        False only the unit's ``cost_hint`` is charged (trace mode).
+    idle_poll:
+        How long an idle donor waits before asking again — the paper's
+        clients poll, they are not pushed to.
+    """
+
+    def __init__(
+        self,
+        machines: list[MachineSpec],
+        policy: GranularityPolicy | None = None,
+        lease_timeout: float = 600.0,
+        network: NetworkConfig | None = None,
+        seed: int = 0,
+        execute: bool = True,
+        idle_poll: float = 5.0,
+    ):
+        if not machines:
+            raise ValueError("need at least one machine")
+        ids = [m.machine_id for m in machines]
+        if len(set(ids)) != len(ids):
+            raise ValueError("machine ids must be unique")
+        self.machines = list(machines)
+        self.sim = Simulator()
+        self.server = TaskFarmServer(policy=policy, lease_timeout=lease_timeout)
+        self.network = NetworkModel(self.sim, network)
+        self.seed = seed
+        self.execute = execute
+        self.idle_poll = idle_poll
+        self._machine_units: dict[str, int] = {m.machine_id: 0 for m in machines}
+        self._machine_busy: dict[str, float] = {m.machine_id: 0.0 for m in machines}
+        self._active_session: dict[str, int] = {}
+        self._pending_submissions = 0
+        self._problem_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+
+    def submit(self, problem: Problem, at: float = 0.0) -> int:
+        """Submit now (``at=0``) or at a future simulated time."""
+        pid = problem.problem_id
+        self._problem_ids.append(pid)
+        if at <= 0.0:
+            self.server.submit(problem, now=0.0)
+        else:
+            # Deferred submission: becomes a simulation event, so the
+            # event log stays causal and donors idle until it lands.
+            self._pending_submissions += 1
+
+            def land() -> None:
+                self.server.submit(problem, now=self.sim.now)
+                self._pending_submissions -= 1
+
+            self.sim.schedule(at, land)
+        return pid
+
+    def _all_done(self) -> bool:
+        """No active problems *and* none still scheduled to arrive."""
+        return self._pending_submissions == 0 and self.server.all_complete()
+
+    def run(self, until: float | None = None) -> SimReport:
+        """Spawn every machine process and drain the simulation."""
+        for spec in self.machines:
+            sessions = spec.sessions or ((0.0, float("inf")),)
+            for session_index, (start, end) in enumerate(sessions):
+                self.sim.spawn(
+                    self._machine_process(spec, end, session_index), delay=start
+                )
+        # Periodic lease sweep, as the live server's timer thread does.
+        self.sim.every(
+            max(1.0, self.server.leases.timeout / 4),
+            lambda: self.server.expire_leases(self.sim.now),
+            until=self._all_done,
+        )
+        sim_time = self.sim.run(until=until)
+
+        completed = self.server.all_complete()
+        makespans: dict[int, float] = {}
+        results: dict[int, Any] = {}
+        for pid in self._problem_ids:
+            try:
+                makespans[pid] = self.server.makespan(pid)
+                results[pid] = self.server.final_result(pid)
+            except RuntimeError:
+                pass  # unfinished problem under an `until` horizon
+        return SimReport(
+            sim_time=sim_time,
+            makespans=makespans,
+            results=results,
+            completed=completed,
+            log=self.server.log,
+            machine_units=dict(self._machine_units),
+            machine_busy=dict(self._machine_busy),
+            bytes_transferred=self.network.bytes_transferred,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _machine_process(
+        self, spec: MachineSpec, session_end: float, session_index: int
+    ) -> Process:
+        """One donor session: register, pull work until done or gone."""
+        sim = self.sim
+        server = self.server
+        rng = spawn_rng(self.seed, "machine", spec.machine_id, session_index)
+        donor_id = spec.machine_id
+
+        server.register_donor(donor_id, sim.now)
+        self._active_session[donor_id] = session_index
+        try:
+            while True:
+                if sim.now >= session_end or self._all_done():
+                    return
+                # Control round trip: ask the server for work.
+                yield from self.network.control_roundtrip()
+                if sim.now >= session_end:
+                    return
+                assignment = server.request_work(donor_id, sim.now)
+                if assignment is None:
+                    if self._all_done():
+                        return
+                    yield Timeout(self.idle_poll)
+                    continue
+                finished = yield from self._execute_assignment(
+                    spec, donor_id, assignment, rng, session_end
+                )
+                if not finished:
+                    return  # left the pool mid-compute
+        finally:
+            # Leaving (or completing) deregisters; the server requeues
+            # anything this donor still held.  Guard against a later
+            # session of the same machine having already re-registered.
+            if self._active_session.get(donor_id) == session_index:
+                server.deregister_donor(donor_id, sim.now)
+                del self._active_session[donor_id]
+
+    def _execute_assignment(
+        self,
+        spec: MachineSpec,
+        donor_id: str,
+        assignment: Assignment,
+        rng,
+        session_end: float,
+    ) -> Process:
+        """Download, compute, upload.  Returns False if the machine's
+        session ended mid-compute (the unit is abandoned)."""
+        sim = self.sim
+        yield from self.network.transmit(assignment.input_bytes)
+
+        algorithm = self.server.get_algorithm(assignment.problem_id)
+        cost = assignment.cost_hint or algorithm.cost(assignment.payload)
+        rate = spec.effective_rate(rng)
+        duration = cost / rate
+
+        if sim.now + duration > session_end:
+            # The owner reclaims the machine before the unit finishes:
+            # sleep to the session end and abandon the unit.  The lease
+            # will expire and the server reissues it elsewhere.
+            remaining = max(0.0, session_end - sim.now)
+            self._machine_busy[donor_id] += remaining
+            yield Timeout(remaining)
+            return False
+
+        yield Timeout(duration)
+        self._machine_busy[donor_id] += duration
+
+        if self.execute:
+            value = algorithm.compute(assignment.payload)
+            try:
+                output_bytes = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                output_bytes = 1024
+        else:
+            value = None
+            output_bytes = max(256, assignment.input_bytes // 16)
+
+        yield from self.network.transmit(output_bytes)
+        self.server.submit_result(
+            WorkResult(
+                problem_id=assignment.problem_id,
+                unit_id=assignment.unit_id,
+                value=value,
+                donor_id=donor_id,
+                compute_seconds=duration,
+                items=assignment.items,
+                output_bytes=output_bytes,
+            ),
+            sim.now,
+        )
+        self._machine_units[donor_id] += 1
+        return True

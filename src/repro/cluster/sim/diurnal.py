@@ -1,0 +1,136 @@
+"""Diurnal availability: lab desktops by day, compute donors by night.
+
+The paper's pool is university computing laboratories — machines whose
+owners sit at them during working hours.  Churn sessions model hard
+departures; the *diurnal* model instead modulates how much of each
+machine's speed the background service gets over the day:
+
+* working hours — students at the keyboards, the donor service gets
+  only the ``busy_availability`` fraction of cycles;
+* nights/weekends — labs empty, donors get ``idle_availability``.
+
+Expressed as churnless :class:`MachineSpec` sessions won't do (the
+machine never leaves), so the diurnal profile instead generates
+per-machine *sessions with availability encoded as speed*: each day is
+split into a day-shift spec and a night-shift spec.  The helper
+returns an expanded machine list usable anywhere a pool is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.sim.machines import MachineSpec
+
+DAY_SECONDS = 24 * 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class DiurnalProfile:
+    """Shape of a lab's day, in seconds from midnight."""
+
+    work_start: float = 9 * 3600.0
+    work_end: float = 18 * 3600.0
+    busy_availability: float = 0.3
+    idle_availability: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.work_start < self.work_end <= DAY_SECONDS):
+            raise ValueError("need 0 <= work_start < work_end <= 24h")
+        for name in ("busy_availability", "idle_availability"):
+            value = getattr(self, name)
+            if not (0 < value <= 1):
+                raise ValueError(f"{name} must be in (0, 1]")
+
+    def availability_at(self, time: float) -> float:
+        """Donor-visible availability at absolute sim time *time*."""
+        t = time % DAY_SECONDS
+        if self.work_start <= t < self.work_end:
+            return self.busy_availability
+        return self.idle_availability
+
+    def mean_availability(self) -> float:
+        busy = self.work_end - self.work_start
+        idle = DAY_SECONDS - busy
+        return (
+            busy * self.busy_availability + idle * self.idle_availability
+        ) / DAY_SECONDS
+
+
+def diurnal_sessions(
+    profile: DiurnalProfile, horizon: float
+) -> list[tuple[float, float, float]]:
+    """Break ``[0, horizon)`` into constant-availability intervals.
+
+    Returns ``(start, end, availability)`` triples covering the span.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    boundaries = []
+    day = 0
+    while day * DAY_SECONDS < horizon:
+        base = day * DAY_SECONDS
+        boundaries.extend((base, base + profile.work_start, base + profile.work_end))
+        day += 1
+    boundaries.append(day * DAY_SECONDS)
+    out = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        if start >= horizon:
+            break
+        end = min(end, horizon)
+        if end <= start:
+            continue
+        out.append((start, end, profile.availability_at(start)))
+    return out
+
+
+def diurnal_pool(
+    machines: list[MachineSpec],
+    profile: DiurnalProfile,
+    horizon: float,
+) -> list[MachineSpec]:
+    """Expand a pool into day/night shift specs.
+
+    Each machine becomes one spec whose sessions alternate between the
+    two availability regimes: we emit *two* MachineSpecs per machine —
+    a "day" spec present only during working hours with the busy
+    availability, and a "night" spec present the rest of the time with
+    the idle availability.  Ids are suffixed ``@day`` / ``@night``; the
+    pair never overlaps, so to the scheduler it behaves as one machine
+    whose capacity breathes with the clock (re-registration between
+    shifts is exactly the churn path real lab machines exercise daily).
+    """
+    intervals = diurnal_sessions(profile, horizon)
+    day_sessions = tuple(
+        (start, end) for start, end, a in intervals if a == profile.busy_availability
+    )
+    night_sessions = tuple(
+        (start, end) for start, end, a in intervals if a == profile.idle_availability
+    )
+    out: list[MachineSpec] = []
+    for spec in machines:
+        if spec.sessions:
+            raise ValueError(
+                f"{spec.machine_id}: diurnal_pool expects churnless machines"
+            )
+        if day_sessions:
+            out.append(
+                MachineSpec(
+                    machine_id=f"{spec.machine_id}@day",
+                    speed=spec.speed,
+                    availability=min(1.0, profile.busy_availability),
+                    availability_jitter=spec.availability_jitter,
+                    sessions=day_sessions,
+                )
+            )
+        if night_sessions:
+            out.append(
+                MachineSpec(
+                    machine_id=f"{spec.machine_id}@night",
+                    speed=spec.speed,
+                    availability=min(1.0, profile.idle_availability),
+                    availability_jitter=spec.availability_jitter,
+                    sessions=night_sessions,
+                )
+            )
+    return out

@@ -1,0 +1,209 @@
+"""A minimal process-based discrete-event simulation engine.
+
+Processes are Python generators that ``yield`` effect objects:
+
+* ``Timeout(dt)`` — resume after *dt* simulated seconds.
+* ``Acquire(resource)`` — resume once the FIFO resource grants a slot;
+  the process must later call ``resource.release()``.
+
+The engine is deterministic: events at equal times fire in scheduling
+order (a monotone sequence number breaks ties), so a seeded simulation
+replays identically.  This is all the machinery the cluster model
+needs — machines, network links and lease timers are each a process or
+a resource.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator
+
+#: The generator type simulation processes must have.
+Process = Generator["Effect", Any, None]
+
+
+class Effect:
+    """Base class for things a process may yield."""
+
+
+@dataclass(frozen=True, slots=True)
+class Timeout(Effect):
+    """Suspend the yielding process for ``delay`` simulated seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"negative timeout {self.delay}")
+
+
+@dataclass(frozen=True, slots=True)
+class Acquire(Effect):
+    """Suspend until the resource grants a slot (FIFO order)."""
+
+    resource: "SimResource"
+
+
+class SimResource:
+    """A FIFO resource with fixed capacity (e.g. the server's NIC).
+
+    Processes ``yield Acquire(res)`` and must call :meth:`release`
+    exactly once per grant.  Waiters are served strictly in arrival
+    order, which is how a single socket accept queue behaves.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: list[Callable[[], None]] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def _try_acquire(self, wake: Callable[[], None]) -> None:
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._sim.call_soon(wake)
+        else:
+            self._waiters.append(wake)
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            wake = self._waiters.pop(0)
+            self._sim.call_soon(wake)
+        else:
+            self._in_use -= 1
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """The event loop: a heap of timestamped callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processes_alive = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- low-level scheduling -------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> _ScheduledEvent:
+        """Run *action* after *delay* simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = _ScheduledEvent(self._now + delay, self._seq, action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, action: Callable[[], None]) -> _ScheduledEvent:
+        return self.schedule(0.0, action)
+
+    def every(
+        self, interval: float, action: Callable[[], None], until: Callable[[], bool]
+    ) -> None:
+        """Run *action* every *interval* seconds while ``until()`` is false."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            if until():
+                return
+            action()
+            self.schedule(interval, tick)
+
+        self.schedule(interval, tick)
+
+    # -- process management ----------------------------------------------
+
+    def spawn(self, process: Process, delay: float = 0.0) -> None:
+        """Start a generator-based process after *delay* seconds."""
+        self._processes_alive += 1
+        self.schedule(delay, lambda: self._step(process, None))
+
+    def _step(self, process: Process, value: Any) -> None:
+        try:
+            effect = process.send(value)
+        except StopIteration:
+            self._processes_alive -= 1
+            return
+        if isinstance(effect, Timeout):
+            self.schedule(effect.delay, lambda: self._step(process, None))
+        elif isinstance(effect, Acquire):
+            effect.resource._try_acquire(lambda: self._step(process, None))
+        else:
+            raise TypeError(
+                f"process yielded {effect!r}; expected Timeout or Acquire"
+            )
+
+    # -- running -----------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Drain the event heap; returns the final simulated time.
+
+        Parameters
+        ----------
+        until:
+            Optional horizon; events after it stay unprocessed.
+        max_events:
+            Safety valve against runaway simulations.
+        """
+        processed = 0
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now - 1e-12:
+                raise RuntimeError("event heap corrupted: time went backwards")
+            self._now = event.time
+            event.action()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(f"exceeded {max_events} events; likely livelock")
+        return self._now
+
+    def peek(self) -> float | None:
+        """Time of the next pending event (None when drained)."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+def transfer(resource: SimResource, seconds: float) -> Iterator[Effect]:
+    """A sub-process: hold *resource* for *seconds* (a network transfer).
+
+    Use as ``yield from transfer(link, size / bandwidth)``.
+    """
+    yield Acquire(resource)
+    try:
+        yield Timeout(seconds)
+    finally:
+        resource.release()

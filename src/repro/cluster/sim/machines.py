@@ -1,0 +1,163 @@
+"""Donor machine models.
+
+The paper's pool: "approximately 200 desktop PCs of various modest
+specifications (Pentium IIs up to Pentium IVs ...)" running the client
+"as a low priority background service", plus a 32-node cluster — i.e.
+machines differ in raw speed, are only *semi-idle* (the owner's
+foreground work steals cycles unpredictably), and join/leave the pool.
+
+A :class:`MachineSpec` captures all three dimensions:
+
+* ``speed`` — items of reference work per second relative to a 1.0
+  baseline machine (a PIII 1 GHz in the Fig. 1 experiment).
+* ``availability`` — mean fraction of cycles the donor actually gets;
+  per-unit multiplicative noise models the owner's bursty foreground
+  load.
+* ``sessions`` — optional (join, leave) times for churn experiments;
+  an empty list means always present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import spawn_rng
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """Static description of one donor machine."""
+
+    machine_id: str
+    speed: float = 1.0
+    availability: float = 1.0
+    availability_jitter: float = 0.0
+    sessions: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"{self.machine_id}: speed must be positive")
+        if not (0 < self.availability <= 1.0):
+            raise ValueError(f"{self.machine_id}: availability must be in (0, 1]")
+        if not (0 <= self.availability_jitter < 1.0):
+            raise ValueError(f"{self.machine_id}: jitter must be in [0, 1)")
+        for start, end in self.sessions:
+            if end <= start:
+                raise ValueError(f"{self.machine_id}: empty session ({start}, {end})")
+
+    def effective_rate(self, rng: np.random.Generator) -> float:
+        """Sample this machine's work rate for one unit (items/sec
+        equivalent): speed degraded by the owner's current load."""
+        avail = self.availability
+        if self.availability_jitter > 0:
+            lo = max(1e-3, avail * (1 - self.availability_jitter))
+            hi = min(1.0, avail * (1 + self.availability_jitter))
+            avail = float(rng.uniform(lo, hi))
+        return self.speed * avail
+
+    def present_at(self, time: float) -> bool:
+        """Is the machine in the pool at *time*? (Always, if no sessions.)"""
+        if not self.sessions:
+            return True
+        return any(start <= time < end for start, end in self.sessions)
+
+
+def homogeneous_pool(
+    count: int,
+    speed: float = 1.0,
+    availability: float = 1.0,
+    availability_jitter: float = 0.0,
+    prefix: str = "pc",
+) -> list[MachineSpec]:
+    """The Fig. 1 setting: *count* identical machines.
+
+    The paper used "a laboratory of 83 homogeneous processors (Pentium
+    III 1 GHz)" that were nevertheless *semi-idle*; pass a small
+    ``availability_jitter`` to reproduce that.
+    """
+    return [
+        MachineSpec(
+            machine_id=f"{prefix}-{i:03d}",
+            speed=speed,
+            availability=availability,
+            availability_jitter=availability_jitter,
+        )
+        for i in range(count)
+    ]
+
+
+def heterogeneous_pool(
+    count: int,
+    seed: int = 0,
+    speed_range: tuple[float, float] = (0.25, 2.0),
+    availability_range: tuple[float, float] = (0.5, 1.0),
+    availability_jitter: float = 0.2,
+    prefix: str = "pc",
+) -> list[MachineSpec]:
+    """The deployment setting: PII-to-PIV desktops with assorted owners.
+
+    Speeds are log-uniform over *speed_range* (hardware generations are
+    multiplicative), mean availabilities uniform over
+    *availability_range*.
+    """
+    rng = spawn_rng(seed, "heterogeneous_pool")
+    lo, hi = speed_range
+    speeds = np.exp(rng.uniform(np.log(lo), np.log(hi), size=count))
+    avails = rng.uniform(*availability_range, size=count)
+    return [
+        MachineSpec(
+            machine_id=f"{prefix}-{i:03d}",
+            speed=float(speeds[i]),
+            availability=float(avails[i]),
+            availability_jitter=availability_jitter,
+        )
+        for i in range(count)
+    ]
+
+
+def churn_sessions(
+    horizon: float,
+    mean_uptime: float,
+    mean_downtime: float,
+    rng: np.random.Generator,
+    start_offset: float | None = None,
+) -> tuple[tuple[float, float], ...]:
+    """Generate alternating up/down sessions out to *horizon* seconds.
+
+    Up and down durations are exponential — the memoryless model of
+    owners rebooting or reclaiming their desktops at arbitrary times.
+    """
+    if mean_uptime <= 0 or mean_downtime <= 0:
+        raise ValueError("mean durations must be positive")
+    sessions: list[tuple[float, float]] = []
+    t = start_offset if start_offset is not None else float(rng.exponential(mean_downtime / 2))
+    while t < horizon:
+        up = float(rng.exponential(mean_uptime))
+        sessions.append((t, min(horizon, t + up)))
+        t += up + float(rng.exponential(mean_downtime))
+    return tuple(sessions)
+
+
+def with_churn(
+    machines: list[MachineSpec],
+    horizon: float,
+    mean_uptime: float,
+    mean_downtime: float,
+    seed: int = 0,
+) -> list[MachineSpec]:
+    """Return copies of *machines* with generated churn sessions."""
+    out = []
+    for spec in machines:
+        rng = spawn_rng(seed, "churn", spec.machine_id)
+        out.append(
+            MachineSpec(
+                machine_id=spec.machine_id,
+                speed=spec.speed,
+                availability=spec.availability,
+                availability_jitter=spec.availability_jitter,
+                sessions=churn_sessions(horizon, mean_uptime, mean_downtime, rng),
+            )
+        )
+    return out

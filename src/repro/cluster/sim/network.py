@@ -1,0 +1,88 @@
+"""Network model: one server NIC shared by every donor.
+
+The paper's deployment: "all machines connecting via a 100 Mbit/s
+network to a single server (Pentium III 500 MHz)".  The server's link
+is the shared bottleneck — every control message and every data
+transfer serializes through it.  Donor-side links are assumed
+uncontended (each donor talks only to the server).
+
+Transfers are modelled as: per-message latency (propagation + RMI
+dispatch) that does **not** occupy the link, plus ``bytes/bandwidth``
+seconds of exclusive link time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.sim.engine import Effect, SimResource, Simulator, Timeout, transfer
+from typing import Iterator
+
+#: 100 Mbit/s in usable bytes/second (the paper's LAN).
+DEFAULT_BANDWIDTH = 100e6 / 8
+#: One control message costs roughly a TCP round trip + dispatch.
+DEFAULT_LATENCY = 2e-3
+#: Serialized size of a work request / small response envelope.
+CONTROL_MESSAGE_BYTES = 512
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Link parameters.
+
+    ``server_overhead`` models the per-message CPU cost on the single
+    server (the paper's was a Pentium III 500 MHz): RMI dispatch,
+    scheduling, result merging.  It occupies the serialized server
+    resource, so floods of tiny work units saturate the server — the
+    phenomenon that motivates adaptive granularity.  Defaults to zero
+    (a pure network model); experiments that study unit-size overheads
+    switch it on explicitly.
+    """
+
+    bandwidth: float = DEFAULT_BANDWIDTH
+    latency: float = DEFAULT_LATENCY
+    control_bytes: int = CONTROL_MESSAGE_BYTES
+    server_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError("latency cannot be negative")
+        if self.server_overhead < 0:
+            raise ValueError("server_overhead cannot be negative")
+
+
+class NetworkModel:
+    """The server link as a simulation resource."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig | None = None):
+        self.config = config or NetworkConfig()
+        self.link = SimResource(sim, capacity=1, name="server-link")
+        self.bytes_transferred = 0
+        self.transfers = 0
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        return nbytes / self.config.bandwidth
+
+    def transmit(self, nbytes: int) -> Iterator[Effect]:
+        """Process fragment: move *nbytes* through the server link.
+
+        Latency is paid off-link (it is propagation, not occupancy);
+        the serialization time holds the link exclusively.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot transmit negative bytes")
+        yield Timeout(self.config.latency)
+        occupancy = self.config.server_overhead + (
+            self.transfer_seconds(nbytes) if nbytes else 0.0
+        )
+        if occupancy > 0:
+            yield from transfer(self.link, occupancy)
+            self.bytes_transferred += nbytes
+        self.transfers += 1
+
+    def control_roundtrip(self) -> Iterator[Effect]:
+        """Process fragment: one request/response control exchange."""
+        yield from self.transmit(self.config.control_bytes)
+        yield from self.transmit(self.config.control_bytes)

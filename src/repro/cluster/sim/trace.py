@@ -1,0 +1,159 @@
+"""Trace workloads: cost-only problems for large speedup sweeps.
+
+Running DSEARCH or DPRml for real at every processor count from 1 to 83
+would mean recomputing identical alignments/likelihoods dozens of
+times.  Instead the benchmark harness runs the application once,
+extracts its *workload trace* — per-item compute costs, organised into
+stages — and replays the trace through the simulated cluster at each
+processor count.  The replay exercises the same server, scheduler,
+lease and network code; only the Algorithm body is skipped (its cost is
+charged as virtual time via ``cost_hint``).
+
+A trace is sound for this purpose because the paper's two applications
+have schedule-independent task structure: DSEARCH's unit costs depend
+only on the database split, and DPRml's stage *s* always contains the
+same number of candidate evaluations with tree-size-dependent cost,
+whichever placement won stage *s − 1*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.problem import Algorithm, DataManager, Problem
+from repro.core.workunit import UnitPayload, WorkResult
+
+
+@dataclass(frozen=True, slots=True)
+class TraceStage:
+    """One barrier-delimited stage: independent items with known costs."""
+
+    costs: tuple[float, ...]
+    bytes_per_item: int = 1024
+
+    def __post_init__(self) -> None:
+        if not self.costs:
+            raise ValueError("a stage must contain at least one item")
+        if any(c <= 0 for c in self.costs):
+            raise ValueError("item costs must be positive")
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(self.costs))
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadTrace:
+    """A whole problem as stages of item costs.
+
+    A single-stage trace is an embarrassingly parallel problem
+    (DSEARCH); a multi-stage trace has a full barrier between stages
+    (DPRml's stepwise insertion).
+    """
+
+    stages: tuple[TraceStage, ...]
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("a trace needs at least one stage")
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(stage.total_cost for stage in self.stages))
+
+    @property
+    def total_items(self) -> int:
+        return sum(len(stage.costs) for stage in self.stages)
+
+    @property
+    def critical_path(self) -> float:
+        """Lower bound on runtime with unlimited unit-speed donors: the
+        largest single item of each stage, summed (barriers serialize
+        stages)."""
+        return float(sum(max(stage.costs) for stage in self.stages))
+
+    @classmethod
+    def single_stage(
+        cls, costs: Sequence[float], bytes_per_item: int = 1024, name: str = "trace"
+    ) -> "WorkloadTrace":
+        return cls((TraceStage(tuple(float(c) for c in costs), bytes_per_item),), name)
+
+
+class TraceDataManager(DataManager):
+    """Partitions a :class:`WorkloadTrace`, honouring stage barriers."""
+
+    def __init__(self, trace: WorkloadTrace):
+        self.trace = trace
+        self._stage_index = 0
+        self._cursor = 0          # next item within the current stage
+        self._outstanding = 0     # items issued but not completed
+        self._items_done = 0
+
+    def total_items(self) -> int:
+        return self.trace.total_items
+
+    def _current_stage(self) -> TraceStage | None:
+        if self._stage_index >= len(self.trace.stages):
+            return None
+        return self.trace.stages[self._stage_index]
+
+    def next_unit(self, max_items: int) -> UnitPayload | None:
+        stage = self._current_stage()
+        if stage is None:
+            return None
+        remaining = len(stage.costs) - self._cursor
+        if remaining == 0:
+            return None  # barrier: wait for outstanding results
+        take = min(max_items, remaining)
+        slice_costs = stage.costs[self._cursor : self._cursor + take]
+        self._cursor += take
+        self._outstanding += take
+        return UnitPayload(
+            payload=slice_costs,
+            items=take,
+            input_bytes=take * stage.bytes_per_item,
+            cost_hint=float(sum(slice_costs)),
+        )
+
+    def handle_result(self, result: WorkResult) -> None:
+        self._outstanding -= result.items
+        self._items_done += result.items
+        stage = self._current_stage()
+        if (
+            stage is not None
+            and self._cursor == len(stage.costs)
+            and self._outstanding == 0
+        ):
+            self._stage_index += 1
+            self._cursor = 0
+
+    def is_complete(self) -> bool:
+        return self._items_done >= self.trace.total_items
+
+    def final_result(self) -> dict[str, Any]:
+        return {"items": self._items_done, "stages": len(self.trace.stages)}
+
+    def progress(self) -> float:
+        return self._items_done / max(1, self.trace.total_items)
+
+
+class TraceAlgorithm(Algorithm):
+    """No-op compute; the cost hint carries all the timing."""
+
+    def compute(self, payload: Any) -> Any:
+        return None
+
+    def cost(self, payload: Any) -> float:
+        return float(sum(payload))
+
+
+def trace_problem(trace: WorkloadTrace, priority: int = 0) -> Problem:
+    """Wrap a trace as a submittable :class:`Problem`."""
+    return Problem(
+        name=trace.name,
+        data_manager=TraceDataManager(trace),
+        algorithm=TraceAlgorithm(),
+        priority=priority,
+    )

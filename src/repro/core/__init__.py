@@ -1,0 +1,47 @@
+"""The programmable task-farming framework (the paper's contribution).
+
+A user extends two classes, exactly as in the paper's Java system:
+
+* :class:`~repro.core.problem.DataManager` runs **in the server** and
+  "specifies how the problem is to be partitioned into units of work and
+  the intermediate results put together".
+* :class:`~repro.core.problem.Algorithm` runs **in the client** and
+  "specifies the actual computation".
+
+Bundled with input data these form a self-contained
+:class:`~repro.core.problem.Problem` submitted to the
+:class:`~repro.core.server.TaskFarmServer`.  The server is written as a
+pure state machine — every method takes the current time — so exactly
+the same scheduling code runs under wall-clock time in the live
+multi-process cluster and under simulated time in the discrete-event
+cluster.
+"""
+
+from repro.core.client import DonorClient, InProcessServerPort
+from repro.core.problem import Algorithm, DataManager, FunctionAlgorithm, Problem
+from repro.core.scheduler import (
+    AdaptiveGranularity,
+    FixedGranularity,
+    GranularityPolicy,
+)
+from repro.core.server import Assignment, ProblemStatus, TaskFarmServer
+from repro.core.workunit import UnitPayload, UnitStatus, WorkResult, WorkUnit
+
+__all__ = [
+    "AdaptiveGranularity",
+    "Algorithm",
+    "Assignment",
+    "DataManager",
+    "DonorClient",
+    "FixedGranularity",
+    "FunctionAlgorithm",
+    "GranularityPolicy",
+    "InProcessServerPort",
+    "Problem",
+    "ProblemStatus",
+    "TaskFarmServer",
+    "UnitPayload",
+    "UnitStatus",
+    "WorkResult",
+    "WorkUnit",
+]

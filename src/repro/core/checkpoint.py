@@ -1,0 +1,126 @@
+"""Server checkpointing.
+
+The paper's deployment "has been running for over 3 years"; a server
+that cannot survive its own restart would lose days of donor work.
+The checkpoint captures each problem's DataManager (which holds all
+assembled partial results), its requeue and counters — everything
+needed to resume issuing units.  Outstanding leases are deliberately
+*not* persisted: after a restart their donors are gone, so the units
+would only expire; instead they are requeued immediately on restore.
+
+Format: one pickled :class:`CheckpointBlob` per file, with a magic
+header and version so a stale or foreign file fails loudly.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.server import ProblemStatus, TaskFarmServer, _ProblemState
+from repro.core.workunit import WorkUnit
+
+MAGIC = b"TFCK"
+VERSION = 1
+
+
+@dataclass
+class _ProblemSnapshot:
+    problem: Any  # the whole Problem (DataManager carries the state)
+    status: str
+    submitted_at: float
+    completed_at: float | None
+    next_unit_id: int
+    units_issued: int
+    units_completed: int
+    items_completed: int
+    completed_units: set[int]
+    requeued_units: list[WorkUnit]
+    failure_reason: str | None = None
+
+
+@dataclass
+class CheckpointBlob:
+    version: int
+    saved_at: float
+    snapshots: list[_ProblemSnapshot]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, foreign, or from another version."""
+
+
+def save_checkpoint(server: TaskFarmServer, path: str | Path, now: float) -> None:
+    """Write the server's problem state to *path* atomically."""
+    snapshots = []
+    for state in server._problems.values():
+        # Units currently leased would be lost on restore; fold them
+        # into the requeue so the snapshot is self-contained.
+        leased = [
+            lease.unit
+            for lease in server.leases.outstanding(state.problem.problem_id)
+        ]
+        snapshots.append(
+            _ProblemSnapshot(
+                problem=state.problem,
+                status=state.status.value,
+                submitted_at=state.submitted_at,
+                completed_at=state.completed_at,
+                next_unit_id=state.next_unit_id,
+                units_issued=state.units_issued,
+                units_completed=state.units_completed,
+                items_completed=state.items_completed,
+                completed_units=set(state.completed_units),
+                requeued_units=list(state.requeue) + leased,
+                failure_reason=server.failure_reason(state.problem.problem_id),
+            )
+        )
+    blob = CheckpointBlob(version=VERSION, saved_at=now, snapshots=snapshots)
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(MAGIC + pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL))
+    tmp.replace(path)
+
+
+def load_checkpoint(
+    path: str | Path, server: TaskFarmServer, now: float
+) -> list[int]:
+    """Restore problems from *path* into a fresh server.
+
+    Returns the restored problem ids.  The target server must not
+    already hold any of them.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    if not raw.startswith(MAGIC):
+        raise CheckpointError(f"{path} is not a task-farm checkpoint")
+    try:
+        blob: CheckpointBlob = pickle.loads(raw[len(MAGIC):])
+    except Exception as exc:
+        raise CheckpointError(f"{path}: cannot decode checkpoint: {exc}") from exc
+    if blob.version != VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {blob.version}, expected {VERSION}"
+        )
+    restored = []
+    for snap in blob.snapshots:
+        pid = snap.problem.problem_id
+        if pid in server._problems:
+            raise CheckpointError(f"problem {pid} already present in server")
+        state = _ProblemState(snap.problem, snap.submitted_at)
+        state.status = ProblemStatus(snap.status)
+        state.completed_at = snap.completed_at
+        state.next_unit_id = snap.next_unit_id
+        state.units_issued = snap.units_issued
+        state.units_completed = snap.units_completed
+        state.items_completed = snap.items_completed
+        state.completed_units = set(snap.completed_units)
+        state.requeue.extend(snap.requeued_units)
+        server._problems[pid] = state
+        if snap.failure_reason is not None:
+            server._failures[pid] = snap.failure_reason
+        server.log.record(now, "problem.restored", problem_id=pid, name=snap.problem.name)
+        restored.append(pid)
+    return restored

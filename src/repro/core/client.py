@@ -1,0 +1,277 @@
+"""The donor client: fetch a unit, compute it, send the result back.
+
+A donor is deliberately thin — all intelligence lives in the server —
+so it can run "as a low priority background service" on any machine, as
+in the paper's deployment.  The client talks to the server through a
+narrow :class:`ServerPort` interface with two interchangeable
+implementations:
+
+* :class:`InProcessServerPort` — direct calls into a local
+  :class:`~repro.core.server.TaskFarmServer` (tests, threaded clusters).
+* an RMI :class:`~repro.rmi.proxy.RemoteProxy` for the object the live
+  cluster exports (duck-typed; see :mod:`repro.cluster.local`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Protocol
+
+from repro.core.problem import Algorithm
+from repro.core.server import Assignment, TaskFarmServer
+from repro.core.workunit import WorkResult
+
+
+class ServerPort(Protocol):
+    """What a donor needs from the server, wherever it lives."""
+
+    def register_donor(self, donor_id: str) -> None: ...
+
+    def deregister_donor(self, donor_id: str) -> None: ...
+
+    def request_work(self, donor_id: str) -> Assignment | None: ...
+
+    def submit_result(self, result: WorkResult) -> bool: ...
+
+    def report_failure(
+        self, problem_id: int, unit_id: int, donor_id: str, error: str
+    ) -> None: ...
+
+    def heartbeat(self, donor_id: str) -> None: ...
+
+    def get_algorithm(self, problem_id: int) -> Algorithm: ...
+
+    def all_complete(self) -> bool: ...
+
+
+class InProcessServerPort:
+    """Adapt a :class:`TaskFarmServer` to :class:`ServerPort`.
+
+    Supplies the time argument the state machine requires from a clock
+    callable, and (optionally) expires leases on every interaction so a
+    single-threaded test never needs a background timer.
+    """
+
+    def __init__(
+        self,
+        server: TaskFarmServer,
+        clock: Callable[[], float] = time.monotonic,
+        auto_expire: bool = True,
+    ):
+        self._server = server
+        self._clock = clock
+        self._auto_expire = auto_expire
+
+    def _now(self) -> float:
+        now = self._clock()
+        if self._auto_expire:
+            self._server.expire_leases(now)
+        return now
+
+    def register_donor(self, donor_id: str) -> None:
+        self._server.register_donor(donor_id, self._now())
+
+    def deregister_donor(self, donor_id: str) -> None:
+        self._server.deregister_donor(donor_id, self._now())
+
+    def request_work(self, donor_id: str) -> Assignment | None:
+        return self._server.request_work(donor_id, self._now())
+
+    def submit_result(self, result: WorkResult) -> bool:
+        return self._server.submit_result(result, self._now())
+
+    def report_failure(
+        self, problem_id: int, unit_id: int, donor_id: str, error: str
+    ) -> None:
+        self._server.report_failure(problem_id, unit_id, donor_id, error, self._now())
+
+    def heartbeat(self, donor_id: str) -> None:
+        self._server.heartbeat(donor_id, self._now())
+
+    def get_algorithm(self, problem_id: int) -> Algorithm:
+        return self._server.get_algorithm(problem_id)
+
+    def all_complete(self) -> bool:
+        return self._server.all_complete()
+
+
+class DonorClient:
+    """The donor main loop.
+
+    Parameters
+    ----------
+    donor_id:
+        Unique name (hostname + pid in the live cluster).
+    port:
+        A :class:`ServerPort` implementation.
+    idle_sleep:
+        Seconds to sleep when the server has no work (stage barriers in
+        staged computations make this a normal condition, not an error).
+    heartbeat_interval:
+        When set, a background thread renews the donor's lease every
+        this-many seconds while a unit computes — so a unit that takes
+        longer than the server's lease timeout (slow donor, big unit)
+        is not torn away from a donor that is still making progress.
+    clock, sleep:
+        Injectable for tests.
+    """
+
+    def __init__(
+        self,
+        donor_id: str,
+        port: ServerPort,
+        idle_sleep: float = 0.1,
+        heartbeat_interval: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.donor_id = donor_id
+        self.port = port
+        self.idle_sleep = idle_sleep
+        self.heartbeat_interval = heartbeat_interval
+        self._clock = clock
+        self._sleep = sleep
+        self._algorithms: dict[int, Algorithm] = {}
+        self.units_done = 0
+        self.heartbeats_sent = 0
+        self.failures = 0
+
+    def _algorithm(self, problem_id: int) -> Algorithm:
+        algo = self._algorithms.get(problem_id)
+        if algo is None:
+            # Shipped once per problem and cached, as in the paper.
+            algo = self.port.get_algorithm(problem_id)
+            self._algorithms[problem_id] = algo
+        return algo
+
+    def execute(self, assignment: Assignment) -> WorkResult:
+        """Run the Algorithm on one assignment and package the result."""
+        algo = self._algorithm(assignment.problem_id)
+        stop_heartbeat = self._start_heartbeat()
+        start = self._clock()
+        try:
+            value = algo.compute(assignment.payload)
+        finally:
+            stop_heartbeat()
+        elapsed = self._clock() - start
+        return WorkResult(
+            problem_id=assignment.problem_id,
+            unit_id=assignment.unit_id,
+            value=value,
+            donor_id=self.donor_id,
+            compute_seconds=elapsed,
+            items=assignment.items,
+        )
+
+    def _start_heartbeat(self) -> Callable[[], None]:
+        """Begin periodic lease renewal; returns a stop function."""
+        if self.heartbeat_interval is None:
+            return lambda: None
+        import threading
+
+        done = threading.Event()
+
+        def beat() -> None:
+            while not done.wait(self.heartbeat_interval):
+                try:
+                    self.port.heartbeat(self.donor_id)
+                    self.heartbeats_sent += 1
+                except Exception:
+                    # A heartbeat is best-effort: a failure means the
+                    # lease may expire and the unit be recomputed
+                    # elsewhere — safe, just wasteful.
+                    return
+
+        thread = threading.Thread(
+            target=beat, name=f"heartbeat:{self.donor_id}", daemon=True
+        )
+        thread.start()
+
+        def stop() -> None:
+            done.set()
+            thread.join(timeout=1.0)
+
+        return stop
+
+    def step(self) -> bool:
+        """One fetch→compute→submit cycle; False when the server was idle.
+
+        An Algorithm exception is *reported*, not fatal: the donor tells
+        the server (which requeues the unit or, after repeated failures,
+        fails the problem) and keeps serving other work.
+        """
+        assignment = self.port.request_work(self.donor_id)
+        if assignment is None:
+            return False
+        try:
+            result = self.execute(assignment)
+        except Exception as exc:
+            self.failures += 1
+            self.port.report_failure(
+                assignment.problem_id,
+                assignment.unit_id,
+                self.donor_id,
+                f"{type(exc).__name__}: {exc}",
+            )
+            return True
+        self.port.submit_result(result)
+        self.units_done += 1
+        return True
+
+    def run(
+        self,
+        max_units: int | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ) -> int:
+        """Loop until all problems finish (or a stop condition); returns
+        the number of units computed."""
+        self.port.register_donor(self.donor_id)
+        try:
+            while True:
+                if should_stop is not None and should_stop():
+                    break
+                if max_units is not None and self.units_done >= max_units:
+                    break
+                worked = self.step()
+                if not worked:
+                    if self.port.all_complete():
+                        break
+                    self._sleep(self.idle_sleep)
+        finally:
+            try:
+                self.port.deregister_donor(self.donor_id)
+            except Exception:
+                # The server may already be gone at shutdown; the donor's
+                # lease will expire server-side regardless.
+                pass
+        return self.units_done
+
+
+def run_to_completion(
+    server: TaskFarmServer,
+    donors: int = 4,
+    clock: Callable[[], float] = time.monotonic,
+) -> None:
+    """Drive submitted problems to completion on one thread.
+
+    A convenience for unit tests and tiny examples: simulates *donors*
+    round-robin donors taking units in turn, all executing inline.
+    """
+    port = InProcessServerPort(server, clock=clock)
+    clients = [DonorClient(f"donor-{i}", port, sleep=lambda _s: None) for i in range(donors)]
+    for client in clients:
+        client.port.register_donor(client.donor_id)
+    idle_rounds = 0
+    while not server.all_complete():
+        progressed = False
+        for client in clients:
+            if client.step():
+                progressed = True
+        if not progressed:
+            idle_rounds += 1
+            if idle_rounds > 10_000:
+                raise RuntimeError("no progress: a DataManager is stuck")
+        else:
+            idle_rounds = 0

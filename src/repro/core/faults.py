@@ -1,0 +1,81 @@
+"""Lease tracking: the server's defence against donor churn.
+
+Donor machines are ordinary desktops that reboot, sleep, or leave the
+pool whenever their owners want them — the defining hazard of cycle
+scavenging.  Every issued unit carries a lease; when the lease expires
+(or the donor deregisters) the unit is requeued and reissued to another
+donor.  A result for a unit whose lease moved on is detected and applied
+at most once, so churn can never corrupt the assembled answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.workunit import WorkUnit
+
+
+@dataclass(slots=True)
+class Lease:
+    """One outstanding unit assignment."""
+
+    unit: WorkUnit
+    donor_id: str
+    issued_at: float
+    deadline: float
+
+
+class LeaseTable:
+    """Tracks issued units and finds the expired ones."""
+
+    def __init__(self, timeout: float):
+        if timeout <= 0:
+            raise ValueError("lease timeout must be positive")
+        self.timeout = timeout
+        self._leases: dict[tuple[int, int], Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def grant(self, unit: WorkUnit, donor_id: str, now: float) -> Lease:
+        key = (unit.problem_id, unit.unit_id)
+        if key in self._leases:
+            raise ValueError(f"unit {key} already leased")
+        lease = Lease(unit, donor_id, now, now + self.timeout)
+        self._leases[key] = lease
+        return lease
+
+    def holder(self, problem_id: int, unit_id: int) -> str | None:
+        lease = self._leases.get((problem_id, unit_id))
+        return lease.donor_id if lease else None
+
+    def release(self, problem_id: int, unit_id: int) -> Lease | None:
+        """Remove and return the lease (result arrived), if still live."""
+        return self._leases.pop((problem_id, unit_id), None)
+
+    def renew(self, problem_id: int, unit_id: int, now: float) -> bool:
+        """Extend a live lease (donor heartbeat with progress)."""
+        lease = self._leases.get((problem_id, unit_id))
+        if lease is None:
+            return False
+        lease.deadline = now + self.timeout
+        return True
+
+    def expired(self, now: float) -> list[Lease]:
+        """Remove and return every lease whose deadline has passed."""
+        dead = [lease for lease in self._leases.values() if lease.deadline <= now]
+        for lease in dead:
+            del self._leases[(lease.unit.problem_id, lease.unit.unit_id)]
+        return dead
+
+    def revoke_donor(self, donor_id: str) -> list[Lease]:
+        """Remove and return every lease held by *donor_id* (it left)."""
+        dead = [l for l in self._leases.values() if l.donor_id == donor_id]
+        for lease in dead:
+            del self._leases[(lease.unit.problem_id, lease.unit.unit_id)]
+        return dead
+
+    def outstanding(self, problem_id: int | None = None) -> list[Lease]:
+        if problem_id is None:
+            return list(self._leases.values())
+        return [l for l in self._leases.values() if l.unit.problem_id == problem_id]

@@ -1,0 +1,142 @@
+"""Post-hoc accounting over the server's event log.
+
+Every number the benchmarks report — makespan, speedup, donor
+utilisation, overhead from churn — is derived here from the event
+stream, so live and simulated runs are measured identically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.util.events import EventLog
+
+
+@dataclass(frozen=True, slots=True)
+class ProblemMetrics:
+    """Summary of one problem's run."""
+
+    problem_id: int
+    name: str
+    makespan: float
+    units_completed: int
+    items_completed: int
+    units_requeued: int
+    duplicate_results: int
+    mean_unit_seconds: float
+
+
+@dataclass(slots=True)
+class DonorMetrics:
+    """Summary of one donor's contribution."""
+
+    donor_id: str
+    units_completed: int = 0
+    items_completed: int = 0
+    busy_seconds: float = 0.0
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the donor's time in the pool."""
+        span = self.last_seen - self.first_seen
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / span)
+
+
+@dataclass(slots=True)
+class RunMetrics:
+    """Aggregate view of a whole run (possibly many problems)."""
+
+    problems: dict[int, ProblemMetrics] = field(default_factory=dict)
+    donors: dict[str, DonorMetrics] = field(default_factory=dict)
+    total_span: float = 0.0
+
+    @property
+    def total_busy_seconds(self) -> float:
+        return sum(d.busy_seconds for d in self.donors.values())
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.donors:
+            return 0.0
+        return sum(d.utilization for d in self.donors.values()) / len(self.donors)
+
+
+def problem_metrics(log: EventLog, problem_id: int) -> ProblemMetrics:
+    """Extract one problem's metrics from an event log."""
+    submitted = None
+    completed = None
+    name = ""
+    units = items = requeued = duplicates = 0
+    unit_seconds: list[float] = []
+    for event in log:
+        if event.data.get("problem_id") != problem_id:
+            continue
+        if event.kind == "problem.submitted":
+            submitted = event.time
+            name = event.data.get("name", "")
+        elif event.kind == "problem.completed":
+            completed = event.time
+        elif event.kind == "unit.completed":
+            units += 1
+            items += event.data.get("items", 0)
+            unit_seconds.append(event.data.get("compute_seconds", 0.0))
+        elif event.kind == "unit.requeued":
+            requeued += 1
+        elif event.kind in ("unit.duplicate", "unit.stale"):
+            duplicates += 1
+    if submitted is None:
+        raise KeyError(f"problem {problem_id} never submitted in this log")
+    makespan = (completed - submitted) if completed is not None else float("nan")
+    mean_unit = sum(unit_seconds) / len(unit_seconds) if unit_seconds else 0.0
+    return ProblemMetrics(
+        problem_id=problem_id,
+        name=name,
+        makespan=makespan,
+        units_completed=units,
+        items_completed=items,
+        units_requeued=requeued,
+        duplicate_results=duplicates,
+        mean_unit_seconds=mean_unit,
+    )
+
+
+def run_metrics(log: EventLog) -> RunMetrics:
+    """Aggregate metrics for every problem and donor in the log."""
+    metrics = RunMetrics()
+    problem_ids = {
+        e.data["problem_id"] for e in log.of_kind("problem.submitted")
+    }
+    for pid in sorted(problem_ids):
+        metrics.problems[pid] = problem_metrics(log, pid)
+
+    donor_first: dict[str, float] = {}
+    donor_last: dict[str, float] = {}
+    donor_units: dict[str, int] = defaultdict(int)
+    donor_items: dict[str, int] = defaultdict(int)
+    donor_busy: dict[str, float] = defaultdict(float)
+    for event in log:
+        donor_id = event.data.get("donor_id")
+        if not donor_id:
+            continue
+        donor_first.setdefault(donor_id, event.time)
+        donor_last[donor_id] = event.time
+        if event.kind == "unit.completed":
+            donor_units[donor_id] += 1
+            donor_items[donor_id] += event.data.get("items", 0)
+            donor_busy[donor_id] += event.data.get("compute_seconds", 0.0)
+    for donor_id in donor_first:
+        metrics.donors[donor_id] = DonorMetrics(
+            donor_id=donor_id,
+            units_completed=donor_units[donor_id],
+            items_completed=donor_items[donor_id],
+            busy_seconds=donor_busy[donor_id],
+            first_seen=donor_first[donor_id],
+            last_seen=donor_last[donor_id],
+        )
+    metrics.total_span = log.span()
+    return metrics

@@ -1,0 +1,147 @@
+"""The user-facing programming model: DataManager, Algorithm, Problem.
+
+Quoting the paper (Sect. 2.1): *"The user is required to extend two
+classes to create a Problem to run on the system.  The DataManager class
+(in the server) specifies how the problem is to be partitioned into
+units of work and the intermediate results put together ...  The
+Algorithm class (in the client) specifies the actual computation."*
+
+A :class:`Problem` bundles one DataManager instance, one Algorithm
+instance (shipped to donors once per problem and cached there), and any
+named data blobs to be served over the bulk data channel.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Any, Callable
+
+from repro.core.workunit import UnitPayload, WorkResult
+
+
+class DataManager(abc.ABC):
+    """Server-side partitioning and result assembly.
+
+    The contract supports both embarrassingly parallel problems
+    (DSEARCH: every unit available up front) and *staged* computations
+    (DPRml: the next stage's units only exist once the current stage's
+    results are combined) — the generality the paper claims over
+    single-task systems.
+    """
+
+    @abc.abstractmethod
+    def next_unit(self, max_items: int) -> UnitPayload | None:
+        """Produce the next unit containing at most *max_items* items.
+
+        Return ``None`` when no unit is currently available.  That means
+        *finished* only if :meth:`is_complete` is also true; otherwise it
+        means donors should idle briefly and ask again (a stage barrier).
+        """
+
+    @abc.abstractmethod
+    def handle_result(self, result: WorkResult) -> None:
+        """Fold one unit's result into the problem state.
+
+        Called exactly once per completed unit, in completion order.
+        May unlock further units (advance a stage).
+        """
+
+    @abc.abstractmethod
+    def is_complete(self) -> bool:
+        """True once every result is in and the final answer is ready."""
+
+    @abc.abstractmethod
+    def final_result(self) -> Any:
+        """The assembled answer; only valid once :meth:`is_complete`."""
+
+    def total_items(self) -> int | None:
+        """Total work items if known up front (for progress reporting)."""
+        return None
+
+    def progress(self) -> float:
+        """Fraction complete in [0, 1]; subclasses may refine."""
+        return 1.0 if self.is_complete() else 0.0
+
+
+class Algorithm(abc.ABC):
+    """Client-side computation, shipped to donors and cached per problem."""
+
+    @abc.abstractmethod
+    def compute(self, payload: Any) -> Any:
+        """Process one unit payload and return its result value."""
+
+    def cost(self, payload: Any) -> float:
+        """Abstract compute cost of *payload* in work-units.
+
+        Used only by the simulated cluster to charge virtual time; the
+        default charges one work-unit.  Real clusters measure instead.
+        """
+        return 1.0
+
+
+class FunctionAlgorithm(Algorithm):
+    """Adapt a plain function into an :class:`Algorithm`.
+
+    Handy for tests and quickstart examples::
+
+        FunctionAlgorithm(lambda xs: sum(xs))
+    """
+
+    def __init__(self, fn: Callable[[Any], Any], cost_fn: Callable[[Any], float] | None = None):
+        self._fn = fn
+        self._cost_fn = cost_fn
+
+    def compute(self, payload: Any) -> Any:
+        return self._fn(payload)
+
+    def cost(self, payload: Any) -> float:
+        if self._cost_fn is not None:
+            return self._cost_fn(payload)
+        return super().cost(payload)
+
+
+_problem_ids = itertools.count(1)
+
+
+class Problem:
+    """A self-contained job: DataManager + Algorithm + data blobs.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label for logs and metrics.
+    data_manager:
+        Lives in the server; never serialized to donors.
+    algorithm:
+        Serialized to each donor once (donors cache it per problem id),
+        mirroring the paper's "additional required classes" shipped with
+        the Problem.
+    blobs:
+        Named byte payloads served via the bulk data channel (the
+        paper's "data to be processed (if required)").
+    priority:
+        Lower numbers are scheduled first when several problems compete.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        data_manager: DataManager,
+        algorithm: Algorithm,
+        blobs: dict[str, bytes] | None = None,
+        priority: int = 0,
+    ):
+        if not isinstance(data_manager, DataManager):
+            raise TypeError("data_manager must extend DataManager")
+        if not isinstance(algorithm, Algorithm):
+            raise TypeError("algorithm must extend Algorithm")
+        self.problem_id = next(_problem_ids)
+        self.name = name
+        self.data_manager = data_manager
+        self.algorithm = algorithm
+        self.blobs = dict(blobs or {})
+        self.priority = priority
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Problem(id={self.problem_id}, name={self.name!r})"

@@ -1,0 +1,201 @@
+"""Adaptive scheduling: per-donor performance models and unit sizing.
+
+The paper (Sect. 3.1): *"The parallel granularity is dynamically
+controlled during each search to match the processing abilities of the
+current set of donor machines."*  The mechanism (from the companion
+adaptive-scheduling paper [12]) is: track each donor's measured
+throughput on each problem, then size that donor's next unit so it takes
+a fixed target wall-clock time.  Fast donors get big units (less
+per-unit overhead); slow donors get small units (they finish within a
+lease, and a loss to churn wastes little work).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class PerfModel:
+    """EWMA throughput estimate for one (donor, problem) pair.
+
+    ``items_per_second`` is exponentially smoothed so a donor whose
+    background load changes (the machines are *semi-idle* desktops) is
+    re-estimated within a few units.
+    """
+
+    alpha: float = 0.5
+    items_per_second: float = 0.0
+    samples: int = 0
+    last_items: int = 0
+
+    def observe(self, items: int, seconds: float) -> None:
+        if seconds <= 0:
+            # Instantaneous completion: treat as a very fast donor rather
+            # than dividing by zero; one item per microsecond.
+            seconds = 1e-6
+        rate = items / seconds
+        if self.samples == 0:
+            self.items_per_second = rate
+        else:
+            self.items_per_second += self.alpha * (rate - self.items_per_second)
+        self.samples += 1
+        self.last_items = items
+
+    @property
+    def calibrated(self) -> bool:
+        return self.samples > 0
+
+
+@dataclass(slots=True)
+class DonorState:
+    """Everything the server remembers about one donor."""
+
+    donor_id: str
+    registered_at: float
+    last_seen: float
+    perf: dict[int, PerfModel] = field(default_factory=dict)
+    units_completed: int = 0
+    items_completed: int = 0
+    busy_seconds: float = 0.0
+    active_unit: int | None = None
+
+    def perf_for(self, problem_id: int, alpha: float = 0.5) -> PerfModel:
+        model = self.perf.get(problem_id)
+        if model is None:
+            model = PerfModel(alpha=alpha)
+            self.perf[problem_id] = model
+        return model
+
+
+class GranularityPolicy(abc.ABC):
+    """Decides how many items the next unit for a donor should hold."""
+
+    @abc.abstractmethod
+    def items_for(self, donor: DonorState, problem_id: int) -> int:
+        """Number of items (>= 1) for this donor's next unit."""
+
+
+class FixedGranularity(GranularityPolicy):
+    """The naive baseline: every unit holds the same number of items.
+
+    This is what the paper's adaptive control is measured against in
+    ablation ABL1 — on a heterogeneous pool a fixed size is either too
+    big for slow donors (stragglers at the end of the search) or too
+    small for fast ones (per-unit overhead dominates).
+    """
+
+    def __init__(self, items: int):
+        if items < 1:
+            raise ValueError("fixed granularity must be >= 1 item")
+        self.items = items
+
+    def items_for(self, donor: DonorState, problem_id: int) -> int:
+        return self.items
+
+
+class AdaptiveGranularity(GranularityPolicy):
+    """Size units so each takes ``target_seconds`` on the target donor.
+
+    Parameters
+    ----------
+    target_seconds:
+        Desired wall-clock duration of one unit.  The paper's deployment
+        balances per-unit round-trip overhead (favouring long units)
+    	against scheduling responsiveness and loss-on-churn (favouring
+        short ones).
+    probe_items:
+        Unit size handed to an uncalibrated donor; small, so the first
+        measurement arrives quickly.
+    min_items, max_items:
+        Clamp bounds for pathological throughput estimates.
+    alpha:
+        EWMA smoothing factor for the per-donor throughput model.
+    max_growth:
+        A donor's next unit may be at most this multiple of its previous
+        one.  Per-item costs vary (database sequences have very
+        different lengths), so a single probe is a noisy rate estimate;
+        ramping geometrically prevents one lucky probe from handing a
+        donor the entire remaining problem as a single straggler unit.
+    """
+
+    def __init__(
+        self,
+        target_seconds: float = 60.0,
+        probe_items: int = 1,
+        min_items: int = 1,
+        max_items: int = 1_000_000,
+        alpha: float = 0.5,
+        max_growth: float = 4.0,
+    ):
+        if target_seconds <= 0:
+            raise ValueError("target_seconds must be positive")
+        if not (1 <= min_items <= max_items):
+            raise ValueError("need 1 <= min_items <= max_items")
+        if max_growth <= 1.0:
+            raise ValueError("max_growth must exceed 1")
+        self.target_seconds = target_seconds
+        self.probe_items = max(min_items, probe_items)
+        self.min_items = min_items
+        self.max_items = max_items
+        self.alpha = alpha
+        self.max_growth = max_growth
+
+    def items_for(self, donor: DonorState, problem_id: int) -> int:
+        model = donor.perf_for(problem_id, alpha=self.alpha)
+        if not model.calibrated:
+            return self.probe_items
+        ideal = model.items_per_second * self.target_seconds
+        ramp_cap = max(self.probe_items, model.last_items) * self.max_growth
+        return int(
+            min(self.max_items, ramp_cap, max(self.min_items, math.ceil(ideal)))
+        )
+
+
+class ProblemRoundRobin:
+    """Fair rotation over concurrently active problems.
+
+    The paper's server processes several problems simultaneously (six
+    DPRml instances in Fig. 2).  Donors asking for work are offered each
+    active problem in turn, starting after the problem served last, so
+    one problem with abundant units cannot starve the others.  Priority
+    classes are respected: all problems of the lowest priority number
+    are rotated before any higher number is considered.
+    """
+
+    def __init__(self) -> None:
+        self._last_served: int | None = None
+
+    def order(self, problems: list[tuple[int, int]]) -> list[int]:
+        """Rank candidate problems.
+
+        Parameters
+        ----------
+        problems:
+            ``(problem_id, priority)`` pairs for every problem that
+            currently has (or may have) work.
+
+        Returns
+        -------
+        Problem ids in the order they should be offered work.
+        """
+        if not problems:
+            return []
+        by_priority = sorted(problems, key=lambda pp: (pp[1], pp[0]))
+        ids = [pid for pid, _prio in by_priority]
+        if self._last_served in ids:
+            pivot = ids.index(self._last_served) + 1
+            # Rotate only within the leading priority class.
+            lead_priority = by_priority[0][1]
+            lead = [pid for pid, prio in by_priority if prio == lead_priority]
+            rest = [pid for pid, prio in by_priority if prio != lead_priority]
+            if self._last_served in lead:
+                pivot = lead.index(self._last_served) + 1
+                lead = lead[pivot:] + lead[:pivot]
+            ids = lead + rest
+        return ids
+
+    def served(self, problem_id: int) -> None:
+        self._last_served = problem_id

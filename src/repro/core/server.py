@@ -1,0 +1,464 @@
+"""The task-farm server: problem lifecycle, unit issue, result assembly.
+
+This is the state-machine heart of the system.  It deliberately has **no
+clock and no threads**: every public method takes ``now`` as an
+argument and the caller supplies the time base.  The live cluster wraps
+it with wall-clock time behind an RMI facade
+(:mod:`repro.cluster.local`), while the discrete-event simulator drives
+the *identical* scheduling logic under virtual time
+(:mod:`repro.cluster.sim`) — so the speedup curves measured in
+simulation are produced by the same code a real deployment runs.
+
+Work is **pulled** by donors (cycle scavenging: a donor asks when it is
+idle), matching the paper's client-initiated design.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.faults import LeaseTable
+from repro.core.problem import Algorithm, Problem
+from repro.core.scheduler import (
+    AdaptiveGranularity,
+    DonorState,
+    GranularityPolicy,
+    ProblemRoundRobin,
+)
+from repro.core.workunit import UnitStatus, WorkResult, WorkUnit
+from repro.util.events import EventLog
+
+
+class ProblemStatus(enum.Enum):
+    RUNNING = "running"
+    COMPLETE = "complete"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True, slots=True)
+class Assignment:
+    """One unit as handed to a donor."""
+
+    problem_id: int
+    unit_id: int
+    payload: Any
+    items: int
+    input_bytes: int
+    cost_hint: float
+    lease_deadline: float
+
+
+class _ProblemState:
+    """Server-private bookkeeping for one submitted problem."""
+
+    __slots__ = (
+        "problem",
+        "status",
+        "submitted_at",
+        "completed_at",
+        "requeue",
+        "next_unit_id",
+        "units_issued",
+        "units_completed",
+        "items_completed",
+        "completed_units",
+    )
+
+    def __init__(self, problem: Problem, now: float):
+        self.problem = problem
+        self.status = ProblemStatus.RUNNING
+        self.submitted_at = now
+        self.completed_at: float | None = None
+        self.requeue: deque[WorkUnit] = deque()
+        self.next_unit_id = 0
+        self.units_issued = 0
+        self.units_completed = 0
+        self.items_completed = 0
+        self.completed_units: set[int] = set()
+
+
+class TaskFarmServer:
+    """Pure scheduling state machine for the task farm.
+
+    Parameters
+    ----------
+    policy:
+        Unit-sizing policy; defaults to the paper's adaptive
+        granularity control.
+    lease_timeout:
+        Seconds a donor may hold a unit before it is requeued.
+    log:
+        Event sink; a fresh :class:`~repro.util.events.EventLog` is
+        created when omitted.
+    """
+
+    def __init__(
+        self,
+        policy: GranularityPolicy | None = None,
+        lease_timeout: float = 300.0,
+        log: EventLog | None = None,
+        max_unit_attempts: int = 5,
+    ):
+        if max_unit_attempts < 1:
+            raise ValueError("max_unit_attempts must be >= 1")
+        self.policy = policy or AdaptiveGranularity()
+        self.leases = LeaseTable(lease_timeout)
+        self.log = log or EventLog()
+        self.max_unit_attempts = max_unit_attempts
+        self._problems: dict[int, _ProblemState] = {}
+        self._donors: dict[str, DonorState] = {}
+        self._rr = ProblemRoundRobin()
+        self._failures: dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # problem lifecycle
+    # ------------------------------------------------------------------
+
+    def submit(self, problem: Problem, now: float = 0.0) -> int:
+        """Accept a problem; returns its id."""
+        if problem.problem_id in self._problems:
+            raise ValueError(f"problem {problem.problem_id} already submitted")
+        self._problems[problem.problem_id] = _ProblemState(problem, now)
+        self.log.record(
+            now, "problem.submitted", problem_id=problem.problem_id, name=problem.name
+        )
+        return problem.problem_id
+
+    def status(self, problem_id: int) -> ProblemStatus:
+        return self._state(problem_id).status
+
+    def final_result(self, problem_id: int) -> Any:
+        state = self._state(problem_id)
+        if state.status is ProblemStatus.FAILED:
+            raise RuntimeError(
+                f"problem {problem_id} failed: {self._failures.get(problem_id)}"
+            )
+        if state.status is not ProblemStatus.COMPLETE:
+            raise RuntimeError(f"problem {problem_id} is not complete")
+        return state.problem.data_manager.final_result()
+
+    def progress(self, problem_id: int) -> float:
+        state = self._state(problem_id)
+        total = state.problem.data_manager.total_items()
+        if total:
+            return min(1.0, state.items_completed / total)
+        return state.problem.data_manager.progress()
+
+    def active_problem_ids(self) -> list[int]:
+        return [
+            pid
+            for pid, st in self._problems.items()
+            if st.status is ProblemStatus.RUNNING
+        ]
+
+    def all_complete(self) -> bool:
+        return not self.active_problem_ids()
+
+    def makespan(self, problem_id: int) -> float:
+        """Submit-to-complete time for a finished problem."""
+        state = self._state(problem_id)
+        if state.completed_at is None:
+            raise RuntimeError(f"problem {problem_id} is not complete")
+        return state.completed_at - state.submitted_at
+
+    # ------------------------------------------------------------------
+    # donor lifecycle
+    # ------------------------------------------------------------------
+
+    def register_donor(self, donor_id: str, now: float = 0.0) -> None:
+        if donor_id in self._donors:
+            # A rebooted donor re-registering is normal churn, not an error.
+            self.deregister_donor(donor_id, now)
+        self._donors[donor_id] = DonorState(donor_id, now, now)
+        self.log.record(now, "donor.registered", donor_id=donor_id)
+
+    def deregister_donor(self, donor_id: str, now: float = 0.0) -> None:
+        """Remove a donor; any unit it held goes back on the queue."""
+        donor = self._donors.pop(donor_id, None)
+        if donor is None:
+            return
+        for lease in self.leases.revoke_donor(donor_id):
+            self._requeue_unit(lease.unit, now, reason="donor-left")
+        self.log.record(now, "donor.deregistered", donor_id=donor_id)
+
+    def heartbeat(self, donor_id: str, now: float) -> None:
+        """Keep a slow donor's lease alive while it reports progress."""
+        donor = self._donors.get(donor_id)
+        if donor is None:
+            return
+        donor.last_seen = now
+        if donor.active_unit is not None:
+            # active_unit stores (problem_id, unit_id) packed as a tuple.
+            pid, uid = donor.active_unit  # type: ignore[misc]
+            self.leases.renew(pid, uid, now)
+
+    def donor_ids(self) -> list[str]:
+        return sorted(self._donors)
+
+    def donor_state(self, donor_id: str) -> DonorState:
+        return self._donors[donor_id]
+
+    # ------------------------------------------------------------------
+    # the scheduling core: issue and collect units
+    # ------------------------------------------------------------------
+
+    def request_work(self, donor_id: str, now: float) -> Assignment | None:
+        """A donor asks for its next unit; returns ``None`` when idle.
+
+        Requeued units (casualties of churn or expiry) are reissued
+        before new units are cut, so no work is ever stranded behind
+        fresh partitioning.
+        """
+        donor = self._donors.get(donor_id)
+        if donor is None:
+            raise KeyError(f"unregistered donor {donor_id!r}")
+        donor.last_seen = now
+
+        candidates = [
+            (pid, self._problems[pid].problem.priority)
+            for pid in self.active_problem_ids()
+        ]
+        for pid in self._rr.order(candidates):
+            state = self._problems[pid]
+            unit = self._take_unit(state, donor)
+            if unit is None:
+                continue
+            unit.status = UnitStatus.ISSUED
+            unit.attempts += 1
+            lease = self.leases.grant(unit, donor_id, now)
+            donor.active_unit = (pid, unit.unit_id)
+            state.units_issued += 1
+            self._rr.served(pid)
+            self.log.record(
+                now,
+                "unit.issued",
+                problem_id=pid,
+                unit_id=unit.unit_id,
+                donor_id=donor_id,
+                items=unit.items,
+                attempt=unit.attempts,
+            )
+            return Assignment(
+                problem_id=pid,
+                unit_id=unit.unit_id,
+                payload=unit.payload,
+                items=unit.items,
+                input_bytes=unit.input_bytes,
+                cost_hint=unit.cost_hint,
+                lease_deadline=lease.deadline,
+            )
+        return None
+
+    def _take_unit(self, state: _ProblemState, donor: DonorState) -> WorkUnit | None:
+        if state.requeue:
+            return state.requeue.popleft()
+        max_items = self.policy.items_for(donor, state.problem.problem_id)
+        payload = state.problem.data_manager.next_unit(max_items)
+        if payload is None:
+            return None
+        unit = WorkUnit.from_payload(
+            state.problem.problem_id, state.next_unit_id, payload
+        )
+        state.next_unit_id += 1
+        return unit
+
+    def submit_result(self, result: WorkResult, now: float) -> bool:
+        """Apply a donor's result; returns False for duplicates/stale.
+
+        Exactly-once semantics: a unit whose lease expired may produce
+        two results (the late original and the reissue); the first to
+        arrive is applied, later ones are logged and dropped.
+        """
+        state = self._problems.get(result.problem_id)
+        if state is None or state.status is not ProblemStatus.RUNNING:
+            self.log.record(
+                now,
+                "unit.stale",
+                problem_id=result.problem_id,
+                unit_id=result.unit_id,
+                donor_id=result.donor_id,
+            )
+            return False
+        if result.unit_id in state.completed_units:
+            self.log.record(
+                now,
+                "unit.duplicate",
+                problem_id=result.problem_id,
+                unit_id=result.unit_id,
+                donor_id=result.donor_id,
+            )
+            return False
+
+        lease = self.leases.release(result.problem_id, result.unit_id)
+        if lease is None:
+            # Lease expired but the unit is waiting in the requeue: the
+            # late result still counts; pull the ghost unit off the queue.
+            self._drop_from_requeue(state, result.unit_id)
+
+        donor = self._donors.get(result.donor_id)
+        if donor is not None:
+            donor.active_unit = None
+            donor.last_seen = now
+            donor.units_completed += 1
+            donor.items_completed += result.items
+            donor.busy_seconds += result.compute_seconds
+            donor.perf_for(result.problem_id).observe(
+                result.items, result.compute_seconds
+            )
+
+        state.problem.data_manager.handle_result(result)
+        state.completed_units.add(result.unit_id)
+        state.units_completed += 1
+        state.items_completed += result.items
+        self.log.record(
+            now,
+            "unit.completed",
+            problem_id=result.problem_id,
+            unit_id=result.unit_id,
+            donor_id=result.donor_id,
+            items=result.items,
+            compute_seconds=result.compute_seconds,
+        )
+
+        if state.problem.data_manager.is_complete():
+            self._complete_problem(state, now)
+        return True
+
+    def report_failure(
+        self, problem_id: int, unit_id: int, donor_id: str, error: str, now: float
+    ) -> None:
+        """A donor's Algorithm raised on this unit.
+
+        Transient failures (flaky donor) are healed by requeueing; a
+        *poison unit* that fails on every donor would otherwise cycle
+        forever, so after ``max_unit_attempts`` total attempts the whole
+        problem is marked FAILED and the error surfaced to the user —
+        a deterministic bug in user code must stop the job, not eat the
+        pool.
+        """
+        state = self._problems.get(problem_id)
+        lease = self.leases.release(problem_id, unit_id)
+        donor = self._donors.get(donor_id)
+        if donor is not None:
+            donor.active_unit = None
+            donor.last_seen = now
+        if state is None or state.status is not ProblemStatus.RUNNING:
+            return
+        if unit_id in state.completed_units or lease is None:
+            return
+        unit = lease.unit
+        self.log.record(
+            now,
+            "unit.failed",
+            problem_id=problem_id,
+            unit_id=unit_id,
+            donor_id=donor_id,
+            attempt=unit.attempts,
+            error=error[:500],
+        )
+        if unit.attempts >= self.max_unit_attempts:
+            self._fail_problem(
+                state,
+                now,
+                f"unit {unit_id} failed {unit.attempts} times; last error: {error}",
+            )
+        else:
+            self._requeue_unit(unit, now, reason="algorithm-error")
+
+    def failure_reason(self, problem_id: int) -> str | None:
+        """Why a FAILED problem failed (None otherwise)."""
+        return self._failures.get(problem_id)
+
+    def _fail_problem(self, state: _ProblemState, now: float, reason: str) -> None:
+        state.status = ProblemStatus.FAILED
+        state.completed_at = now
+        self._failures[state.problem.problem_id] = reason
+        for lease in self.leases.outstanding(state.problem.problem_id):
+            self.leases.release(lease.unit.problem_id, lease.unit.unit_id)
+        state.requeue.clear()
+        self.log.record(
+            now,
+            "problem.failed",
+            problem_id=state.problem.problem_id,
+            name=state.problem.name,
+            reason=reason[:500],
+        )
+
+    def expire_leases(self, now: float) -> int:
+        """Requeue every unit whose lease has lapsed; returns the count."""
+        expired = self.leases.expired(now)
+        for lease in expired:
+            donor = self._donors.get(lease.donor_id)
+            if donor is not None and donor.active_unit == (
+                lease.unit.problem_id,
+                lease.unit.unit_id,
+            ):
+                donor.active_unit = None
+            self._requeue_unit(lease.unit, now, reason="lease-expired")
+        return len(expired)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _requeue_unit(self, unit: WorkUnit, now: float, reason: str) -> None:
+        state = self._problems.get(unit.problem_id)
+        if state is None or state.status is not ProblemStatus.RUNNING:
+            return
+        if unit.unit_id in state.completed_units:
+            return
+        unit.status = UnitStatus.EXPIRED
+        state.requeue.append(unit)
+        self.log.record(
+            now,
+            "unit.requeued",
+            problem_id=unit.problem_id,
+            unit_id=unit.unit_id,
+            reason=reason,
+        )
+
+    @staticmethod
+    def _drop_from_requeue(state: _ProblemState, unit_id: int) -> None:
+        for queued in state.requeue:
+            if queued.unit_id == unit_id:
+                state.requeue.remove(queued)
+                return
+
+    def _complete_problem(self, state: _ProblemState, now: float) -> None:
+        state.status = ProblemStatus.COMPLETE
+        state.completed_at = now
+        # Cancel anything still in flight for this problem.
+        for lease in self.leases.outstanding(state.problem.problem_id):
+            self.leases.release(lease.unit.problem_id, lease.unit.unit_id)
+        state.requeue.clear()
+        self.log.record(
+            now,
+            "problem.completed",
+            problem_id=state.problem.problem_id,
+            name=state.problem.name,
+            units=state.units_completed,
+            items=state.items_completed,
+        )
+
+    def _state(self, problem_id: int) -> _ProblemState:
+        try:
+            return self._problems[problem_id]
+        except KeyError:
+            raise KeyError(f"unknown problem {problem_id}") from None
+
+    # ------------------------------------------------------------------
+    # donor-facing fetch API (algorithm + blobs travel once per problem)
+    # ------------------------------------------------------------------
+
+    def get_algorithm(self, problem_id: int) -> Algorithm:
+        """The Algorithm object donors cache for this problem."""
+        return self._state(problem_id).problem.algorithm
+
+    def get_blob(self, problem_id: int, key: str) -> bytes:
+        return self._state(problem_id).problem.blobs[key]
+
+    def blob_keys(self, problem_id: int) -> list[str]:
+        return sorted(self._state(problem_id).problem.blobs)

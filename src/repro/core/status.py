@@ -1,0 +1,123 @@
+"""Operator-facing status reports.
+
+The original system ran unattended for years; the first question an
+operator asks a long-running farm is "what is it doing right now?".
+This module renders a point-in-time snapshot of a
+:class:`~repro.core.server.TaskFarmServer` — problems, progress,
+donors, throughput — as plain text (servable over RMI, printable from
+a cron job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.server import ProblemStatus, TaskFarmServer
+
+
+@dataclass(frozen=True, slots=True)
+class ProblemStatusLine:
+    problem_id: int
+    name: str
+    status: str
+    progress: float
+    units_completed: int
+    units_in_flight: int
+    units_requeued: int
+
+
+@dataclass(frozen=True, slots=True)
+class DonorStatusLine:
+    donor_id: str
+    units_completed: int
+    items_completed: int
+    busy_seconds: float
+    active: bool
+    idle_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class FarmStatus:
+    """A point-in-time snapshot of the whole farm."""
+
+    time: float
+    problems: list[ProblemStatusLine]
+    donors: list[DonorStatusLine]
+
+    @property
+    def active_donors(self) -> int:
+        return sum(1 for d in self.donors if d.active)
+
+    @property
+    def running_problems(self) -> int:
+        return sum(1 for p in self.problems if p.status == "running")
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"task farm status @ t={self.time:.1f}: "
+            f"{self.running_problems} running problem(s), "
+            f"{len(self.donors)} donor(s) ({self.active_donors} busy)",
+            "",
+            f"{'id':>4} {'problem':<18} {'status':<9} {'progress':>9} "
+            f"{'done':>6} {'flight':>7} {'requeued':>9}",
+        ]
+        for p in self.problems:
+            lines.append(
+                f"{p.problem_id:>4} {p.name:<18.18} {p.status:<9} "
+                f"{p.progress:>8.1%} {p.units_completed:>6} "
+                f"{p.units_in_flight:>7} {p.units_requeued:>9}"
+            )
+        lines.append("")
+        lines.append(
+            f"{'donor':<18} {'units':>6} {'items':>8} {'busy(s)':>9} {'state':<6}"
+        )
+        for d in self.donors:
+            state = "busy" if d.active else f"idle {d.idle_seconds:.0f}s"
+            lines.append(
+                f"{d.donor_id:<18.18} {d.units_completed:>6} "
+                f"{d.items_completed:>8} {d.busy_seconds:>9.1f} {state:<6}"
+            )
+        return "\n".join(lines)
+
+
+def snapshot(server: TaskFarmServer, now: float) -> FarmStatus:
+    """Build a :class:`FarmStatus` from a server (read-only)."""
+    problems = []
+    for pid, state in sorted(server._problems.items()):
+        in_flight = len(server.leases.outstanding(pid))
+        requeued = len(state.requeue)
+        problems.append(
+            ProblemStatusLine(
+                problem_id=pid,
+                name=state.problem.name,
+                status=state.status.value,
+                progress=(
+                    1.0
+                    if state.status is ProblemStatus.COMPLETE
+                    else server.progress(pid)
+                ),
+                units_completed=state.units_completed,
+                units_in_flight=in_flight,
+                units_requeued=requeued,
+            )
+        )
+    donors = []
+    for donor_id in server.donor_ids():
+        donor = server.donor_state(donor_id)
+        donors.append(
+            DonorStatusLine(
+                donor_id=donor_id,
+                units_completed=donor.units_completed,
+                items_completed=donor.items_completed,
+                busy_seconds=donor.busy_seconds,
+                active=donor.active_unit is not None,
+                idle_seconds=max(0.0, now - donor.last_seen),
+            )
+        )
+    return FarmStatus(time=now, problems=problems, donors=donors)
+
+
+def render_status(server: TaskFarmServer, now: float) -> str:
+    """One-call convenience: snapshot and render."""
+    return snapshot(server, now).render()

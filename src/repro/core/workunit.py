@@ -1,0 +1,105 @@
+"""Work units and results — the currency between server and donors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class UnitStatus(enum.Enum):
+    """Lifecycle of a work unit inside the server."""
+
+    PENDING = "pending"      # created, waiting to be issued
+    ISSUED = "issued"        # leased to a donor
+    COMPLETED = "completed"  # result applied to the DataManager
+    EXPIRED = "expired"      # lease ran out; requeued for reissue
+
+
+@dataclass(frozen=True, slots=True)
+class UnitPayload:
+    """What a :class:`~repro.core.problem.DataManager` hands out.
+
+    Attributes
+    ----------
+    payload:
+        Opaque, picklable input for the Algorithm.
+    items:
+        How many indivisible work items the payload contains (e.g.
+        database sequences for DSEARCH, candidate trees for DPRml).
+        The adaptive scheduler sizes future units in these terms.
+    input_bytes:
+        Estimated wire size of the payload, used by the network model
+        and for choosing the bulk data channel.
+    cost_hint:
+        Optional abstract compute cost (work-units); simulated donors
+        charge ``cost_hint / speed`` seconds when executing offline.
+    """
+
+    payload: Any
+    items: int = 1
+    input_bytes: int = 0
+    cost_hint: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.items <= 0:
+            raise ValueError(f"unit must contain at least one item, got {self.items}")
+
+
+@dataclass(slots=True)
+class WorkUnit:
+    """A :class:`UnitPayload` wrapped with identity and bookkeeping."""
+
+    problem_id: int
+    unit_id: int
+    payload: Any
+    items: int
+    input_bytes: int = 0
+    cost_hint: float = 0.0
+    status: UnitStatus = UnitStatus.PENDING
+    attempts: int = 0
+
+    @classmethod
+    def from_payload(
+        cls, problem_id: int, unit_id: int, up: UnitPayload
+    ) -> "WorkUnit":
+        return cls(
+            problem_id=problem_id,
+            unit_id=unit_id,
+            payload=up.payload,
+            items=up.items,
+            input_bytes=up.input_bytes,
+            cost_hint=up.cost_hint,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkResult:
+    """A completed unit travelling back to the server.
+
+    Attributes
+    ----------
+    problem_id, unit_id:
+        Identify the unit this result answers.
+    value:
+        The Algorithm's output (opaque to the framework).
+    donor_id:
+        Which donor computed it.
+    compute_seconds:
+        Donor-measured execution time; feeds the adaptive scheduler's
+        per-donor performance model.
+    items:
+        Echo of the unit's item count (lets the performance model
+        compute items/second without a server-side lookup).
+    output_bytes:
+        Estimated wire size of ``value``.
+    """
+
+    problem_id: int
+    unit_id: int
+    value: Any
+    donor_id: str = ""
+    compute_seconds: float = 0.0
+    items: int = 1
+    output_bytes: int = 0
+    extra: dict = field(default_factory=dict)

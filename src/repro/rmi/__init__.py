@@ -1,0 +1,45 @@
+"""Remote method invocation over TCP — the Java RMI replacement.
+
+The paper's system uses Java RMI for control-plane calls ("interact with
+objects that are actually running in JVMs on remote hosts") and plain
+sockets for bulk data files "which is more efficient than RMI".  This
+package reimplements both halves from scratch:
+
+* :mod:`repro.rmi.serialize` — a framed pickle codec (the serialization
+  layer RMI gets for free from Java object serialization).
+* :mod:`repro.rmi.transport` — length-prefixed message framing over TCP
+  plus a threaded accept loop.
+* :mod:`repro.rmi.registry` / :mod:`repro.rmi.proxy` — a remote object
+  registry on the server and dynamic client-side stubs, so calling
+  ``proxy.method(args)`` executes ``method`` on the remote object.
+* :mod:`repro.rmi.datachannel` — the "ordinary sockets" path: chunked,
+  checksummed streaming of large byte payloads that bypasses the RMI
+  request/response envelope.
+"""
+
+from repro.rmi.errors import (
+    ConnectionClosed,
+    ProtocolError,
+    RemoteError,
+    RMIError,
+    SerializationError,
+)
+from repro.rmi.proxy import RemoteProxy, connect
+from repro.rmi.registry import RemoteObjectRegistry
+from repro.rmi.server import RMIServer
+from repro.rmi.datachannel import DataChannelServer, fetch_data, push_data
+
+__all__ = [
+    "ConnectionClosed",
+    "DataChannelServer",
+    "ProtocolError",
+    "RMIError",
+    "RMIServer",
+    "RemoteError",
+    "RemoteObjectRegistry",
+    "RemoteProxy",
+    "SerializationError",
+    "connect",
+    "fetch_data",
+    "push_data",
+]

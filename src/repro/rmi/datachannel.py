@@ -1,0 +1,144 @@
+"""Bulk data transfer over plain sockets.
+
+The paper: "Data files, which may be large, are transmitted using
+ordinary sockets, which is more efficient than RMI."  The RMI call path
+must buffer the whole payload to pickle it into one frame; this channel
+instead streams fixed-size chunks straight from/to a byte buffer with an
+adler32 checksum trailer, so large transfers cost O(chunk) memory and
+skip the serialization envelope.
+
+Protocol (client → server request, then one transfer either direction)::
+
+    request  = frame{"op": "get"|"put", "key": str, ["size": int]}
+    transfer = 8-byte big-endian size, raw bytes, 4-byte adler32
+    reply    = frame{"ok": bool, ["error": str]}
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import zlib
+
+from repro.rmi.errors import ProtocolError, RMIError
+from repro.rmi.transport import FrameSocket, TransportServer, _recv_exact
+
+CHUNK_SIZE = 1 << 16
+_SIZE = struct.Struct(">Q")
+_SUM = struct.Struct(">I")
+
+
+def _send_stream(sock: socket.socket, data: bytes) -> None:
+    sock.sendall(_SIZE.pack(len(data)))
+    checksum = zlib.adler32(b"")
+    view = memoryview(data)
+    for start in range(0, len(view), CHUNK_SIZE):
+        chunk = view[start : start + CHUNK_SIZE]
+        checksum = zlib.adler32(chunk, checksum)
+        sock.sendall(chunk)
+    sock.sendall(_SUM.pack(checksum & 0xFFFFFFFF))
+
+
+def _recv_stream(sock: socket.socket) -> bytes:
+    (size,) = _SIZE.unpack(_recv_exact(sock, _SIZE.size))
+    checksum = zlib.adler32(b"")
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, CHUNK_SIZE))
+        if not chunk:
+            raise ProtocolError(f"stream truncated with {remaining} bytes left")
+        checksum = zlib.adler32(chunk, checksum)
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    (expected,) = _SUM.unpack(_recv_exact(sock, _SUM.size))
+    if (checksum & 0xFFFFFFFF) != expected:
+        raise ProtocolError("checksum mismatch on bulk transfer")
+    return b"".join(chunks)
+
+
+class DataChannelServer:
+    """Serves named byte blobs (problem data files) over raw sockets.
+
+    The server in the paper holds each problem's data files and donors
+    fetch the slice they need; results flow back the same way.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self._transport = TransportServer(self._serve, host=host, port=port)
+        self.host = self._transport.host
+        self.port = self._transport.port
+
+    def store(self, key: str, data: bytes) -> None:
+        """Make *data* fetchable under *key*."""
+        with self._lock:
+            self._blobs[key] = data
+
+    def get(self, key: str) -> bytes:
+        with self._lock:
+            return self._blobs[key]
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            self._blobs.pop(key, None)
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._blobs)
+
+    def _serve(self, fsock: FrameSocket) -> None:
+        while True:
+            request = fsock.recv_obj()
+            op = request.get("op")
+            key = request.get("key", "")
+            if op == "get":
+                with self._lock:
+                    data = self._blobs.get(key)
+                if data is None:
+                    fsock.send_obj({"ok": False, "error": f"no blob {key!r}"})
+                    continue
+                fsock.send_obj({"ok": True, "size": len(data)})
+                _send_stream(fsock.raw, data)
+            elif op == "put":
+                fsock.send_obj({"ok": True})
+                data = _recv_stream(fsock.raw)
+                with self._lock:
+                    self._blobs[key] = data
+                fsock.send_obj({"ok": True, "size": len(data)})
+            else:
+                fsock.send_obj({"ok": False, "error": f"unknown op {op!r}"})
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "DataChannelServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def fetch_data(host: str, port: int, key: str) -> bytes:
+    """Download one blob from a :class:`DataChannelServer`."""
+    with FrameSocket(socket.create_connection((host, port))) as fsock:
+        fsock.send_obj({"op": "get", "key": key})
+        reply = fsock.recv_obj()
+        if not reply.get("ok"):
+            raise RMIError(reply.get("error", "fetch failed"))
+        return _recv_stream(fsock.raw)
+
+
+def push_data(host: str, port: int, key: str, data: bytes) -> None:
+    """Upload one blob to a :class:`DataChannelServer`."""
+    with FrameSocket(socket.create_connection((host, port))) as fsock:
+        fsock.send_obj({"op": "put", "key": key})
+        reply = fsock.recv_obj()
+        if not reply.get("ok"):
+            raise RMIError(reply.get("error", "push refused"))
+        _send_stream(fsock.raw, data)
+        reply = fsock.recv_obj()
+        if not reply.get("ok") or reply.get("size") != len(data):
+            raise RMIError("push not acknowledged")

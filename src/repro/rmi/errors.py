@@ -1,0 +1,40 @@
+"""Exception hierarchy for the RMI layer."""
+
+from __future__ import annotations
+
+
+class RMIError(Exception):
+    """Base class for all RMI-layer failures."""
+
+
+class ConnectionClosed(RMIError):
+    """The peer closed the connection (cleanly or mid-frame)."""
+
+
+class ProtocolError(RMIError):
+    """A frame violated the wire protocol (bad magic, length, type)."""
+
+
+class SerializationError(RMIError):
+    """An object could not be pickled or unpickled."""
+
+
+class RemoteError(RMIError):
+    """The remote method raised; carries the remote traceback text.
+
+    Mirrors Java RMI's ``RemoteException`` wrapping: the client sees the
+    remote failure as a local exception with enough context to debug it,
+    without requiring the remote exception class to be importable.
+    """
+
+    def __init__(self, exc_type: str, message: str, remote_traceback: str = ""):
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type
+        self.message = message
+        self.remote_traceback = remote_traceback
+
+    def __str__(self) -> str:
+        base = f"remote call raised {self.exc_type}: {self.message}"
+        if self.remote_traceback:
+            base += "\n--- remote traceback ---\n" + self.remote_traceback
+        return base

@@ -1,0 +1,79 @@
+"""Client-side stubs: attribute access becomes a remote call.
+
+``proxy.search(db, q)`` serializes a :class:`CallRequest`, sends it over
+the control connection, blocks for the :class:`CallResponse`, and either
+returns the value or re-raises the remote failure as
+:class:`~repro.rmi.errors.RemoteError` — the same programming model Java
+RMI gives its users.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.rmi.errors import RemoteError
+from repro.rmi.registry import CallRequest, CallResponse
+from repro.rmi.transport import FrameSocket, dial
+
+
+class _BoundMethod:
+    """Callable for one remote method on one proxy."""
+
+    __slots__ = ("_proxy", "_name")
+
+    def __init__(self, proxy: "RemoteProxy", name: str):
+        self._proxy = proxy
+        self._name = name
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._proxy._invoke(self._name, args, kwargs)
+
+
+class RemoteProxy:
+    """Dynamic stub for a named remote object.
+
+    One proxy owns one control connection.  Calls are serialized through
+    a lock because the wire protocol is strict request/response; create
+    one proxy per thread for concurrent callers (donor clients each hold
+    their own connection, as in the paper's deployment).
+    """
+
+    def __init__(self, fsock: FrameSocket, object_name: str):
+        self._fsock = fsock
+        self._object_name = object_name
+        self._call_lock = threading.Lock()
+
+    def __getattr__(self, name: str) -> _BoundMethod:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _BoundMethod(self, name)
+
+    def _invoke(self, method: str, args: tuple, kwargs: dict) -> Any:
+        request = CallRequest(self._object_name, method, args, kwargs)
+        with self._call_lock:
+            self._fsock.send_obj(request)
+            response = self._fsock.recv_obj()
+        if not isinstance(response, CallResponse):
+            raise RemoteError(
+                "ProtocolError", f"expected CallResponse, got {type(response).__name__}"
+            )
+        if response.ok:
+            return response.value
+        raise RemoteError(response.exc_type, response.exc_message, response.exc_traceback)
+
+    def close(self) -> None:
+        self._fsock.close()
+
+    def __enter__(self) -> "RemoteProxy":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def connect(
+    host: str, port: int, object_name: str, timeout: float | None = None
+) -> RemoteProxy:
+    """Dial an :class:`~repro.rmi.server.RMIServer` and bind a stub."""
+    return RemoteProxy(dial(host, port, timeout=timeout), object_name)

@@ -1,0 +1,131 @@
+"""Reconnecting client port: donors survive server restarts.
+
+The paper's system ran for years; donors must outlive transient server
+outages (restart, network blip) without operator attention.  A
+:class:`ReconnectingPort` wraps proxy construction: when a call fails
+with a connection-level error it redials with exponential backoff,
+re-registers the donor, and retries.  In-flight work is *not* replayed
+blindly — on reconnect the donor re-registers, the server requeues its
+old lease, and duplicate results are suppressed by the server's
+exactly-once accounting, so the retry is always safe.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.rmi.errors import ConnectionClosed, RMIError
+from repro.rmi.proxy import RemoteProxy, connect
+
+#: Errors that mean "the connection is gone", as opposed to a remote
+#: exception (which must propagate to the caller untouched).
+_CONNECTION_ERRORS = (ConnectionClosed, ConnectionError, OSError)
+
+
+class ReconnectingPort:
+    """A ServerPort that transparently redials the RMI server.
+
+    Parameters
+    ----------
+    host, port, object_name:
+        Where the task-farm facade lives.
+    max_attempts:
+        Redials per call before giving up (the donor then exits and a
+        service manager may restart it).
+    base_backoff, max_backoff:
+        Exponential backoff bounds between redial attempts.
+    on_reconnect:
+        Callback invoked with the fresh proxy after each successful
+        redial — the donor client uses it to re-register itself.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        object_name: str = "taskfarm",
+        max_attempts: int = 8,
+        base_backoff: float = 0.2,
+        max_backoff: float = 30.0,
+        on_reconnect: Callable[[RemoteProxy], None] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._host = host
+        self._port = port
+        self._object_name = object_name
+        self._max_attempts = max_attempts
+        self._base_backoff = base_backoff
+        self._max_backoff = max_backoff
+        self._on_reconnect = on_reconnect
+        self._sleep = sleep
+        self._proxy: RemoteProxy | None = None
+        self.reconnects = 0
+
+    # -- connection management -------------------------------------------
+
+    def _ensure_proxy(self) -> RemoteProxy:
+        if self._proxy is None:
+            self._proxy = connect(self._host, self._port, self._object_name)
+            if self._on_reconnect is not None:
+                self._on_reconnect(self._proxy)
+        return self._proxy
+
+    def _drop_proxy(self) -> None:
+        if self._proxy is not None:
+            try:
+                self._proxy.close()
+            except Exception:
+                pass
+            self._proxy = None
+
+    def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        backoff = self._base_backoff
+        last_error: Exception | None = None
+        for attempt in range(self._max_attempts):
+            try:
+                proxy = self._ensure_proxy()
+                return getattr(proxy, method)(*args, **kwargs)
+            except _CONNECTION_ERRORS as exc:
+                last_error = exc
+                self._drop_proxy()
+                if attempt + 1 < self._max_attempts:
+                    self._sleep(backoff)
+                    backoff = min(self._max_backoff, backoff * 2)
+                    self.reconnects += 1
+        raise RMIError(
+            f"gave up on {method!r} after {self._max_attempts} attempts"
+        ) from last_error
+
+    def close(self) -> None:
+        self._drop_proxy()
+
+    # -- the ServerPort surface -------------------------------------------
+
+    def register_donor(self, donor_id: str) -> None:
+        self._call("register_donor", donor_id)
+
+    def deregister_donor(self, donor_id: str) -> None:
+        self._call("deregister_donor", donor_id)
+
+    def request_work(self, donor_id: str):
+        return self._call("request_work", donor_id)
+
+    def submit_result(self, result) -> bool:
+        return self._call("submit_result", result)
+
+    def report_failure(
+        self, problem_id: int, unit_id: int, donor_id: str, error: str
+    ) -> None:
+        self._call("report_failure", problem_id, unit_id, donor_id, error)
+
+    def heartbeat(self, donor_id: str) -> None:
+        self._call("heartbeat", donor_id)
+
+    def get_algorithm(self, problem_id: int):
+        return self._call("get_algorithm", problem_id)
+
+    def all_complete(self) -> bool:
+        return self._call("all_complete")

@@ -1,0 +1,103 @@
+"""Server-side remote object registry and call dispatch.
+
+Objects are exported under string names (as in ``java.rmi.Naming``).
+An incoming call names the object, the method and the arguments; the
+registry locates the object, invokes the method, and packages either
+the return value or the raised exception for the wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class CallRequest:
+    """One remote invocation as it travels over the wire."""
+
+    object_name: str
+    method: str
+    args: tuple
+    kwargs: dict
+
+
+@dataclass(frozen=True, slots=True)
+class CallResponse:
+    """Outcome of a remote invocation.
+
+    Exactly one of ``value`` (when ``ok``) or the error fields is
+    meaningful.
+    """
+
+    ok: bool
+    value: Any = None
+    exc_type: str = ""
+    exc_message: str = ""
+    exc_traceback: str = ""
+
+
+class RemoteObjectRegistry:
+    """Name → exported object table with safe dispatch.
+
+    Only public methods (no leading underscore) that exist on the
+    exported object may be invoked remotely; everything else is
+    reported as an ``AttributeError`` to the caller rather than raising
+    in the server.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def bind(self, name: str, obj: Any) -> None:
+        """Export *obj* under *name*; rebinding an existing name fails."""
+        with self._lock:
+            if name in self._objects:
+                raise KeyError(f"name already bound: {name!r}")
+            self._objects[name] = obj
+
+    def rebind(self, name: str, obj: Any) -> None:
+        """Export *obj* under *name*, replacing any existing binding."""
+        with self._lock:
+            self._objects[name] = obj
+
+    def unbind(self, name: str) -> Any:
+        with self._lock:
+            return self._objects.pop(name)
+
+    def lookup(self, name: str) -> Any:
+        with self._lock:
+            return self._objects[name]
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._objects)
+
+    def dispatch(self, request: CallRequest) -> CallResponse:
+        """Execute one call and capture its outcome."""
+        try:
+            with self._lock:
+                obj = self._objects.get(request.object_name)
+            if obj is None:
+                raise KeyError(f"no remote object bound as {request.object_name!r}")
+            if request.method.startswith("_"):
+                raise AttributeError(
+                    f"method {request.method!r} is not remotely callable"
+                )
+            method = getattr(obj, request.method, None)
+            if method is None or not callable(method):
+                raise AttributeError(
+                    f"{request.object_name!r} has no remote method {request.method!r}"
+                )
+            value = method(*request.args, **request.kwargs)
+            return CallResponse(ok=True, value=value)
+        except Exception as exc:
+            return CallResponse(
+                ok=False,
+                exc_type=type(exc).__name__,
+                exc_message=str(exc),
+                exc_traceback=traceback.format_exc(),
+            )

@@ -1,0 +1,73 @@
+"""Framed object serialization.
+
+Wire format of one frame::
+
+    +--------+---------+--------------+------------------+
+    | magic  | version | payload len  | payload (pickle) |
+    | 2 B    | 1 B     | 4 B big-end  | len bytes        |
+    +--------+---------+--------------+------------------+
+
+The magic/version header lets a receiver reject garbage (or a peer
+speaking a future protocol) before attempting to unpickle, and the
+length prefix delimits messages on the stream.  Java object
+serialization plays this role in real RMI.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+from repro.rmi.errors import ProtocolError, SerializationError
+
+MAGIC = b"JR"  # "Java-replacement RMI"
+VERSION = 1
+_HEADER = struct.Struct(">2sBI")
+HEADER_SIZE = _HEADER.size
+
+#: Refuse absurd frames instead of attempting a multi-GiB allocation on
+#: a corrupt length field.
+MAX_FRAME_BYTES = 1 << 31
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialize *obj* into a framed message."""
+    try:
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+    return _HEADER.pack(MAGIC, VERSION, len(payload)) + payload
+
+
+def parse_header(header: bytes) -> int:
+    """Validate a frame header and return the payload length."""
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(f"short header: {len(header)} bytes")
+    magic, version, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {length} bytes")
+    return length
+
+
+def loads_payload(payload: bytes) -> Any:
+    """Deserialize a frame payload (header already stripped)."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise SerializationError(f"cannot deserialize payload: {exc}") from exc
+
+
+def loads(frame: bytes) -> Any:
+    """Deserialize one complete frame (header + payload)."""
+    length = parse_header(frame[:HEADER_SIZE])
+    payload = frame[HEADER_SIZE:]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"payload length mismatch: header says {length}, got {len(payload)}"
+        )
+    return loads_payload(payload)

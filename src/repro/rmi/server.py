@@ -1,0 +1,58 @@
+"""The RMI server: a transport accept loop wired to an object registry.
+
+Each client connection is a sequence of request/response pairs; the
+connection thread loops until the client disconnects.  This matches the
+paper's single-server topology where every donor keeps a control
+connection to the one server.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.rmi.registry import CallRequest, CallResponse, RemoteObjectRegistry
+from repro.rmi.transport import FrameSocket, TransportServer
+
+
+class RMIServer:
+    """Hosts remote objects on a TCP port.
+
+    Example
+    -------
+    >>> server = RMIServer()
+    >>> server.registry.bind("adder", SomeAdder())
+    >>> # clients: connect("127.0.0.1", server.port, "adder").add(1, 2)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self.registry = RemoteObjectRegistry()
+        self._transport = TransportServer(self._serve_connection, host=host, port=port)
+        self.host = self._transport.host
+        self.port = self._transport.port
+
+    def _serve_connection(self, fsock: FrameSocket) -> None:
+        while True:
+            request = fsock.recv_obj()  # raises ConnectionClosed to end loop
+            if not isinstance(request, CallRequest):
+                fsock.send_obj(
+                    CallResponse(
+                        ok=False,
+                        exc_type="ProtocolError",
+                        exc_message=f"expected CallRequest, got {type(request).__name__}",
+                    )
+                )
+                continue
+            fsock.send_obj(self.registry.dispatch(request))
+
+    def bind(self, name: str, obj: Any) -> None:
+        """Convenience passthrough to :meth:`RemoteObjectRegistry.bind`."""
+        self.registry.bind(name, obj)
+
+    def close(self) -> None:
+        self._transport.close()
+
+    def __enter__(self) -> "RMIServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,173 @@
+"""TCP transport: framed message sockets and a threaded accept loop."""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable
+
+from repro.rmi import serialize
+from repro.rmi.errors import ConnectionClosed, RMIError
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly *n* bytes or raise :class:`ConnectionClosed`."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(f"peer closed with {remaining} bytes outstanding")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameSocket:
+    """A socket that speaks whole serialized objects.
+
+    Thread safety: one thread may send while another receives, but
+    concurrent senders (or concurrent receivers) must coordinate — the
+    same contract as Java RMI's connection handling.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        # Control-plane messages are small and latency-sensitive.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - not all test sockets support it
+            pass
+
+    @property
+    def raw(self) -> socket.socket:
+        return self._sock
+
+    def send_obj(self, obj: Any) -> int:
+        """Serialize and send one object; returns bytes written."""
+        frame = serialize.dumps(obj)
+        with self._send_lock:
+            self._sock.sendall(frame)
+        return len(frame)
+
+    def recv_obj(self) -> Any:
+        """Receive and deserialize one object."""
+        with self._recv_lock:
+            header = _recv_exact(self._sock, serialize.HEADER_SIZE)
+            length = serialize.parse_header(header)
+            payload = _recv_exact(self._sock, length)
+        return serialize.loads_payload(payload)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "FrameSocket":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def dial(host: str, port: int, timeout: float | None = None) -> FrameSocket:
+    """Connect to a listening transport and return a :class:`FrameSocket`."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    return FrameSocket(sock)
+
+
+class TransportServer:
+    """Threaded TCP accept loop handing each connection to a callback.
+
+    The callback runs on a dedicated thread per connection and receives
+    a :class:`FrameSocket`; it owns the socket's lifetime.  This mirrors
+    the JVM-side dispatch threads of Java RMI.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[FrameSocket], None],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._handler = handler
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._conns: set[FrameSocket] = set()
+        self._conns_lock = threading.Lock()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"rmi-accept:{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            fsock = FrameSocket(conn)
+            with self._conns_lock:
+                self._conns.add(fsock)
+            thread = threading.Thread(
+                target=self._run_handler,
+                args=(fsock,),
+                name=f"rmi-conn:{self.port}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+            # Reap finished handler threads so the list stays bounded.
+            self._threads = [t for t in self._threads if t.is_alive()]
+
+    def _run_handler(self, fsock: FrameSocket) -> None:
+        try:
+            self._handler(fsock)
+        except ConnectionClosed:
+            pass
+        except RMIError:
+            # Garbage on the wire (bad magic, corrupt frame): drop this
+            # connection; the server keeps serving everyone else.
+            pass
+        except OSError:
+            pass  # connection torn down under the handler (server close)
+        finally:
+            fsock.close()
+            with self._conns_lock:
+                self._conns.discard(fsock)
+
+    def close(self) -> None:
+        """Stop accepting, drop live connections, reap handler threads.
+
+        Closing live connections matters: a "stopped" server whose old
+        sockets keep answering is indistinguishable from a running one,
+        which would defeat both restart semantics and the donors'
+        reconnect logic.
+        """
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conns_lock:
+            conns = list(self._conns)
+        for fsock in conns:
+            fsock.close()
+        self._accept_thread.join(timeout=2.0)
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    def __enter__(self) -> "TransportServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,177 @@
+"""Plain ``key = value`` configuration files.
+
+Both applications in the paper are driven by "a straightforward
+configuration file" that the user edits to tailor a computation.  This
+module implements that file format: one ``key = value`` pair per line,
+``#`` comments, blank lines ignored, values are bare strings.  Typed
+accessors perform conversion and validation at the point of use so a bad
+file fails with a message naming the offending key.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator, Mapping
+
+
+class ConfigError(ValueError):
+    """A configuration file is malformed or a value fails validation."""
+
+
+_BOOL_TRUE = frozenset({"1", "true", "yes", "on"})
+_BOOL_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+class ConfigFile(Mapping[str, str]):
+    """An immutable mapping parsed from ``key = value`` text.
+
+    Parameters
+    ----------
+    pairs:
+        Already-parsed key/value pairs.  Use :meth:`parse`,
+        :meth:`from_path` or :meth:`from_text` to build one from file
+        content.
+    source:
+        Human-readable origin (file name) used in error messages.
+    """
+
+    def __init__(self, pairs: Mapping[str, str], source: str = "<config>"):
+        self._pairs = dict(pairs)
+        self._source = source
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str, source: str = "<config>") -> "ConfigFile":
+        """Parse configuration text into a :class:`ConfigFile`."""
+        pairs: dict[str, str] = {}
+        for lineno, raw in enumerate(io.StringIO(text), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if "=" not in line:
+                raise ConfigError(
+                    f"{source}:{lineno}: expected 'key = value', got {raw.strip()!r}"
+                )
+            key, value = line.split("=", 1)
+            key = key.strip()
+            value = value.strip()
+            if not key:
+                raise ConfigError(f"{source}:{lineno}: empty key")
+            if key in pairs:
+                raise ConfigError(f"{source}:{lineno}: duplicate key {key!r}")
+            pairs[key] = value
+        return cls(pairs, source)
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "ConfigFile":
+        """Read and parse a configuration file from disk."""
+        path = Path(path)
+        return cls.from_text(path.read_text(), source=str(path))
+
+    # -- Mapping interface ----------------------------------------------
+
+    def __getitem__(self, key: str) -> str:
+        return self._pairs[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConfigFile({self._pairs!r}, source={self._source!r})"
+
+    # -- typed accessors --------------------------------------------------
+
+    def _raw(self, key: str, default: object) -> str | None:
+        if key in self._pairs:
+            return self._pairs[key]
+        if default is _MISSING:
+            raise ConfigError(f"{self._source}: missing required key {key!r}")
+        return None
+
+    def get_str(self, key: str, default: str | object = None) -> str:
+        raw = self._raw(key, default)
+        return raw if raw is not None else default  # type: ignore[return-value]
+
+    def get_int(self, key: str, default: int | object = None) -> int:
+        raw = self._raw(key, default)
+        if raw is None:
+            return default  # type: ignore[return-value]
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"{self._source}: key {key!r} expects an integer, got {raw!r}"
+            ) from exc
+
+    def get_float(self, key: str, default: float | object = None) -> float:
+        raw = self._raw(key, default)
+        if raw is None:
+            return default  # type: ignore[return-value]
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"{self._source}: key {key!r} expects a number, got {raw!r}"
+            ) from exc
+
+    def get_bool(self, key: str, default: bool | object = None) -> bool:
+        raw = self._raw(key, default)
+        if raw is None:
+            return default  # type: ignore[return-value]
+        low = raw.lower()
+        if low in _BOOL_TRUE:
+            return True
+        if low in _BOOL_FALSE:
+            return False
+        raise ConfigError(
+            f"{self._source}: key {key!r} expects a boolean, got {raw!r}"
+        )
+
+    def get_choice(
+        self, key: str, choices: tuple[str, ...], default: str | object = None
+    ) -> str:
+        raw = self._raw(key, default)
+        if raw is None:
+            return default  # type: ignore[return-value]
+        if raw not in choices:
+            raise ConfigError(
+                f"{self._source}: key {key!r} must be one of {choices}, got {raw!r}"
+            )
+        return raw
+
+    def require(self, *keys: str) -> None:
+        """Raise :class:`ConfigError` unless every *key* is present."""
+        missing = [k for k in keys if k not in self._pairs]
+        if missing:
+            raise ConfigError(
+                f"{self._source}: missing required keys: {', '.join(missing)}"
+            )
+
+    def to_text(self) -> str:
+        """Render back to ``key = value`` text (stable key order)."""
+        return "".join(f"{k} = {v}\n" for k, v in sorted(self._pairs.items()))
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def required() -> object:
+    """Sentinel default marking a key as mandatory in typed accessors.
+
+    Example
+    -------
+    >>> cfg = ConfigFile.from_text("threads = 4")
+    >>> cfg.get_int("threads", required())
+    4
+    """
+    return _MISSING

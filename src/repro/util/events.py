@@ -1,0 +1,88 @@
+"""Structured event log.
+
+Both the discrete-event simulator and the live server record what
+happened as a stream of timestamped events.  Benchmarks and the metrics
+module post-process this stream (utilisation, makespan, per-donor
+accounting) instead of each component keeping ad-hoc counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One timestamped occurrence.
+
+    Attributes
+    ----------
+    time:
+        Seconds (wall-clock or simulated, depending on the producer).
+    kind:
+        Short machine-readable tag, e.g. ``"unit.issued"``.
+    data:
+        Free-form payload; keys are event-kind specific.
+    """
+
+    time: float
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only list of :class:`Event` with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(self, time: float, kind: str, **data: Any) -> Event:
+        """Append an event and return it."""
+        if self._events and time < self._events[-1].time - 1e-9:
+            # Events must be recorded in causal order; tolerate float fuzz.
+            raise ValueError(
+                f"event at t={time} recorded after t={self._events[-1].time}"
+            )
+        event = Event(time, kind, data)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def of_kind(self, *kinds: str) -> list[Event]:
+        """All events whose kind is one of *kinds*, in time order."""
+        wanted = frozenset(kinds)
+        return [e for e in self._events if e.kind in wanted]
+
+    def where(self, predicate: Callable[[Event], bool]) -> list[Event]:
+        return [e for e in self._events if predicate(e)]
+
+    def first(self, kind: str) -> Event | None:
+        for e in self._events:
+            if e.kind == kind:
+                return e
+        return None
+
+    def last(self, kind: str) -> Event | None:
+        for e in reversed(self._events):
+            if e.kind == kind:
+                return e
+        return None
+
+    def span(self) -> float:
+        """Time between first and last event (0 when fewer than two)."""
+        if len(self._events) < 2:
+            return 0.0
+        return self._events[-1].time - self._events[0].time
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for e in events:
+            self.record(e.time, e.kind, **e.data)

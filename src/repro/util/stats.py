@@ -1,0 +1,98 @@
+"""Small statistics helpers used by metrics and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+class RunningStat:
+    """Online mean/variance (Welford) without storing samples."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Combine two independent accumulators (parallel Welford)."""
+        merged = RunningStat()
+        n = self.count + other.count
+        if n == 0:
+            return merged
+        delta = other.mean - self.mean
+        merged.count = n
+        merged._mean = self.mean + delta * other.count / n
+        merged._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / n
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+
+def mean_confidence(samples: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """Mean and half-width of a normal-approximation confidence interval."""
+    n = len(samples)
+    if n == 0:
+        return 0.0, 0.0
+    mean = sum(samples) / n
+    if n == 1:
+        return mean, 0.0
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    half = z * math.sqrt(var / n)
+    return mean, half
+
+
+@dataclass(frozen=True, slots=True)
+class SpeedupPoint:
+    """One point of a speedup curve."""
+
+    processors: int
+    runtime: float
+    speedup: float
+    efficiency: float
+
+
+def speedup_curve(
+    processors: Iterable[int], runtimes: Iterable[float]
+) -> list[SpeedupPoint]:
+    """Build a speedup curve relative to the smallest processor count.
+
+    The baseline is the runtime measured at the *lowest* processor count
+    scaled to one processor (``T1 = T_pmin * pmin``); when the sweep
+    includes ``p=1`` this is exactly the classical ``T1 / Tp``.
+    """
+    pairs = sorted(zip(processors, runtimes))
+    if not pairs:
+        return []
+    p0, t0 = pairs[0]
+    if p0 <= 0:
+        raise ValueError("processor counts must be positive")
+    t1 = t0 * p0
+    curve = []
+    for p, t in pairs:
+        s = t1 / t if t > 0 else math.inf
+        curve.append(SpeedupPoint(p, t, s, s / p))
+    return curve

@@ -1,0 +1,134 @@
+"""Shared test fixtures: simple DataManagers/Algorithms and a manual clock."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.problem import Algorithm, DataManager
+from repro.core.workunit import UnitPayload, WorkResult
+
+
+class ManualClock:
+    """A clock the test advances explicitly."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+
+class RangeSumDataManager(DataManager):
+    """Sum the integers 0..n-1: the canonical trivially parallel problem.
+
+    Units are contiguous slices of the range; the final result is the
+    grand total.  Used throughout the framework tests because every
+    intermediate value is checkable in closed form.
+    """
+
+    def __init__(self, n: int):
+        self.n = n
+        self._next = 0
+        self._outstanding = 0
+        self._total = 0
+        self._done_items = 0
+
+    def total_items(self) -> int:
+        return self.n
+
+    def next_unit(self, max_items: int) -> UnitPayload | None:
+        if self._next >= self.n:
+            return None
+        lo = self._next
+        hi = min(self.n, lo + max_items)
+        self._next = hi
+        self._outstanding += 1
+        return UnitPayload(payload=(lo, hi), items=hi - lo, input_bytes=16)
+
+    def handle_result(self, result: WorkResult) -> None:
+        self._total += result.value
+        self._done_items += result.items
+        self._outstanding -= 1
+
+    def is_complete(self) -> bool:
+        return self._done_items >= self.n
+
+    def final_result(self) -> int:
+        return self._total
+
+
+class RangeSumAlgorithm(Algorithm):
+    def compute(self, payload: Any) -> int:
+        lo, hi = payload
+        return sum(range(lo, hi))
+
+    def cost(self, payload: Any) -> float:
+        lo, hi = payload
+        return float(hi - lo)
+
+
+class StagedDataManager(DataManager):
+    """A two-phase computation exercising stage barriers.
+
+    Stage 1: square each of ``n`` integers (n units).
+    Stage 2 (only after *all* squares are in): sum pairs of squares.
+    Mirrors DPRml's structure where a stage must fully complete before
+    the next stage's units exist.
+    """
+
+    def __init__(self, n: int = 8):
+        assert n % 2 == 0
+        self.n = n
+        self.stage = 1
+        self._pending = list(range(n))
+        self._stage1_results: dict[int, int] = {}
+        self._stage2_pending: list[tuple[int, int]] = []
+        self._stage2_expected = 0
+        self._total = 0
+        self._stage2_done = 0
+
+    def next_unit(self, max_items: int) -> UnitPayload | None:
+        if self.stage == 1:
+            if not self._pending:
+                return None  # barrier: wait for stage-1 results
+            x = self._pending.pop()
+            return UnitPayload(payload=("square", x), items=1)
+        if self._stage2_pending:
+            pair = self._stage2_pending.pop()
+            return UnitPayload(payload=("addpair", pair), items=1)
+        return None
+
+    def handle_result(self, result: WorkResult) -> None:
+        kind, value = result.value
+        if kind == "square":
+            x, squared = value
+            self._stage1_results[x] = squared
+            if len(self._stage1_results) == self.n:
+                squares = [self._stage1_results[i] for i in range(self.n)]
+                self._stage2_pending = [
+                    (squares[i], squares[i + 1]) for i in range(0, self.n, 2)
+                ]
+                self._stage2_expected = len(self._stage2_pending)
+                self.stage = 2
+        else:
+            self._total += value
+            self._stage2_done += 1
+
+    def is_complete(self) -> bool:
+        return self.stage == 2 and self._stage2_done == self._stage2_expected
+
+    def final_result(self) -> int:
+        return self._total
+
+
+class StagedAlgorithm(Algorithm):
+    def compute(self, payload: Any) -> Any:
+        op, arg = payload
+        if op == "square":
+            return ("square", (arg, arg * arg))
+        a, b = arg
+        return ("addpair", a + b)

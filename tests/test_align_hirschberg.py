@@ -1,0 +1,86 @@
+"""Tests for Hirschberg linear-memory alignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.align.hirschberg import hirschberg_align
+from repro.bio.align.nw import needleman_wunsch_score
+from repro.bio.align.scoring import dna_scheme
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import mutate_sequence, random_sequence
+from repro.bio.seq.sequence import dna
+
+#: Linear gaps: gap of length k costs k * gap_extend (gap_open = 0).
+LINEAR = dna_scheme(match=2.0, mismatch=-1.0, gap_open=0.0, gap_extend=-2.0)
+
+
+class TestHirschberg:
+    def test_identical(self):
+        a = dna("a", "ACGTACGT")
+        aln = hirschberg_align(a, a, LINEAR)
+        assert aln.score == 16.0
+        assert aln.query_aligned == aln.subject_aligned == "ACGTACGT"
+
+    def test_simple_gap(self):
+        a = dna("a", "ACGT")
+        b = dna("b", "AGT")
+        aln = hirschberg_align(a, b, LINEAR)
+        assert aln.score == needleman_wunsch_score(a, b, LINEAR)
+        assert aln.query_aligned.replace("-", "") == "ACGT"
+        assert aln.subject_aligned.replace("-", "") == "AGT"
+
+    def test_rejects_affine_scheme(self):
+        affine = dna_scheme(gap_open=-10.0, gap_extend=-1.0)
+        with pytest.raises(ValueError, match="linear gap"):
+            hirschberg_align(dna("a", "AC"), dna("b", "AC"), affine)
+
+    def test_long_homologs(self):
+        rng = np.random.default_rng(4)
+        a = random_sequence("a", 800, DNA, rng)
+        b = mutate_sequence(a, rng, substitution_rate=0.05, insertion_rate=0.02,
+                            deletion_rate=0.02)
+        aln = hirschberg_align(a, b, LINEAR)
+        assert aln.score == pytest.approx(needleman_wunsch_score(a, b, LINEAR))
+        assert aln.identity > 0.8
+
+    def test_gapped_strings_reconstruct_inputs(self):
+        rng = np.random.default_rng(9)
+        a = random_sequence("a", 120, DNA, rng)
+        b = random_sequence("b", 90, DNA, rng)
+        aln = hirschberg_align(a, b, LINEAR)
+        assert aln.query_aligned.replace("-", "") == str(a)
+        assert aln.subject_aligned.replace("-", "") == str(b)
+
+
+@st.composite
+def _pair(draw):
+    q = draw(st.text(alphabet="ACGT", min_size=1, max_size=50))
+    s = draw(st.text(alphabet="ACGT", min_size=1, max_size=50))
+    return dna("q", q), dna("s", s)
+
+
+class TestHirschbergProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_pair())
+    def test_score_equals_nw_kernel(self, pair):
+        """Hirschberg's rendered alignment must score exactly the
+        optimal NW value — the strongest available correctness oracle."""
+        q, s = pair
+        aln = hirschberg_align(q, s, LINEAR)
+        assert aln.score == pytest.approx(needleman_wunsch_score(q, s, LINEAR))
+
+    @settings(max_examples=40, deadline=None)
+    @given(_pair())
+    def test_alignment_is_well_formed(self, pair):
+        q, s = pair
+        aln = hirschberg_align(q, s, LINEAR)
+        assert len(aln.query_aligned) == len(aln.subject_aligned)
+        assert aln.query_aligned.replace("-", "") == str(q)
+        assert aln.subject_aligned.replace("-", "") == str(s)
+        # No column may be gap-vs-gap.
+        assert all(
+            not (a == "-" and b == "-")
+            for a, b in zip(aln.query_aligned, aln.subject_aligned)
+        )

@@ -1,0 +1,109 @@
+"""Tests for alignment score statistics (Gumbel calibration, E-values)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bio.align.scoring import dna_scheme
+from repro.bio.align.stats import (
+    ScoreStatistics,
+    calibrate,
+    database_search_space,
+    shuffled,
+)
+from repro.bio.align.sw import smith_waterman_score
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import mutate_sequence, random_database, random_sequence
+
+SCHEME = dna_scheme()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(17)
+    query = random_sequence("q", 150, DNA, rng)
+    database = random_database(30, DNA, seed=18, mean_length=200)
+    stats = calibrate(query, database[:10], SCHEME, samples=40, seed=19)
+    return query, database, stats
+
+
+class TestShuffle:
+    def test_preserves_composition(self):
+        rng = np.random.default_rng(0)
+        seq = random_sequence("s", 300, DNA, rng)
+        null = shuffled(seq, rng, 0)
+        assert sorted(seq.codes.tolist()) == sorted(null.codes.tolist())
+        assert str(null) != str(seq)  # overwhelmingly likely at length 300
+
+
+class TestScoreStatistics:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ScoreStatistics(lam=0, k=0.1, calibration_length=100)
+        with pytest.raises(ValueError):
+            ScoreStatistics(lam=0.2, k=-1, calibration_length=100)
+
+    def test_evalue_decreases_with_score(self, setup):
+        _query, database, stats = setup
+        space = 1e6
+        e_low = stats.evalue(50, space)
+        e_high = stats.evalue(150, space)
+        assert e_high < e_low
+
+    def test_evalue_scales_with_search_space(self, setup):
+        _query, _db, stats = setup
+        assert stats.evalue(100, 2e6) == pytest.approx(2 * stats.evalue(100, 1e6))
+
+    def test_pvalue_bounded(self, setup):
+        _query, _db, stats = setup
+        for score in (10, 60, 120, 400):
+            p = stats.pvalue(score, 1e6)
+            assert 0.0 <= p <= 1.0
+
+    def test_bit_score_monotone(self, setup):
+        _query, _db, stats = setup
+        assert stats.bit_score(120) > stats.bit_score(60)
+
+    def test_search_space_validation(self, setup):
+        _query, _db, stats = setup
+        with pytest.raises(ValueError):
+            stats.evalue(100, 0)
+
+
+class TestCalibration:
+    def test_requires_enough_samples(self, setup):
+        query, database, _stats = setup
+        with pytest.raises(ValueError):
+            calibrate(query, database, SCHEME, samples=5)
+        with pytest.raises(ValueError):
+            calibrate(query, [], SCHEME)
+
+    def test_null_scores_are_insignificant(self, setup):
+        """Chance alignments should get E >= ~0.1 under the null fit."""
+        query, database, stats = setup
+        rng = np.random.default_rng(55)
+        space = database_search_space(query, database)
+        null = shuffled(database[20], rng, 99)
+        score = smith_waterman_score(query, null, SCHEME)
+        assert stats.evalue(score, space) > 1e-2
+
+    def test_true_homolog_is_significant(self, setup):
+        """A planted homolog should be far beyond chance."""
+        query, database, stats = setup
+        rng = np.random.default_rng(56)
+        homolog = mutate_sequence(query, rng, substitution_rate=0.1)
+        score = smith_waterman_score(query, homolog, SCHEME)
+        space = database_search_space(query, database)
+        assert stats.evalue(score, space) < 1e-6
+
+    def test_deterministic(self, setup):
+        query, database, _ = setup
+        a = calibrate(query, database[:5], SCHEME, samples=20, seed=3)
+        b = calibrate(query, database[:5], SCHEME, samples=20, seed=3)
+        assert a.lam == b.lam and a.k == b.k
+
+    def test_search_space_helper(self, setup):
+        query, database, _ = setup
+        expected = len(query) * sum(len(s) for s in database)
+        assert database_search_space(query, database) == expected

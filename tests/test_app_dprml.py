@@ -1,0 +1,205 @@
+"""Tests for the DPRml application: config, staged DataManager protocol,
+distributed-vs-sequential agreement, multi-instance runs."""
+
+import pytest
+
+from repro.apps.dprml import (
+    DPRmlAlgorithm,
+    DPRmlConfig,
+    DPRmlDataManager,
+    build_problem,
+    run_dprml,
+    run_many_dprml,
+)
+from repro.bio.phylo.likelihood import TreeLikelihood
+from repro.bio.phylo.models import JC69
+from repro.bio.phylo.simulate import random_yule_tree, simulate_alignment
+from repro.bio.phylo.stepwise import StepwiseSearch
+from repro.bio.phylo.tree import parse_newick, rf_distance
+from repro.core.client import run_to_completion
+from repro.core.scheduler import FixedGranularity
+from repro.core.server import TaskFarmServer
+from repro.util.config import ConfigFile
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    true = random_yule_tree(7, seed=101, mean_branch=0.15)
+    alignment = simulate_alignment(true, JC69(), 400, seed=102)
+    return true, alignment
+
+
+JC_CONFIG = DPRmlConfig(model="jc69")
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = DPRmlConfig()
+        assert cfg.model == "hky85"
+        assert cfg.rates().categories == 1  # alpha=0 disables gamma
+
+    def test_gamma_enabled(self):
+        cfg = DPRmlConfig(gamma_alpha=0.5, gamma_categories=4)
+        assert cfg.rates().categories == 4
+
+    def test_from_config_file(self):
+        cfg = DPRmlConfig.from_config(
+            ConfigFile.from_text(
+                "model = gtr\nkappa = 3\ngamma_alpha = 0.7\nlocal_passes = 2\n"
+            )
+        )
+        assert cfg.model == "gtr"
+        assert cfg.local_passes == 2
+        assert cfg.substitution_model().name == "GTR"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DPRmlConfig(model="parsimony")
+        with pytest.raises(ValueError):
+            DPRmlConfig(kappa=0)
+        with pytest.raises(ValueError):
+            DPRmlConfig(freqs=(0.5, 0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            DPRmlConfig(gamma_alpha=-1)
+
+    def test_model_frequencies_passed_through(self):
+        cfg = DPRmlConfig(model="hky85", freqs=(0.4, 0.1, 0.1, 0.4))
+        model = cfg.substitution_model()
+        assert model.freqs[0] == pytest.approx(0.4)
+
+
+class TestDataManagerProtocol:
+    @staticmethod
+    def _settle_init(dm):
+        """Drive the INIT polish barrier with a pass-through result."""
+        from repro.core.workunit import WorkResult
+
+        unit = dm.next_unit(100)
+        assert unit.payload[0] == "polish"
+        newick = unit.payload[1]
+        dm.handle_result(WorkResult(0, 0, ("polish", (newick, -1.0)), items=1))
+
+    def test_stage_sizes(self, dataset):
+        _true, alignment = dataset
+        dm = DPRmlDataManager(alignment, JC_CONFIG)
+        # 7 taxa: init polish + stages of 3,5,7,9 placements + final polish
+        assert dm.total_items() == 2 + 3 + 5 + 7 + 9
+
+    def test_init_polish_is_a_barrier(self, dataset):
+        _true, alignment = dataset
+        dm = DPRmlDataManager(alignment, JC_CONFIG)
+        first = dm.next_unit(100)
+        assert first.payload[0] == "polish"
+        assert dm.next_unit(100) is None  # nothing until the polish returns
+
+    def test_barrier_blocks_next_stage(self, dataset):
+        _true, alignment = dataset
+        dm = DPRmlDataManager(alignment, JC_CONFIG)
+        self._settle_init(dm)
+        first = dm.next_unit(100)  # grabs the whole first stage
+        assert first.payload[0] == "place"
+        assert first.items == 3
+        assert dm.next_unit(100) is None  # barrier until results return
+
+    def test_batching_respects_max_items(self, dataset):
+        _true, alignment = dataset
+        dm = DPRmlDataManager(alignment, JC_CONFIG)
+        self._settle_init(dm)
+        unit = dm.next_unit(2)
+        assert unit.items == 2
+        unit2 = dm.next_unit(2)
+        assert unit2.items == 1  # stage had 3 placements
+
+    def test_too_few_taxa(self, dataset):
+        _true, alignment = dataset
+        with pytest.raises(ValueError, match="four"):
+            DPRmlDataManager(alignment.subset(alignment.names[:3]), JC_CONFIG)
+
+    def test_order_seed_changes_order(self, dataset):
+        _true, alignment = dataset
+        a = DPRmlDataManager(alignment, DPRmlConfig(model="jc69", order_seed=1))
+        b = DPRmlDataManager(alignment, DPRmlConfig(model="jc69", order_seed=2))
+        c = DPRmlDataManager(alignment, DPRmlConfig(model="jc69", order_seed=1))
+        assert a.order == c.order
+        assert a.order != b.order
+
+
+class TestEndToEnd:
+    def test_distributed_matches_sequential(self, dataset):
+        """The distributed staged search must produce exactly the tree
+        the sequential StepwiseSearch finds for the same order."""
+        _true, alignment = dataset
+        sequential = StepwiseSearch(alignment, JC69()).run()
+
+        server = TaskFarmServer(policy=FixedGranularity(2), lease_timeout=1e9)
+        pid = server.submit(build_problem(alignment, JC_CONFIG), 0.0)
+        run_to_completion(server, donors=3)
+        report = server.final_result(pid)
+
+        distributed_tree = parse_newick(report.newick)
+        assert rf_distance(distributed_tree, sequential.tree) == 0
+        assert report.log_likelihood == pytest.approx(
+            sequential.log_likelihood, abs=0.5
+        )
+        assert report.evaluations == sequential.total_evaluations
+
+    def test_recovers_true_topology(self, dataset):
+        true, alignment = dataset
+        report = run_dprml(alignment, JC_CONFIG, workers=3)
+        inferred = parse_newick(report.newick)
+        assert rf_distance(true, inferred) <= 2
+
+    def test_loglik_matches_reevaluation(self, dataset):
+        _true, alignment = dataset
+        report = run_dprml(alignment, JC_CONFIG, workers=2)
+        tree = parse_newick(report.newick)
+        tl = TreeLikelihood(tree, alignment.subset(tree.leaf_names()), JC69())
+        assert tl.log_likelihood() == pytest.approx(report.log_likelihood, rel=1e-9)
+
+    def test_multiple_instances(self, dataset):
+        _true, alignment = dataset
+        reports = run_many_dprml(alignment, instances=3, config=JC_CONFIG, workers=3)
+        assert len(reports) == 3
+        orders = {tuple(r.addition_order) for r in reports}
+        assert len(orders) == 3  # different stochastic orders
+        for report in reports:
+            assert report.log_likelihood < 0
+            assert sorted(parse_newick(report.newick).leaf_names()) == sorted(
+                alignment.names
+            )
+
+    def test_run_many_validation(self, dataset):
+        _true, alignment = dataset
+        with pytest.raises(ValueError):
+            run_many_dprml(alignment, instances=0)
+
+
+class TestAlgorithmTasks:
+    def test_polish_task(self, dataset):
+        _true, alignment = dataset
+        algo = DPRmlAlgorithm(JC_CONFIG, alignment)
+        tree = random_yule_tree(7, seed=101, mean_branch=0.15)
+        for node, name in zip(tree.leaves(), alignment.names):
+            node.name = name
+        kind, (newick, loglik) = algo.compute(("polish", tree.newick(), 1))
+        assert kind == "polish"
+        before = TreeLikelihood(
+            parse_newick(tree.newick()), alignment, JC69()
+        ).log_likelihood()
+        assert loglik >= before
+
+    def test_unknown_task_kind(self, dataset):
+        _true, alignment = dataset
+        algo = DPRmlAlgorithm(JC_CONFIG, alignment)
+        with pytest.raises(ValueError, match="unknown DPRml task"):
+            algo.compute(("bogus",))
+
+    def test_cost_positive_and_scales(self, dataset):
+        _true, alignment = dataset
+        algo = DPRmlAlgorithm(JC_CONFIG, alignment)
+        tree = random_yule_tree(7, seed=1)
+        nw = tree.newick()
+        one = algo.cost(("place", nw, "t", (0,)))
+        three = algo.cost(("place", nw, "t", (0, 1, 2)))
+        assert three == pytest.approx(3 * one)
+        assert algo.cost(("polish", nw, 2)) > 0

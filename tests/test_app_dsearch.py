@@ -1,0 +1,178 @@
+"""Tests for the DSEARCH application: config, partitioning, merging,
+sensitivity (planted homologs must surface), and cluster integration."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dsearch import (
+    DSearchAlgorithm,
+    DSearchConfig,
+    DSearchDataManager,
+    build_problem,
+    run_dsearch,
+)
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import random_sequence, seeded_database
+from repro.cluster.sim import SimCluster, homogeneous_pool
+from repro.core.client import run_to_completion
+from repro.core.scheduler import AdaptiveGranularity, FixedGranularity
+from repro.core.server import TaskFarmServer
+from repro.util.config import ConfigFile
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(7)
+    query = random_sequence("query0", 80, DNA, rng)
+    database, homolog_ids = seeded_database(
+        query, decoy_count=40, homolog_count=3, seed=11, substitution_rate=0.1
+    )
+    return query, database, homolog_ids
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = DSearchConfig()
+        assert cfg.algorithm == "sw"
+        assert cfg.scheme().name == "dna"
+
+    def test_from_config_file(self):
+        cfg = DSearchConfig.from_config(
+            ConfigFile.from_text(
+                "algorithm = nw\nscoring = blosum62\ngap_open = -11\ntop_hits = 5\n"
+            )
+        )
+        assert cfg.algorithm == "nw"
+        assert cfg.top_hits == 5
+        scheme = cfg.scheme()
+        assert scheme.name == "blosum62"
+        assert scheme.gap_open == -11
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "dsearch.conf"
+        path.write_text("algorithm = banded\nband = 16\n")
+        cfg = DSearchConfig.from_path(path)
+        assert cfg.algorithm == "banded"
+        assert cfg.band == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DSearchConfig(algorithm="blast")  # heuristics not welcome here
+        with pytest.raises(ValueError):
+            DSearchConfig(top_hits=0)
+        with pytest.raises(ValueError):
+            DSearchConfig(unit_target_seconds=0)
+
+
+class TestAlgorithm:
+    def test_returns_topk_per_query(self, workload):
+        query, database, _ = workload
+        algo = DSearchAlgorithm(DSearchConfig(top_hits=4))
+        result = algo.compute(([query], database[:10]))
+        assert set(result) == {"query0"}
+        assert len(result["query0"]) == 4
+        scores = [h.score for h in result["query0"]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_each_algorithm_runs(self, workload):
+        query, database, _ = workload
+        for name in ("sw", "nw", "banded"):
+            algo = DSearchAlgorithm(DSearchConfig(algorithm=name, top_hits=2))
+            result = algo.compute(([query], database[:5]))
+            assert len(result["query0"]) == 2
+
+    def test_cost_scales_with_slice(self, workload):
+        query, database, _ = workload
+        algo = DSearchAlgorithm(DSearchConfig())
+        small = algo.cost(([query], database[:5]))
+        large = algo.cost(([query], database[:20]))
+        assert large > small > 0
+
+    def test_banded_cost_below_full(self, workload):
+        query, database, _ = workload
+        full = DSearchAlgorithm(DSearchConfig(algorithm="sw"))
+        banded = DSearchAlgorithm(DSearchConfig(algorithm="banded", band=8))
+        payload = ([query], database[:10])
+        assert banded.cost(payload) < full.cost(payload)
+
+
+class TestDataManager:
+    def test_partitions_whole_database(self, workload):
+        query, database, _ = workload
+        dm = DSearchDataManager(database, [query], DSearchConfig())
+        seen = 0
+        while True:
+            unit = dm.next_unit(7)
+            if unit is None:
+                break
+            seen += unit.items
+        assert seen == len(database)
+
+    def test_validation(self, workload):
+        query, database, _ = workload
+        with pytest.raises(ValueError, match="empty database"):
+            DSearchDataManager([], [query])
+        with pytest.raises(ValueError, match="no query"):
+            DSearchDataManager(database, [])
+
+    def test_end_to_end_finds_homologs(self, workload):
+        """The sensitivity claim: planted homologs must rank top."""
+        query, database, homolog_ids = workload
+        server = TaskFarmServer(policy=FixedGranularity(9), lease_timeout=1e6)
+        problem = build_problem(database, [query], DSearchConfig(top_hits=5))
+        pid = server.submit(problem, 0.0)
+        run_to_completion(server, donors=3)
+        report = server.final_result(pid)
+        top_ids = [h.subject_id for h in report.hits["query0"][:3]]
+        assert set(top_ids) == set(homolog_ids)
+        assert report.database_size == len(database)
+
+    def test_result_independent_of_unit_size(self, workload):
+        query, database, homolog_ids = workload
+
+        def run_with(items):
+            server = TaskFarmServer(
+                policy=FixedGranularity(items), lease_timeout=1e6
+            )
+            pid = server.submit(
+                build_problem(database, [query], DSearchConfig(top_hits=6)), 0.0
+            )
+            run_to_completion(server, donors=2)
+            return [
+                (h.subject_id, round(h.score, 6))
+                for h in server.final_result(pid).hits["query0"]
+            ]
+
+        assert run_with(3) == run_with(17) == run_with(100)
+
+    def test_multiple_queries(self, workload):
+        _query, database, _ = workload
+        rng = np.random.default_rng(3)
+        queries = [random_sequence(f"q{i}", 60, DNA, rng) for i in range(3)]
+        report = run_dsearch(database, queries, DSearchConfig(top_hits=2), workers=2)
+        assert set(report.hits) == {"q0", "q1", "q2"}
+        assert all(len(hits) == 2 for hits in report.hits.values())
+
+    def test_blobs_attached(self, workload):
+        query, database, _ = workload
+        problem = build_problem(database, [query])
+        assert set(problem.blobs) == {"database.fasta", "queries.fasta"}
+        assert problem.blobs["queries.fasta"].startswith(b">query0")
+
+
+class TestOnSimCluster:
+    def test_search_on_simulated_heterogeneous_pool(self, workload):
+        query, database, homolog_ids = workload
+        from repro.cluster.sim import heterogeneous_pool
+
+        cluster = SimCluster(
+            heterogeneous_pool(6, seed=2),
+            policy=AdaptiveGranularity(target_seconds=5e5, probe_items=4),
+            seed=3,
+        )
+        pid = cluster.submit(build_problem(database, [query], DSearchConfig(top_hits=3)))
+        report = cluster.run()
+        assert report.completed
+        hits = report.results[pid].hits["query0"]
+        assert {h.subject_id for h in hits} == set(homolog_ids)
+        assert report.makespans[pid] > 0

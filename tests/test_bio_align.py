@@ -1,0 +1,314 @@
+"""Tests for scoring schemes and the alignment algorithms.
+
+The vectorised kernels are validated against the pure-Python reference
+implementation over random inputs (property tests) and against
+hand-computed scores on small cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.align import (
+    banded_global_score,
+    blosum62,
+    dna_scheme,
+    global_align,
+    local_align,
+    needleman_wunsch_score,
+    pam250,
+    smith_waterman_score,
+)
+from repro.bio.align.hits import Hit, TopK, merge_topk
+from repro.bio.align.scoring import scheme_by_name
+from repro.bio.seq import DNA, PROTEIN
+from repro.bio.seq.sequence import dna, protein
+
+SIMPLE = dna_scheme(match=1.0, mismatch=-1.0, gap_open=0.0, gap_extend=-1.0)
+AFFINE = dna_scheme(match=2.0, mismatch=-3.0, gap_open=-5.0, gap_extend=-2.0)
+
+
+class TestScoringSchemes:
+    def test_dna_scheme_values(self):
+        s = dna_scheme(match=5, mismatch=-4)
+        assert s.score(0, 0) == 5
+        assert s.score(0, 3) == -4
+        assert s.score(0, DNA.unknown_code) == 0
+
+    def test_dna_scheme_validation(self):
+        with pytest.raises(ValueError):
+            dna_scheme(match=-1)
+        with pytest.raises(ValueError):
+            dna_scheme(mismatch=1)
+        with pytest.raises(ValueError):
+            dna_scheme(gap_open=1)
+
+    def test_blosum62_known_values(self):
+        b = blosum62()
+        aa = {letter: i for i, letter in enumerate(PROTEIN.letters)}
+        assert b.score(aa["W"], aa["W"]) == 11
+        assert b.score(aa["A"], aa["A"]) == 4
+        assert b.score(aa["C"], aa["C"]) == 9
+        assert b.score(aa["A"], aa["R"]) == -1
+        assert b.score(aa["W"], aa["D"]) == -4
+        assert b.score(aa["I"], aa["V"]) == 3
+
+    def test_pam250_known_values(self):
+        p = pam250()
+        aa = {letter: i for i, letter in enumerate(PROTEIN.letters)}
+        assert p.score(aa["W"], aa["W"]) == 17
+        assert p.score(aa["C"], aa["C"]) == 12
+        assert p.score(aa["F"], aa["Y"]) == 7
+        assert p.score(aa["W"], aa["C"]) == -8
+
+    def test_matrices_symmetric(self):
+        # The constructor validates symmetry; building without error is
+        # itself the check, but assert explicitly for clarity.
+        for scheme in (blosum62(), pam250(), dna_scheme()):
+            assert np.allclose(scheme.matrix, scheme.matrix.T)
+
+    def test_scheme_by_name(self):
+        assert scheme_by_name("BLOSUM62").name == "blosum62"
+        assert scheme_by_name("dna").name == "dna"
+        with pytest.raises(ValueError, match="unknown scoring scheme"):
+            scheme_by_name("blosum999")
+
+    def test_profile_shape(self):
+        seq = dna("q", "ACGT")
+        prof = SIMPLE.profile(seq.codes)
+        assert prof.shape == (4, DNA.size + 1)
+        assert prof[0, 0] == 1.0  # A vs A
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences(self):
+        a = dna("a", "ACGTACGT")
+        assert needleman_wunsch_score(a, a, AFFINE) == 16.0
+
+    def test_single_mismatch(self):
+        a = dna("a", "ACGT")
+        b = dna("b", "ACTT")
+        assert needleman_wunsch_score(a, b, AFFINE) == 2 + 2 - 3 + 2
+
+    def test_gap_cheaper_than_mismatches(self):
+        # Deleting one residue: open + 1*extend = -7 vs mismatch chain.
+        a = dna("a", "AAAA")
+        b = dna("b", "AAA")
+        assert needleman_wunsch_score(a, b, AFFINE) == 3 * 2 - 5 - 2
+
+    def test_affine_gap_run(self):
+        # One gap of length 3 costs open + 3*extend, not 3 opens.
+        a = dna("a", "AAATTTAAA")
+        b = dna("b", "AAAAAA")
+        expected = 6 * 2 + (-5 - 3 * 2)
+        assert needleman_wunsch_score(a, b, AFFINE) == expected
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            needleman_wunsch_score(dna("a", "A")[0:0], dna("b", "A"), AFFINE)
+
+    def test_alphabet_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="alphabet"):
+            needleman_wunsch_score(protein("p", "ARND"), dna("d", "ACGT"), AFFINE)
+
+    def test_symmetric(self):
+        a = dna("a", "ACGTTGCA")
+        b = dna("b", "AGGTTTCA")
+        assert needleman_wunsch_score(a, b, AFFINE) == needleman_wunsch_score(
+            b, a, AFFINE
+        )
+
+
+class TestSmithWaterman:
+    def test_perfect_substring(self):
+        a = dna("a", "CCCC")
+        b = dna("b", "TTTTCCCCTTTT")
+        assert smith_waterman_score(a, b, AFFINE) == 8.0
+
+    def test_no_similarity_scores_zero(self):
+        scheme = dna_scheme(match=1, mismatch=-10, gap_open=-10, gap_extend=-10)
+        a = dna("a", "AAAA")
+        b = dna("b", "TTTT")
+        assert smith_waterman_score(a, b, scheme) == 0.0
+
+    def test_local_at_least_global(self):
+        a = dna("a", "ACGTGGGG")
+        b = dna("b", "TTTTACGT")
+        assert smith_waterman_score(a, b, AFFINE) >= needleman_wunsch_score(
+            a, b, AFFINE
+        )
+
+    def test_conserved_domain_detected(self):
+        domain = "ACGTACGTGGCCAATT"
+        a = dna("a", "TTGACA" + domain + "CAGTGA")
+        b = dna("b", "GGGGGG" + domain + "AAAAAA")
+        assert smith_waterman_score(a, b, AFFINE) >= 2 * len(domain)
+
+
+class TestBanded:
+    def test_wide_band_equals_full_nw(self):
+        a = dna("a", "ACGTTGCAACGT")
+        b = dna("b", "ACGATGCAACG")
+        full = needleman_wunsch_score(a, b, AFFINE)
+        assert banded_global_score(a, b, AFFINE, band=len(a)) == full
+
+    def test_narrow_band_is_lower_bound(self):
+        a = dna("a", "ACGT" + "T" * 20 + "ACGT")
+        b = dna("b", "ACGT" + "ACGT")
+        full = needleman_wunsch_score(a, b, AFFINE)
+        banded = banded_global_score(a, b, AFFINE, band=2)
+        assert banded <= full
+
+    def test_band_auto_widens_for_length_difference(self):
+        a = dna("a", "A" * 50)
+        b = dna("b", "A" * 10)
+        score = banded_global_score(a, b, AFFINE, band=0)
+        assert score == 10 * 2 + (-5 - 40 * 2)
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_global_score(dna("a", "AC"), dna("b", "AC"), AFFINE, band=-1)
+
+
+class TestTraceback:
+    def test_global_alignment_strings(self):
+        a = dna("a", "ACGT")
+        b = dna("b", "AGT")
+        aln = global_align(a, b, AFFINE)
+        assert aln.score == needleman_wunsch_score(a, b, AFFINE)
+        assert aln.query_aligned.replace("-", "") == "ACGT"
+        assert aln.subject_aligned.replace("-", "") == "AGT"
+        assert len(aln.query_aligned) == len(aln.subject_aligned)
+
+    def test_local_alignment_extracts_domain(self):
+        domain = "ACGTACGTGG"
+        a = dna("a", "TTTTTT" + domain)
+        b = dna("b", domain + "CCCCCC")
+        aln = local_align(a, b, AFFINE)
+        assert aln.query_aligned == domain
+        assert aln.subject_aligned == domain
+        assert aln.identity == 1.0
+        assert aln.query_start == 6
+        assert aln.subject_start == 0
+
+    def test_identity_and_gaps(self):
+        aln = global_align(dna("a", "ACGT"), dna("b", "AC"), AFFINE)
+        assert aln.gaps == 2
+
+    def test_pretty_renders(self):
+        aln = global_align(dna("a", "ACGTACGT"), dna("b", "ACGTACGT"), AFFINE)
+        text = aln.pretty(width=4)
+        assert "score=16.0" in text
+        assert "||||" in text
+
+    def test_mismatched_aligned_lengths_rejected(self):
+        from repro.bio.align.traceback import Alignment
+
+        with pytest.raises(ValueError):
+            Alignment("q", "s", 0.0, "AC-", "AC")
+
+
+@st.composite
+def _dna_pair(draw):
+    q = draw(st.text(alphabet="ACGT", min_size=1, max_size=30))
+    s = draw(st.text(alphabet="ACGT", min_size=1, max_size=30))
+    return dna("q", q), dna("s", s)
+
+
+class TestKernelAgainstReference:
+    """The vectorised kernel must agree with the pure-Python reference."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(_dna_pair())
+    def test_global_scores_match(self, pair):
+        q, s = pair
+        assert needleman_wunsch_score(q, s, AFFINE) == pytest.approx(
+            global_align(q, s, AFFINE).score
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_dna_pair())
+    def test_local_scores_match(self, pair):
+        q, s = pair
+        assert smith_waterman_score(q, s, AFFINE) == pytest.approx(
+            local_align(q, s, AFFINE).score
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(_dna_pair())
+    def test_local_dominates_global(self, pair):
+        q, s = pair
+        assert (
+            smith_waterman_score(q, s, AFFINE)
+            >= needleman_wunsch_score(q, s, AFFINE) - 1e-9
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(_dna_pair())
+    def test_score_symmetry(self, pair):
+        q, s = pair
+        assert needleman_wunsch_score(q, s, AFFINE) == pytest.approx(
+            needleman_wunsch_score(s, q, AFFINE)
+        )
+        assert smith_waterman_score(q, s, AFFINE) == pytest.approx(
+            smith_waterman_score(s, q, AFFINE)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=40))
+    def test_self_alignment_is_max(self, text):
+        seq = dna("x", text)
+        self_score = needleman_wunsch_score(seq, seq, AFFINE)
+        assert self_score == 2.0 * len(text)
+        assert smith_waterman_score(seq, seq, AFFINE) == self_score
+
+
+class TestHits:
+    def h(self, subject, score):
+        return Hit("q", subject, score)
+
+    def test_topk_keeps_best(self):
+        top = TopK(2)
+        top.extend([self.h("a", 1.0), self.h("b", 5.0), self.h("c", 3.0)])
+        assert [x.subject_id for x in top.best()] == ["b", "c"]
+
+    def test_topk_tiebreak_by_subject_id(self):
+        top = TopK(2)
+        top.extend([self.h("z", 5.0), self.h("a", 5.0), self.h("m", 5.0)])
+        assert [x.subject_id for x in top.best()] == ["a", "m"]
+
+    def test_offer_returns_retention(self):
+        top = TopK(1)
+        assert top.offer(self.h("a", 1.0))
+        assert top.offer(self.h("b", 2.0))
+        assert not top.offer(self.h("c", 0.5))
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+    def test_merge_topk_order_independent(self):
+        hits = [self.h(f"s{i:02d}", float(i % 7)) for i in range(30)]
+        merged_a = merge_topk(5, hits[:10], hits[10:20], hits[20:])
+        merged_b = merge_topk(5, hits[20:], hits[:10], hits[10:20])
+        assert merged_a == merged_b
+        assert len(merged_a) == 5
+        assert merged_a[0].score == 6.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 99), st.floats(0, 100)),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(1, 10),
+        st.integers(1, 5),
+    )
+    def test_merge_equals_global_sort(self, raw, k, splits):
+        hits = [Hit("q", f"s{sid:03d}", score) for sid, score in raw]
+        # duplicate subject ids are possible; keep them (TopK only orders)
+        expected = sorted(hits, key=Hit.sort_key)[:k]
+        chunk = max(1, len(hits) // splits)
+        parts = [hits[i : i + chunk] for i in range(0, len(hits), chunk)]
+        assert merge_topk(k, *parts) == expected

@@ -1,0 +1,228 @@
+"""Tests for alphabets, sequences, FASTA I/O and synthetic generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bio.seq import DNA, PROTEIN, Sequence, parse_fasta, read_fasta, write_fasta
+from repro.bio.seq.fasta import FastaError, format_fasta
+from repro.bio.seq.generate import (
+    mutate_sequence,
+    random_database,
+    random_sequence,
+    seeded_database,
+)
+from repro.bio.seq.sequence import dna, protein
+
+
+class TestAlphabet:
+    def test_dna_encoding(self):
+        codes = DNA.encode("ACGT")
+        assert list(codes) == [0, 1, 2, 3]
+
+    def test_case_insensitive(self):
+        assert np.array_equal(DNA.encode("acgt"), DNA.encode("ACGT"))
+
+    def test_unknown_maps_to_unknown_code(self):
+        codes = DNA.encode("AZN!")
+        assert codes[0] == 0
+        assert codes[1] == DNA.unknown_code
+        assert codes[2] == DNA.unknown_code
+        assert codes[3] == DNA.unknown_code
+
+    def test_decode_roundtrip(self):
+        text = "ACGTN"
+        assert DNA.decode(DNA.encode(text)) == text
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="outside alphabet"):
+            DNA.decode(np.array([9], dtype=np.uint8))
+
+    def test_protein_size(self):
+        assert len(PROTEIN) == 20
+        assert PROTEIN.unknown == "X"
+
+    def test_is_valid(self):
+        assert DNA.is_valid("ACGT")
+        assert not DNA.is_valid("ACGN")
+
+    @given(st.text(alphabet="ACGTacgt", min_size=1, max_size=100))
+    def test_roundtrip_property(self, text):
+        assert DNA.decode(DNA.encode(text)) == text.upper()
+
+
+class TestSequence:
+    def test_basics(self):
+        seq = dna("s1", "ACGT", "a test")
+        assert len(seq) == 4
+        assert str(seq) == "ACGT"
+        assert seq.header() == "s1 a test"
+
+    def test_equality_and_hash(self):
+        a = dna("s1", "ACGT")
+        b = dna("s1", "ACGT")
+        c = dna("s1", "ACGA")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            dna("", "ACGT")
+
+    def test_slicing(self):
+        seq = dna("s1", "ACGTACGT")
+        assert str(seq[2:6]) == "GTAC"
+        with pytest.raises(TypeError):
+            seq[0]
+
+    def test_reverse_complement(self):
+        assert str(dna("s", "AACGT").reverse_complement()) == "ACGTT"
+        assert str(dna("s", "N").reverse_complement()) == "N"
+
+    def test_reverse_complement_protein_rejected(self):
+        with pytest.raises(ValueError):
+            protein("p", "ARND").reverse_complement()
+
+    def test_gc_content(self):
+        assert dna("s", "GGCC").gc_content() == 1.0
+        assert dna("s", "AATT").gc_content() == 0.0
+        assert dna("s", "ACGT").gc_content() == 0.5
+        assert dna("s", "NNNN").gc_content() == 0.0
+
+    def test_code_validation(self):
+        with pytest.raises(ValueError, match="outside alphabet"):
+            Sequence("s", np.array([77], dtype=np.uint8), DNA)
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=60))
+    def test_double_reverse_complement_is_identity(self, text):
+        seq = dna("s", text)
+        assert str(seq.reverse_complement().reverse_complement()) == text
+
+
+class TestFasta:
+    SAMPLE = """>seq1 first sequence
+ACGTACGT
+ACGT
+>seq2
+TTTT
+"""
+
+    def test_parse(self):
+        records = parse_fasta(self.SAMPLE, DNA)
+        assert [r.seq_id for r in records] == ["seq1", "seq2"]
+        assert str(records[0]) == "ACGTACGTACGT"
+        assert records[0].description == "first sequence"
+        assert records[1].description == ""
+
+    def test_blank_lines_ignored(self):
+        records = parse_fasta(">a\n\nACGT\n\n>b\nTTTT\n", DNA)
+        assert len(records) == 2
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FastaError, match="before any"):
+            parse_fasta("ACGT\n", DNA)
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaError, match="empty FASTA header"):
+            parse_fasta(">\nACGT\n", DNA)
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(FastaError, match="duplicate id"):
+            parse_fasta(">a\nACGT\n>a\nTTTT\n", DNA)
+
+    def test_record_without_data_rejected(self):
+        with pytest.raises(FastaError, match="no sequence data"):
+            parse_fasta(">a\n>b\nACGT\n", DNA)
+
+    def test_write_read_roundtrip(self, tmp_path):
+        records = [dna("s1", "ACGT" * 40, "desc here"), dna("s2", "TTTT")]
+        path = tmp_path / "test.fasta"
+        write_fasta(path, records, width=50)
+        back = read_fasta(path, DNA)
+        assert back == records
+        # line wrapping respected
+        lines = path.read_text().splitlines()
+        assert all(len(line) <= 50 for line in lines if not line.startswith(">"))
+
+    def test_format_width_validation(self):
+        with pytest.raises(ValueError):
+            format_fasta([dna("s", "ACGT")], width=0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 10_000),
+                st.text(alphabet="ACGT", min_size=1, max_size=120),
+            ),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_roundtrip_property(self, items):
+        records = [dna(f"id{i}", text) for i, text in items]
+        assert parse_fasta(format_fasta(records), DNA) == records
+
+
+class TestGenerate:
+    def test_random_sequence_deterministic(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        a = random_sequence("a", 100, DNA, rng1)
+        b = random_sequence("a", 100, DNA, rng2)
+        assert a == b
+        assert len(a) == 100
+
+    def test_random_sequence_frequencies(self):
+        rng = np.random.default_rng(0)
+        seq = random_sequence("a", 5000, DNA, rng, frequencies=np.array([0.7, 0.1, 0.1, 0.1]))
+        frac_a = float((seq.codes == 0).mean())
+        assert 0.65 < frac_a < 0.75
+
+    def test_random_sequence_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_sequence("a", 0, DNA, rng)
+        with pytest.raises(ValueError):
+            random_sequence("a", 5, DNA, rng, frequencies=np.array([1.0]))
+
+    def test_mutate_rates_zero_is_identity(self):
+        rng = np.random.default_rng(0)
+        seq = dna("s", "ACGT" * 25)
+        mut = mutate_sequence(seq, rng, 0.0, 0.0, 0.0)
+        assert str(mut) == str(seq)
+        assert mut.seq_id == "s_mut"
+
+    def test_mutate_changes_sequence(self):
+        rng = np.random.default_rng(0)
+        seq = dna("s", "ACGT" * 50)
+        mut = mutate_sequence(seq, rng, substitution_rate=0.3)
+        assert str(mut) != str(seq)
+        # Substitutions never produce the same residue: hamming distance > 0
+        diffs = sum(a != b for a, b in zip(str(seq), str(mut)))
+        assert diffs > 20
+
+    def test_mutate_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mutate_sequence(dna("s", "ACGT"), rng, substitution_rate=1.5)
+
+    def test_random_database_lengths(self):
+        db = random_database(50, DNA, seed=3, mean_length=200, min_length=50)
+        lengths = [len(s) for s in db]
+        assert min(lengths) >= 50
+        assert 100 < sum(lengths) / len(lengths) < 400
+        assert len({s.seq_id for s in db}) == 50
+
+    def test_random_database_deterministic(self):
+        assert random_database(5, DNA, seed=9) == random_database(5, DNA, seed=9)
+
+    def test_seeded_database_contains_homologs(self):
+        rng = np.random.default_rng(1)
+        query = random_sequence("query", 120, DNA, rng)
+        db, homolog_ids = seeded_database(query, decoy_count=30, homolog_count=3, seed=2)
+        assert len(db) == 33
+        assert len(homolog_ids) == 3
+        ids = {s.seq_id for s in db}
+        assert set(homolog_ids) <= ids

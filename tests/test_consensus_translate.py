@@ -1,0 +1,155 @@
+"""Tests for consensus trees and genetic-code translation."""
+
+import pytest
+
+from repro.bio.phylo.consensus import (
+    majority_consensus,
+    majority_splits,
+    strict_consensus,
+)
+from repro.bio.phylo.tree import Tree, TreeError, parse_newick
+from repro.bio.seq import PROTEIN
+from repro.bio.seq.sequence import dna
+from repro.bio.seq.translate import (
+    GENETIC_CODE,
+    open_reading_frames,
+    six_frame_translations,
+    translate,
+    translate_codon,
+)
+
+T_AB = "((a:1,b:1):1,(c:1,d:1):1,e:1);"       # splits: {ab}, {cd}
+T_AB2 = "((a:1,b:1):1,(c:1,e:1):1,d:1);"      # splits: {ab}, {ce}
+T_AC = "((a:1,c:1):1,(b:1,d:1):1,e:1);"       # splits: {ac}, {bd}
+
+
+class TestMajoritySplits:
+    def test_counts(self):
+        trees = [parse_newick(t) for t in (T_AB, T_AB, T_AB2)]
+        splits = majority_splits(trees)
+        freq = {tuple(sorted(s.split)): s.frequency for s in splits}
+        assert freq[("a", "b")] == pytest.approx(1.0)
+        assert freq[("c", "d")] == pytest.approx(2 / 3)
+        assert ("c", "e") not in freq  # only 1/3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            majority_splits([])
+        with pytest.raises(TreeError, match="common leaf set"):
+            majority_splits([parse_newick(T_AB), Tree.star(["x", "y", "z"])])
+        with pytest.raises(ValueError):
+            majority_splits([parse_newick(T_AB)], threshold=0.3)
+
+
+class TestMajorityConsensus:
+    def test_unanimous_trees_reproduce_topology(self):
+        trees = [parse_newick(T_AB) for _ in range(5)]
+        consensus, splits = majority_consensus(trees)
+        assert consensus.splits() == trees[0].splits()
+        assert all(s.frequency == 1.0 for s in splits)
+
+    def test_minority_split_collapses(self):
+        trees = [parse_newick(t) for t in (T_AB, T_AB2, T_AC)]
+        consensus, splits = majority_consensus(trees)
+        # {ab} appears 2/3 -> kept; everything else 1/3 -> polytomy.
+        assert consensus.splits() == {frozenset({"a", "b"})}
+        assert len(splits) == 1
+
+    def test_support_labels_on_internal_nodes(self):
+        trees = [parse_newick(t) for t in (T_AB, T_AB, T_AB2)]
+        consensus, _splits = majority_consensus(trees)
+        labels = {
+            n.name for n in consensus.nodes() if not n.is_leaf and n.name
+        }
+        assert "100" in labels  # the {a,b} clade
+        assert "67" in labels   # the {c,d} clade
+
+    def test_leafset_preserved(self):
+        trees = [parse_newick(t) for t in (T_AB, T_AB2, T_AC)]
+        consensus, _ = majority_consensus(trees)
+        assert sorted(consensus.leaf_names()) == ["a", "b", "c", "d", "e"]
+
+    def test_strict_consensus(self):
+        trees = [parse_newick(t) for t in (T_AB, T_AB2)]
+        consensus, splits = strict_consensus(trees)
+        # only {a,b} is in *every* tree
+        assert consensus.splits() == {frozenset({"a", "b"})}
+        assert len(splits) == 1
+
+
+class TestGeneticCode:
+    def test_code_is_complete(self):
+        assert len(GENETIC_CODE) == 64
+        counts = {}
+        for aa in GENETIC_CODE.values():
+            counts[aa] = counts.get(aa, 0) + 1
+        assert counts["*"] == 3       # three stops
+        assert counts["M"] == 1       # one start/Met
+        assert counts["W"] == 1
+        assert counts["L"] == 6
+        assert counts["R"] == 6
+        assert counts["S"] == 6
+
+    def test_translate_codon(self):
+        assert translate_codon("ATG") == "M"
+        assert translate_codon("TAA") == "*"
+        assert translate_codon("GCN") == "X"  # ambiguous base
+        with pytest.raises(ValueError):
+            translate_codon("AT")
+
+    def test_every_amino_acid_is_protein_letter(self):
+        for aa in set(GENETIC_CODE.values()) - {"*"}:
+            assert aa in PROTEIN.letters
+
+
+class TestTranslate:
+    def test_simple(self):
+        seq = dna("gene", "ATGGCCTAA")  # Met-Ala-Stop
+        assert str(translate(seq)) == "MAX"  # stop -> X by default
+        assert str(translate(seq, to_stop=True)) == "MA"
+
+    def test_frames(self):
+        seq = dna("s", "AATGGCC")
+        assert str(translate(seq, frame=1)) == "MA"
+
+    def test_validation(self):
+        from repro.bio.seq.sequence import protein
+
+        with pytest.raises(ValueError, match="DNA"):
+            translate(protein("p", "MA"))
+        with pytest.raises(ValueError, match="frame"):
+            translate(dna("s", "ATGGCC"), frame=3)
+        with pytest.raises(ValueError, match="no complete codon"):
+            translate(dna("s", "AT"))
+
+    def test_six_frames(self):
+        seq = dna("s", "ATGGCCGATTGA")
+        frames = six_frame_translations(seq)
+        assert len(frames) == 6
+        assert all(f.alphabet == PROTEIN for f in frames)
+        names = {f.seq_id for f in frames}
+        assert "s_f0" in names and "s_rc2" in names
+
+
+class TestORFs:
+    def test_finds_planted_orf(self):
+        # ATG + 5 codons + stop, embedded in junk.
+        orf_dna = "ATG" + "GCC" * 5 + "TAA"
+        seq = dna("s", "TTTT" + orf_dna + "CCCC")
+        orfs = open_reading_frames(seq, min_codons=5)
+        assert any(str(o) == "M" + "A" * 5 for o in orfs)
+
+    def test_min_codons_filter(self):
+        seq = dna("s", "TTTTATGGCCTAACCCC")  # 2-codon ORF
+        assert open_reading_frames(seq, min_codons=5) == []
+        assert open_reading_frames(seq, min_codons=2)
+
+    def test_reverse_strand_orf(self):
+        orf_dna = "ATG" + "GAT" * 6 + "TGA"
+        seq = dna("s", "ACGT" + orf_dna + "ACGT").reverse_complement()
+        orfs = open_reading_frames(seq, min_codons=6)
+        assert any(o.seq_id.startswith("s_orf-") for o in orfs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            open_reading_frames(dna("s", "ATG"), min_codons=0)

@@ -1,0 +1,120 @@
+"""Tests for server checkpoint/restore."""
+
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.problem import Problem
+from repro.core.scheduler import FixedGranularity
+from repro.core.server import ProblemStatus, TaskFarmServer
+from repro.core.workunit import WorkResult
+from tests.helpers import RangeSumAlgorithm, RangeSumDataManager
+
+
+def make_server():
+    return TaskFarmServer(policy=FixedGranularity(10), lease_timeout=100.0)
+
+
+def compute(a, donor="d0"):
+    lo, hi = a.payload
+    return WorkResult(a.problem_id, a.unit_id, sum(range(lo, hi)), donor, 1.0, a.items)
+
+
+class TestCheckpointRoundtrip:
+    def test_mid_run_restore_completes_correctly(self, tmp_path):
+        server = make_server()
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(100), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        # Complete 4 of 10 units; leave one leased (in flight).
+        t = 0.0
+        for _ in range(4):
+            a = server.request_work("d0", t := t + 0.1)
+            server.submit_result(compute(a), t := t + 0.1)
+        in_flight = server.request_work("d0", 3.0)
+        assert in_flight is not None
+
+        path = tmp_path / "farm.ckpt"
+        save_checkpoint(server, path, now=4.0)
+
+        # "Server restart": a fresh instance restores the state.
+        fresh = TaskFarmServer(policy=FixedGranularity(10), lease_timeout=100.0)
+        restored = load_checkpoint(path, fresh, now=5.0)
+        assert restored == [pid]
+        assert fresh.status(pid) is ProblemStatus.RUNNING
+
+        fresh.register_donor("d1", 6.0)
+        t = 6.0
+        while fresh.status(pid) is ProblemStatus.RUNNING:
+            a = fresh.request_work("d1", t := t + 0.1)
+            assert a is not None, "restored server ran out of units early"
+            fresh.submit_result(compute(a, "d1"), t := t + 0.1)
+        assert fresh.final_result(pid) == sum(range(100))
+
+    def test_leased_unit_is_requeued_not_lost(self, tmp_path):
+        server = make_server()
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(10), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        a = server.request_work("d0", 1.0)  # whole problem leased
+        path = tmp_path / "farm.ckpt"
+        save_checkpoint(server, path, now=2.0)
+
+        fresh = make_server()
+        load_checkpoint(path, fresh, now=3.0)
+        fresh.register_donor("d1", 4.0)
+        b = fresh.request_work("d1", 5.0)
+        assert b is not None and b.unit_id == a.unit_id
+
+    def test_completed_problem_survives(self, tmp_path):
+        server = make_server()
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(10), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        a = server.request_work("d0", 1.0)
+        server.submit_result(compute(a), 2.0)
+        assert server.status(pid) is ProblemStatus.COMPLETE
+        path = tmp_path / "done.ckpt"
+        save_checkpoint(server, path, now=3.0)
+
+        fresh = make_server()
+        load_checkpoint(path, fresh, now=4.0)
+        assert fresh.status(pid) is ProblemStatus.COMPLETE
+        assert fresh.final_result(pid) == sum(range(10))
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        server = make_server()
+        server.submit(Problem("s", RangeSumDataManager(5), RangeSumAlgorithm()), 0.0)
+        path = tmp_path / "farm.ckpt"
+        save_checkpoint(server, path, now=1.0)
+        assert path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCheckpointErrors:
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"this is not a checkpoint")
+        with pytest.raises(CheckpointError, match="not a task-farm checkpoint"):
+            load_checkpoint(path, make_server(), now=0.0)
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.ckpt"
+        path.write_bytes(b"TFCK" + b"\x00\x01garbage")
+        with pytest.raises(CheckpointError, match="cannot decode"):
+            load_checkpoint(path, make_server(), now=0.0)
+
+    def test_conflicting_problem_rejected(self, tmp_path):
+        server = make_server()
+        problem = Problem("s", RangeSumDataManager(5), RangeSumAlgorithm())
+        server.submit(problem, 0.0)
+        path = tmp_path / "farm.ckpt"
+        save_checkpoint(server, path, now=1.0)
+        with pytest.raises(CheckpointError, match="already present"):
+            load_checkpoint(path, server, now=2.0)

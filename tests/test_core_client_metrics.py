@@ -1,0 +1,160 @@
+"""Tests for the donor client loop, in-process port and metrics."""
+
+import pytest
+
+from repro.core.client import DonorClient, InProcessServerPort, run_to_completion
+from repro.core.metrics import problem_metrics, run_metrics
+from repro.core.problem import FunctionAlgorithm, Problem
+from repro.core.scheduler import FixedGranularity
+from repro.core.server import TaskFarmServer
+from tests.helpers import (
+    ManualClock,
+    RangeSumAlgorithm,
+    RangeSumDataManager,
+    StagedAlgorithm,
+    StagedDataManager,
+)
+
+
+def make_setup(n=100, items=10, lease=1000.0):
+    clock = ManualClock()
+    server = TaskFarmServer(policy=FixedGranularity(items), lease_timeout=lease)
+    pid = server.submit(
+        Problem("sum", RangeSumDataManager(n), RangeSumAlgorithm()), clock()
+    )
+    port = InProcessServerPort(server, clock=clock)
+    return clock, server, pid, port
+
+
+class TestDonorClient:
+    def test_single_donor_completes_problem(self):
+        clock, server, pid, port = make_setup(n=57, items=10)
+        client = DonorClient("d0", port, sleep=lambda s: clock.advance(s), clock=clock)
+        units = client.run()
+        assert units == 6  # ceil(57/10)
+        assert server.final_result(pid) == sum(range(57))
+
+    def test_client_caches_algorithm(self):
+        clock, server, pid, port = make_setup()
+        fetches = 0
+        real_get = port.get_algorithm
+
+        def counting_get(problem_id):
+            nonlocal fetches
+            fetches += 1
+            return real_get(problem_id)
+
+        port.get_algorithm = counting_get
+        client = DonorClient("d0", port, sleep=lambda s: clock.advance(s), clock=clock)
+        client.run()
+        assert fetches == 1
+
+    def test_max_units_limits_work(self):
+        clock, server, pid, port = make_setup(n=100, items=10)
+        client = DonorClient("d0", port, sleep=lambda s: clock.advance(s), clock=clock)
+        assert client.run(max_units=3) == 3
+
+    def test_should_stop_halts_loop(self):
+        clock, server, pid, port = make_setup(n=1000, items=1)
+        calls = {"n": 0}
+
+        def stop():
+            calls["n"] += 1
+            return calls["n"] > 5
+
+        client = DonorClient("d0", port, sleep=lambda s: clock.advance(s), clock=clock)
+        client.run(should_stop=stop)
+        assert client.units_done <= 5
+
+    def test_deregister_on_exit(self):
+        clock, server, pid, port = make_setup(n=10, items=10)
+        client = DonorClient("d0", port, sleep=lambda s: clock.advance(s), clock=clock)
+        client.run()
+        assert server.donor_ids() == []
+
+    def test_staged_problem_with_idle_waits(self):
+        clock = ManualClock()
+        server = TaskFarmServer(policy=FixedGranularity(1), lease_timeout=1000.0)
+        pid = server.submit(
+            Problem("staged", StagedDataManager(8), StagedAlgorithm()), clock()
+        )
+        port = InProcessServerPort(server, clock=clock)
+        client = DonorClient("d0", port, sleep=lambda s: clock.advance(s), clock=clock)
+        client.run()
+        assert server.final_result(pid) == sum(x * x for x in range(8))
+
+
+class TestRunToCompletion:
+    def test_multiple_donors(self):
+        server = TaskFarmServer(policy=FixedGranularity(5), lease_timeout=1000.0)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(100), RangeSumAlgorithm()), 0.0
+        )
+        run_to_completion(server, donors=4)
+        assert server.final_result(pid) == sum(range(100))
+        # all four donors contributed registrations
+        assert len(server.log.of_kind("donor.registered")) == 4
+
+    def test_function_algorithm(self):
+        server = TaskFarmServer(policy=FixedGranularity(10), lease_timeout=1000.0)
+        pid = server.submit(
+            Problem(
+                "sum",
+                RangeSumDataManager(30),
+                FunctionAlgorithm(lambda span: sum(range(span[0], span[1]))),
+            ),
+            0.0,
+        )
+        run_to_completion(server, donors=2)
+        assert server.final_result(pid) == sum(range(30))
+
+
+class TestMetrics:
+    def _run(self):
+        clock = ManualClock()
+        server = TaskFarmServer(policy=FixedGranularity(10), lease_timeout=1000.0)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(40), RangeSumAlgorithm()), clock()
+        )
+        server.register_donor("d0", clock())
+        server.register_donor("d1", clock())
+        donors = ["d0", "d1"]
+        i = 0
+        while not server.all_complete():
+            d = donors[i % 2]
+            a = server.request_work(d, clock.advance(1.0))
+            if a is None:
+                break
+            lo, hi = a.payload
+            from repro.core.workunit import WorkResult
+
+            server.submit_result(
+                WorkResult(pid, a.unit_id, sum(range(lo, hi)), d, 2.0, a.items),
+                clock.advance(2.0),
+            )
+            i += 1
+        return server, pid
+
+    def test_problem_metrics(self):
+        server, pid = self._run()
+        pm = problem_metrics(server.log, pid)
+        assert pm.units_completed == 4
+        assert pm.items_completed == 40
+        assert pm.makespan > 0
+        assert pm.mean_unit_seconds == pytest.approx(2.0)
+        assert pm.units_requeued == 0
+        assert pm.duplicate_results == 0
+
+    def test_run_metrics_aggregates_donors(self):
+        server, pid = self._run()
+        rm = run_metrics(server.log)
+        assert set(rm.donors) == {"d0", "d1"}
+        assert sum(d.units_completed for d in rm.donors.values()) == 4
+        assert rm.total_busy_seconds == pytest.approx(8.0)
+        assert 0 < rm.mean_utilization <= 1.0
+        assert pid in rm.problems
+
+    def test_unknown_problem_raises(self):
+        server, _pid = self._run()
+        with pytest.raises(KeyError):
+            problem_metrics(server.log, 424242)

@@ -1,0 +1,183 @@
+"""Tests for granularity policies, the per-donor performance model and
+the multi-problem round-robin."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    AdaptiveGranularity,
+    DonorState,
+    FixedGranularity,
+    PerfModel,
+    ProblemRoundRobin,
+)
+
+
+def donor(name="d0") -> DonorState:
+    return DonorState(name, 0.0, 0.0)
+
+
+class TestPerfModel:
+    def test_first_sample_sets_rate(self):
+        m = PerfModel()
+        m.observe(10, 2.0)
+        assert m.items_per_second == pytest.approx(5.0)
+        assert m.calibrated
+
+    def test_ewma_moves_toward_new_rate(self):
+        m = PerfModel(alpha=0.5)
+        m.observe(10, 1.0)  # 10/s
+        m.observe(20, 1.0)  # 20/s
+        assert m.items_per_second == pytest.approx(15.0)
+
+    def test_zero_seconds_does_not_divide_by_zero(self):
+        m = PerfModel()
+        m.observe(5, 0.0)
+        assert m.items_per_second > 0
+
+    @given(st.lists(st.tuples(st.integers(1, 1000), st.floats(0.01, 100)), min_size=1))
+    def test_rate_stays_within_observed_range(self, samples):
+        m = PerfModel(alpha=0.5)
+        rates = [items / secs for items, secs in samples]
+        for items, secs in samples:
+            m.observe(items, secs)
+        assert min(rates) - 1e-9 <= m.items_per_second <= max(rates) + 1e-9
+
+
+class TestFixedGranularity:
+    def test_constant(self):
+        policy = FixedGranularity(25)
+        d = donor()
+        assert policy.items_for(d, 1) == 25
+        d.perf_for(1).observe(1000, 1.0)
+        assert policy.items_for(d, 1) == 25
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedGranularity(0)
+
+
+class TestAdaptiveGranularity:
+    def test_uncalibrated_donor_gets_probe(self):
+        policy = AdaptiveGranularity(target_seconds=60, probe_items=2)
+        assert policy.items_for(donor(), 1) == 2
+
+    def test_fast_donor_gets_bigger_units(self):
+        policy = AdaptiveGranularity(target_seconds=10, max_growth=1000.0)
+        fast, slow = donor("fast"), donor("slow")
+        fast.perf_for(1).observe(100, 1.0)   # 100 items/s
+        slow.perf_for(1).observe(100, 100.0)  # 1 item/s
+        assert policy.items_for(fast, 1) == 1000
+        assert policy.items_for(slow, 1) == 10
+
+    def test_growth_is_ramped(self):
+        """One lucky probe must not hand a donor a giant unit."""
+        policy = AdaptiveGranularity(target_seconds=10, max_growth=4.0)
+        d = donor()
+        model = d.perf_for(1)
+        model.observe(1, 0.001)  # freak probe: 1000 items/s measured
+        assert policy.items_for(d, 1) == 4  # ramp: 4 x last unit, not 10000
+        model.observe(4, 0.004)
+        assert policy.items_for(d, 1) == 16
+
+    def test_ramp_converges_to_target(self):
+        policy = AdaptiveGranularity(target_seconds=10, max_growth=4.0)
+        d = donor()
+        model = d.perf_for(1)
+        items = 1
+        for _ in range(12):
+            model.observe(items, items / 100.0)  # true rate: 100 items/s
+            items = policy.items_for(d, 1)
+        assert items == 1000  # 100 items/s * 10 s target
+
+    def test_max_growth_validation(self):
+        with pytest.raises(ValueError, match="max_growth"):
+            AdaptiveGranularity(max_growth=1.0)
+
+    def test_clamping(self):
+        policy = AdaptiveGranularity(target_seconds=10, min_items=5, max_items=50)
+        turbo, glacial = donor("t"), donor("g")
+        turbo.perf_for(1).observe(10_000, 1.0)
+        glacial.perf_for(1).observe(1, 1000.0)
+        assert policy.items_for(turbo, 1) == 50
+        assert policy.items_for(glacial, 1) == 5
+
+    def test_per_problem_calibration_is_independent(self):
+        policy = AdaptiveGranularity(target_seconds=10, probe_items=3, max_growth=100.0)
+        d = donor()
+        d.perf_for(1).observe(100, 1.0)
+        # Problem 2 has no samples: back to probing.
+        assert policy.items_for(d, 1) == 1000
+        assert policy.items_for(d, 2) == 3
+
+    def test_recalibrates_when_donor_slows(self):
+        """A donor whose owner starts using the machine gets smaller units."""
+        policy = AdaptiveGranularity(target_seconds=10, alpha=0.5)
+        d = donor()
+        m = d.perf_for(1)
+        m.observe(100, 1.0)
+        big = policy.items_for(d, 1)
+        for _ in range(6):
+            m.observe(10, 10.0)  # now only 1 item/s
+        small = policy.items_for(d, 1)
+        assert small < big / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveGranularity(target_seconds=0)
+        with pytest.raises(ValueError):
+            AdaptiveGranularity(min_items=10, max_items=5)
+
+    @given(
+        st.floats(0.1, 1000),
+        st.integers(1, 100),
+        st.floats(0.001, 1e6),
+    )
+    def test_result_always_within_bounds(self, target, items, secs):
+        policy = AdaptiveGranularity(
+            target_seconds=target, min_items=2, max_items=500
+        )
+        d = donor()
+        d.perf_for(7).observe(items, secs)
+        result = policy.items_for(d, 7)
+        assert 2 <= result <= 500
+
+
+class TestProblemRoundRobin:
+    def test_single_problem(self):
+        rr = ProblemRoundRobin()
+        assert rr.order([(1, 0)]) == [1]
+
+    def test_rotation(self):
+        rr = ProblemRoundRobin()
+        probs = [(1, 0), (2, 0), (3, 0)]
+        assert rr.order(probs)[0] == 1
+        rr.served(1)
+        assert rr.order(probs)[0] == 2
+        rr.served(2)
+        assert rr.order(probs)[0] == 3
+        rr.served(3)
+        assert rr.order(probs)[0] == 1
+
+    def test_priority_beats_rotation(self):
+        rr = ProblemRoundRobin()
+        rr.served(2)
+        # problem 9 has a better (lower) priority: always first.
+        assert rr.order([(1, 1), (2, 1), (9, 0)])[0] == 9
+
+    def test_empty(self):
+        assert ProblemRoundRobin().order([]) == []
+
+    def test_vanished_problem_resets_gracefully(self):
+        rr = ProblemRoundRobin()
+        rr.served(42)  # problem 42 completes and disappears
+        assert rr.order([(1, 0), (2, 0)]) == [1, 2]
+
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=10, unique=True))
+    def test_all_problems_always_present(self, pids):
+        rr = ProblemRoundRobin()
+        probs = [(pid, 0) for pid in pids]
+        for pid in pids:
+            rr.served(pid)
+            assert sorted(rr.order(probs)) == sorted(pids)

@@ -1,0 +1,65 @@
+"""Tests for DSEARCH E-value annotation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dsearch import DSearchConfig, run_dsearch
+from repro.apps.dsearch.evalues import annotate_report
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import random_sequence, seeded_database
+
+
+@pytest.fixture(scope="module")
+def searched():
+    rng = np.random.default_rng(77)
+    query = random_sequence("q", 100, DNA, rng)
+    database, homologs = seeded_database(
+        query, decoy_count=40, homolog_count=2, seed=78, substitution_rate=0.08
+    )
+    config = DSearchConfig(top_hits=10)
+    report = run_dsearch(database, [query], config, workers=2)
+    return query, database, homologs, config, report
+
+
+class TestAnnotation:
+    def test_homologs_significant_decoys_not(self, searched):
+        query, database, homologs, config, report = searched
+        annotated = annotate_report(report, [query], database, config, seed=5)
+        scored = annotated.hits["q"]
+        for sh in scored:
+            if sh.hit.subject_id in homologs:
+                assert sh.evalue < 1e-4
+                assert sh.significant
+            else:
+                assert sh.evalue > 1e-4
+
+    def test_significant_hits_filter(self, searched):
+        query, database, homologs, config, report = searched
+        annotated = annotate_report(report, [query], database, config, seed=5)
+        sig = annotated.significant_hits("q")
+        assert {s.hit.subject_id for s in sig} >= set(homologs)
+        assert all(s.significant for s in sig)
+
+    def test_bit_scores_monotone_in_raw_score(self, searched):
+        query, database, _h, config, report = searched
+        annotated = annotate_report(report, [query], database, config, seed=5)
+        bits = [s.bit_score for s in annotated.hits["q"]]  # best-first order
+        assert bits == sorted(bits, reverse=True)
+
+    def test_evalues_monotone_opposite_to_scores(self, searched):
+        query, database, _h, config, report = searched
+        annotated = annotate_report(report, [query], database, config, seed=5)
+        scored = annotated.hits["q"]  # hits are sorted best-first
+        evalues = [s.evalue for s in scored]
+        assert evalues == sorted(evalues)
+
+    def test_unknown_query_rejected(self, searched):
+        query, database, _h, config, report = searched
+        with pytest.raises(KeyError, match="unknown query"):
+            annotate_report(report, [], database, config)
+
+    def test_statistics_exposed(self, searched):
+        query, database, _h, config, report = searched
+        annotated = annotate_report(report, [query], database, config, seed=5)
+        assert "q" in annotated.statistics
+        assert annotated.statistics["q"].lam > 0

@@ -1,0 +1,130 @@
+"""Brute-force oracle for the pruning likelihood.
+
+For tiny trees the likelihood can be computed by explicitly summing
+over every assignment of states to internal nodes:
+
+    L(site) = sum_{internal states} pi(root) * prod_edges P_edge(parent -> child)
+
+This is exponential in internal nodes but exact, independent of the
+pruning code, and uses only the model's transition matrices — making
+it the strongest oracle available.  We compare against
+:class:`TreeLikelihood` across models, rate mixtures and random data.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.phylo.alignment import SiteAlignment
+from repro.bio.phylo.likelihood import TreeLikelihood
+from repro.bio.phylo.models import GTR, GammaRates, HKY85, JC69, K80, N_STATES
+from repro.bio.phylo.simulate import simulate_alignment
+from repro.bio.phylo.tree import Tree, parse_newick
+
+FREQS = np.array([0.35, 0.15, 0.2, 0.3])
+
+
+def brute_force_loglik(tree: Tree, alignment: SiteAlignment, model, rates=None) -> float:
+    """Exact likelihood by explicit state enumeration."""
+    rates = rates or GammaRates.uniform()
+    nodes = list(tree.postorder())
+    internals = [n for n in nodes if not n.is_leaf]
+    leaves = [n for n in nodes if n.is_leaf]
+    leaf_rows = {n.name: alignment.row(n.name) for n in leaves}
+
+    total = 0.0
+    for p in range(alignment.n_patterns):
+        site_lik = 0.0
+        for k, rate in enumerate(rates.rates):
+            P = {
+                id(n): model.transition_matrix(n.branch_length, float(rate))
+                for n in nodes
+                if n.parent is not None
+            }
+            lik_k = 0.0
+            for assignment in itertools.product(range(N_STATES), repeat=len(internals)):
+                states = {id(n): s for n, s in zip(internals, assignment)}
+                for leaf in leaves:
+                    code = int(leaf_rows[leaf.name][p])
+                    states[id(leaf)] = code
+                term = model.freqs[states[id(tree.root)]]
+                ok = True
+                for node in nodes:
+                    if node.parent is None:
+                        continue
+                    child_state = states[id(node)]
+                    if node.is_leaf and child_state >= N_STATES:
+                        # unknown leaf: sum over its states = multiply by
+                        # row sum = 1, i.e. skip the factor
+                        continue
+                    term *= P[id(node)][states[id(node.parent)], child_state]
+                    if term == 0.0:
+                        ok = False
+                        break
+                if ok:
+                    lik_k += term
+            site_lik += rates.weights[k] * lik_k
+        total += alignment.weights[p] * math.log(site_lik)
+    return total
+
+
+MODELS = [JC69(), K80(3.0), HKY85(2.5, FREQS), GTR([1, 2, 0.5, 1.5, 3, 0.8], FREQS)]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+class TestAgainstBruteForce:
+    def test_three_taxa(self, model):
+        tree = parse_newick("(a:0.2,b:0.35,c:0.1);")
+        aln = simulate_alignment(tree, model, 12, seed=3)
+        expected = brute_force_loglik(tree, aln, model)
+        actual = TreeLikelihood(tree, aln, model).log_likelihood()
+        assert actual == pytest.approx(expected, rel=1e-10)
+
+    def test_four_taxa_with_internal_edge(self, model):
+        tree = parse_newick("((a:0.1,b:0.3):0.25,c:0.15,d:0.4);")
+        aln = simulate_alignment(tree, model, 10, seed=4)
+        expected = brute_force_loglik(tree, aln, model)
+        actual = TreeLikelihood(tree, aln, model).log_likelihood()
+        assert actual == pytest.approx(expected, rel=1e-10)
+
+    def test_with_gamma_rates(self, model):
+        tree = parse_newick("((a:0.1,b:0.3):0.25,c:0.15,d:0.4);")
+        rates = GammaRates(0.6, 3)
+        aln = simulate_alignment(tree, model, 8, seed=5, rates=rates)
+        expected = brute_force_loglik(tree, aln, model, rates)
+        actual = TreeLikelihood(tree, aln, model, rates).log_likelihood()
+        assert actual == pytest.approx(expected, rel=1e-10)
+
+
+class TestWithUnknowns:
+    def test_gaps_handled_identically(self):
+        from repro.bio.seq.sequence import dna
+
+        aln = SiteAlignment.from_sequences(
+            [dna("a", "ACGTN"), dna("b", "ANGTA"), dna("c", "TCGNA")]
+        )
+        tree = parse_newick("(a:0.2,b:0.3,c:0.15);")
+        model = HKY85(2.0, FREQS)
+        expected = brute_force_loglik(tree, aln, model)
+        actual = TreeLikelihood(tree, aln, model).log_likelihood()
+        assert actual == pytest.approx(expected, rel=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    bl=st.lists(st.floats(0.01, 2.0), min_size=5, max_size=5),
+    seed=st.integers(0, 100),
+)
+def test_random_branch_lengths_property(bl, seed):
+    tree = parse_newick(
+        f"((a:{bl[0]},b:{bl[1]}):{bl[2]},c:{bl[3]},d:{bl[4]});"
+    )
+    model = HKY85(2.0, FREQS)
+    aln = simulate_alignment(tree, model, 6, seed=seed)
+    expected = brute_force_loglik(tree, aln, model)
+    actual = TreeLikelihood(tree, aln, model).log_likelihood()
+    assert actual == pytest.approx(expected, rel=1e-9)

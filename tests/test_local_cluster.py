@@ -1,0 +1,90 @@
+"""End-to-end tests of the live code path: threads, then real donor
+processes over RMI on localhost."""
+
+import pytest
+
+from repro.cluster.local import LocalCluster, ServerFacade, ThreadCluster
+from repro.core.problem import Problem
+from repro.core.scheduler import FixedGranularity
+from repro.core.server import TaskFarmServer
+from tests.helpers import (
+    RangeSumAlgorithm,
+    RangeSumDataManager,
+    StagedAlgorithm,
+    StagedDataManager,
+)
+
+
+class TestServerFacade:
+    def test_wall_clock_roundtrip(self):
+        server = TaskFarmServer(policy=FixedGranularity(10), lease_timeout=60.0)
+        facade = ServerFacade(server)
+        pid = facade.submit(
+            Problem("sum", RangeSumDataManager(20), RangeSumAlgorithm())
+        )
+        facade.register_donor("d0")
+        a = facade.request_work("d0")
+        assert a is not None
+        from repro.core.workunit import WorkResult
+
+        lo, hi = a.payload
+        facade.submit_result(WorkResult(pid, a.unit_id, sum(range(lo, hi)), "d0", 0.1, a.items))
+        b = facade.request_work("d0")
+        lo, hi = b.payload
+        facade.submit_result(WorkResult(pid, b.unit_id, sum(range(lo, hi)), "d0", 0.1, b.items))
+        assert facade.status_name(pid) == "complete"
+        assert facade.final_result(pid) == sum(range(20))
+        assert facade.all_complete()
+
+
+class TestThreadCluster:
+    def test_parallel_sum(self):
+        cluster = ThreadCluster(workers=4, policy=FixedGranularity(7))
+        pid = cluster.submit(
+            Problem("sum", RangeSumDataManager(200), RangeSumAlgorithm())
+        )
+        cluster.run()
+        assert cluster.final_result(pid) == sum(range(200))
+
+    def test_staged_problem(self):
+        cluster = ThreadCluster(workers=3, policy=FixedGranularity(1))
+        pid = cluster.submit(
+            Problem("staged", StagedDataManager(8), StagedAlgorithm())
+        )
+        cluster.run()
+        assert cluster.final_result(pid) == sum(x * x for x in range(8))
+
+    def test_many_problems(self):
+        cluster = ThreadCluster(workers=4, policy=FixedGranularity(10))
+        pids = [
+            cluster.submit(
+                Problem(f"sum-{n}", RangeSumDataManager(n), RangeSumAlgorithm())
+            )
+            for n in (30, 60, 90)
+        ]
+        cluster.run()
+        for pid, n in zip(pids, (30, 60, 90)):
+            assert cluster.final_result(pid) == sum(range(n))
+
+
+@pytest.mark.slow
+class TestLocalCluster:
+    def test_process_donors_over_rmi(self):
+        with LocalCluster(workers=2, policy=FixedGranularity(25)) as cluster:
+            pid = cluster.submit(
+                Problem("sum", RangeSumDataManager(500), RangeSumAlgorithm())
+            )
+            cluster.start()
+            assert cluster.wait(pid, timeout=60.0) == sum(range(500))
+
+    def test_two_problems_two_processes(self):
+        with LocalCluster(workers=2, policy=FixedGranularity(50)) as cluster:
+            p1 = cluster.submit(
+                Problem("s1", RangeSumDataManager(300), RangeSumAlgorithm())
+            )
+            p2 = cluster.submit(
+                Problem("s2", RangeSumDataManager(400), RangeSumAlgorithm())
+            )
+            cluster.start()
+            assert cluster.wait(p1, timeout=60.0) == sum(range(300))
+            assert cluster.wait(p2, timeout=60.0) == sum(range(400))

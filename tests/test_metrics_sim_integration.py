@@ -1,0 +1,86 @@
+"""Integration: core.metrics accounting over simulated-cluster logs.
+
+The same metrics code must read live and simulated event streams; this
+exercises it on SimCluster runs with heterogeneity and churn.
+"""
+
+import pytest
+
+from repro.cluster.sim import MachineSpec, SimCluster, heterogeneous_pool
+from repro.cluster.sim.trace import WorkloadTrace, trace_problem
+from repro.core.metrics import problem_metrics, run_metrics
+from repro.core.scheduler import AdaptiveGranularity, FixedGranularity
+
+
+def run_sim(machines, policy, traces, seed=5, lease=600.0):
+    cluster = SimCluster(
+        machines, policy=policy, lease_timeout=lease, seed=seed, execute=False
+    )
+    pids = [cluster.submit(trace_problem(t)) for t in traces]
+    report = cluster.run()
+    assert report.completed
+    return report, pids
+
+
+class TestProblemMetricsFromSim:
+    def test_single_problem_accounting(self):
+        report, (pid,) = run_sim(
+            heterogeneous_pool(6, seed=1),
+            FixedGranularity(10),
+            [WorkloadTrace.single_stage([5.0] * 100)],
+        )
+        pm = problem_metrics(report.log, pid)
+        assert pm.items_completed == 100
+        assert pm.units_completed == 10
+        assert pm.makespan == pytest.approx(report.makespans[pid])
+        assert pm.mean_unit_seconds > 0
+        assert pm.duplicate_results == 0
+
+    def test_churn_shows_up_as_requeues(self):
+        machines = [
+            MachineSpec("leaver", sessions=((0.0, 20.0),)),
+            MachineSpec("stayer"),
+        ]
+        report, (pid,) = run_sim(
+            machines,
+            FixedGranularity(50),
+            [WorkloadTrace.single_stage([1.0] * 100)],
+            lease=60.0,
+        )
+        pm = problem_metrics(report.log, pid)
+        assert pm.items_completed == 100
+        assert pm.units_requeued >= 1
+
+    def test_multi_problem_run_metrics(self):
+        report, pids = run_sim(
+            heterogeneous_pool(8, seed=2),
+            AdaptiveGranularity(target_seconds=30.0),
+            [
+                WorkloadTrace.single_stage([2.0] * 150),
+                WorkloadTrace.single_stage([4.0] * 80),
+            ],
+        )
+        rm = run_metrics(report.log)
+        assert set(rm.problems) == set(pids)
+        total_items = sum(p.items_completed for p in rm.problems.values())
+        assert total_items == 150 + 80
+        # Donor accounting must balance the problem accounting.
+        assert sum(d.items_completed for d in rm.donors.values()) == total_items
+        assert 0 < rm.mean_utilization <= 1.0
+        assert rm.total_busy_seconds > 0
+        assert rm.total_span >= max(report.makespans.values())
+
+    def test_fast_donor_contributes_more(self):
+        machines = [
+            MachineSpec("fast", speed=4.0),
+            MachineSpec("slow", speed=0.5),
+        ]
+        report, _pids = run_sim(
+            machines,
+            AdaptiveGranularity(target_seconds=20.0),
+            [WorkloadTrace.single_stage([1.0] * 400)],
+        )
+        rm = run_metrics(report.log)
+        assert (
+            rm.donors["fast"].items_completed > rm.donors["slow"].items_completed
+        )

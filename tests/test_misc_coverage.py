@@ -1,0 +1,176 @@
+"""Edge cases not covered by the main suites: lease-table API, stuck
+DataManagers, concurrent bulk transfers, problem validation."""
+
+import threading
+
+import pytest
+
+from repro.core.client import run_to_completion
+from repro.core.faults import LeaseTable
+from repro.core.problem import Algorithm, DataManager, FunctionAlgorithm, Problem
+from repro.core.scheduler import FixedGranularity
+from repro.core.server import TaskFarmServer
+from repro.core.workunit import UnitPayload, WorkResult, WorkUnit
+from repro.rmi import DataChannelServer, fetch_data, push_data
+from tests.helpers import RangeSumAlgorithm, RangeSumDataManager
+
+
+class TestLeaseTableDirect:
+    def unit(self, uid=0):
+        return WorkUnit(problem_id=1, unit_id=uid, payload=None, items=1)
+
+    def test_grant_and_holder(self):
+        table = LeaseTable(timeout=10.0)
+        table.grant(self.unit(), "d0", now=0.0)
+        assert table.holder(1, 0) == "d0"
+        assert table.holder(1, 99) is None
+        assert len(table) == 1
+
+    def test_double_grant_rejected(self):
+        table = LeaseTable(timeout=10.0)
+        table.grant(self.unit(), "d0", now=0.0)
+        with pytest.raises(ValueError, match="already leased"):
+            table.grant(self.unit(), "d1", now=1.0)
+
+    def test_renew_missing_lease(self):
+        table = LeaseTable(timeout=10.0)
+        assert table.renew(1, 0, now=5.0) is False
+
+    def test_expired_boundary(self):
+        table = LeaseTable(timeout=10.0)
+        table.grant(self.unit(), "d0", now=0.0)
+        assert table.expired(9.999) == []
+        dead = table.expired(10.0)  # deadline inclusive
+        assert len(dead) == 1
+        assert len(table) == 0
+
+    def test_revoke_donor_scoped(self):
+        table = LeaseTable(timeout=10.0)
+        table.grant(self.unit(0), "d0", now=0.0)
+        table.grant(self.unit(1), "d1", now=0.0)
+        revoked = table.revoke_donor("d0")
+        assert [l.unit.unit_id for l in revoked] == [0]
+        assert table.holder(1, 1) == "d1"
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            LeaseTable(timeout=0.0)
+
+    def test_outstanding_by_problem(self):
+        table = LeaseTable(timeout=10.0)
+        table.grant(self.unit(0), "d0", now=0.0)
+        other = WorkUnit(problem_id=2, unit_id=0, payload=None, items=1)
+        table.grant(other, "d0", now=0.0)
+        assert len(table.outstanding()) == 2
+        assert len(table.outstanding(problem_id=2)) == 1
+
+
+class _StuckDataManager(DataManager):
+    """Never produces units, never completes: a deadlocked problem."""
+
+    def next_unit(self, max_items):
+        return None
+
+    def handle_result(self, result):  # pragma: no cover
+        pass
+
+    def is_complete(self):
+        return False
+
+    def final_result(self):  # pragma: no cover
+        return None
+
+
+class TestRunToCompletion:
+    def test_stuck_problem_detected(self):
+        server = TaskFarmServer(policy=FixedGranularity(1), lease_timeout=1e6)
+        server.submit(
+            Problem("stuck", _StuckDataManager(), FunctionAlgorithm(lambda x: x)), 0.0
+        )
+        with pytest.raises(RuntimeError, match="no progress"):
+            run_to_completion(server, donors=2)
+
+
+class TestProblemValidation:
+    def test_type_checks(self):
+        with pytest.raises(TypeError, match="DataManager"):
+            Problem("p", object(), RangeSumAlgorithm())
+        with pytest.raises(TypeError, match="Algorithm"):
+            Problem("p", RangeSumDataManager(5), object())
+
+    def test_unit_payload_validation(self):
+        with pytest.raises(ValueError, match="at least one item"):
+            UnitPayload(payload=None, items=0)
+
+    def test_problem_ids_unique(self):
+        a = Problem("a", RangeSumDataManager(5), RangeSumAlgorithm())
+        b = Problem("b", RangeSumDataManager(5), RangeSumAlgorithm())
+        assert a.problem_id != b.problem_id
+
+    def test_algorithm_default_cost(self):
+        assert RangeSumAlgorithm().cost((0, 7)) == 7.0
+        assert FunctionAlgorithm(lambda x: x).cost("anything") == 1.0
+        assert FunctionAlgorithm(lambda x: x, cost_fn=len).cost("abc") == 3.0
+
+
+class TestDataChannelConcurrency:
+    def test_parallel_fetches(self):
+        with DataChannelServer() as dcs:
+            payloads = {f"blob{i}": bytes([i]) * (256 << 10) for i in range(8)}
+            for key, data in payloads.items():
+                dcs.store(key, data)
+            errors = []
+            results = {}
+
+            def fetch(key):
+                try:
+                    results[key] = fetch_data(dcs.host, dcs.port, key)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=fetch, args=(key,)) for key in payloads
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            assert results == payloads
+
+    def test_concurrent_push_and_fetch(self):
+        with DataChannelServer() as dcs:
+            dcs.store("stable", b"s" * 1000)
+            errors = []
+
+            def pusher(n):
+                try:
+                    for i in range(5):
+                        push_data(dcs.host, dcs.port, f"k{n}", bytes([n]) * 10_000)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            def fetcher():
+                try:
+                    for _ in range(10):
+                        assert fetch_data(dcs.host, dcs.port, "stable") == b"s" * 1000
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=pusher, args=(n,)) for n in range(4)]
+            threads += [threading.Thread(target=fetcher) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+            for n in range(4):
+                assert dcs.get(f"k{n}") == bytes([n]) * 10_000
+
+
+class TestWorkResultDefaults:
+    def test_extra_dict_isolated(self):
+        a = WorkResult(1, 1, None)
+        b = WorkResult(1, 2, None)
+        a.extra["k"] = 1
+        assert b.extra == {}

@@ -1,0 +1,180 @@
+"""Tests for substitution models: stochasticity, reversibility,
+stationarity, known closed forms, and Gamma rate categories."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.phylo.models import (
+    GTR,
+    HKY85,
+    JC69,
+    K80,
+    F81,
+    F84,
+    TN93,
+    GammaRates,
+    model_by_name,
+)
+
+FREQS = np.array([0.35, 0.15, 0.20, 0.30])
+
+ALL_MODELS = [
+    JC69(),
+    K80(2.5),
+    F81(FREQS),
+    F84(1.5, FREQS),
+    HKY85(3.0, FREQS),
+    TN93(3.0, 1.5, FREQS),
+    GTR([1.0, 2.0, 0.7, 1.2, 3.1, 0.9], FREQS),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+class TestModelInvariants:
+    def test_q_rows_sum_to_zero(self, model):
+        assert np.allclose(model.Q.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_mean_rate_is_one(self, model):
+        assert -np.dot(model.freqs, np.diag(model.Q)) == pytest.approx(1.0)
+
+    def test_p_zero_is_identity(self, model):
+        assert np.allclose(model.transition_matrix(0.0), np.eye(4), atol=1e-12)
+
+    def test_p_rows_are_distributions(self, model):
+        for t in (0.01, 0.1, 1.0, 10.0):
+            P = model.transition_matrix(t)
+            assert (P >= 0).all()
+            assert np.allclose(P.sum(axis=1), 1.0)
+
+    def test_chapman_kolmogorov(self, model):
+        # P(s+t) = P(s) P(t)
+        Ps = model.transition_matrix(0.3)
+        Pt = model.transition_matrix(0.7)
+        Pst = model.transition_matrix(1.0)
+        assert np.allclose(Ps @ Pt, Pst, atol=1e-10)
+
+    def test_detailed_balance(self, model):
+        # Reversibility: pi_i P_ij(t) = pi_j P_ji(t)
+        P = model.transition_matrix(0.5)
+        flux = model.freqs[:, None] * P
+        assert np.allclose(flux, flux.T, atol=1e-10)
+
+    def test_stationary_distribution(self, model):
+        P = model.transition_matrix(100.0)
+        for row in P:
+            assert np.allclose(row, model.freqs, atol=1e-6)
+
+    def test_negative_time_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.transition_matrix(-0.1)
+
+
+class TestJC69ClosedForm:
+    def test_matches_analytic(self):
+        model = JC69()
+        for t in (0.05, 0.2, 1.0, 3.0):
+            P = model.transition_matrix(t)
+            same = 0.25 + 0.75 * math.exp(-4.0 * t / 3.0)
+            diff = 0.25 - 0.25 * math.exp(-4.0 * t / 3.0)
+            assert P[0, 0] == pytest.approx(same, rel=1e-10)
+            assert P[0, 1] == pytest.approx(diff, rel=1e-10)
+
+    def test_uniform_frequencies(self):
+        assert np.allclose(JC69().freqs, 0.25)
+
+
+class TestK80:
+    def test_transitions_faster_than_transversions(self):
+        P = K80(5.0).transition_matrix(0.2)
+        assert P[0, 2] > P[0, 1]  # A->G (transition) > A->C (transversion)
+        assert P[1, 3] > P[1, 0]  # C->T > C->A
+
+    def test_kappa_one_is_jc(self):
+        assert np.allclose(
+            K80(1.0).transition_matrix(0.7), JC69().transition_matrix(0.7)
+        )
+
+    def test_bad_kappa(self):
+        with pytest.raises(ValueError):
+            K80(0.0)
+
+
+class TestParameterValidation:
+    def test_bad_frequencies(self):
+        with pytest.raises(ValueError):
+            F81([0.5, 0.5, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            F81([0.3, 0.3, 0.3, 0.3])  # doesn't sum to 1
+
+    def test_gtr_validation(self):
+        with pytest.raises(ValueError, match="six"):
+            GTR([1, 2, 3], FREQS)
+        with pytest.raises(ValueError, match="positive"):
+            GTR([1, 2, 3, 4, 5, -1], FREQS)
+
+    def test_tn93_validation(self):
+        with pytest.raises(ValueError):
+            TN93(0, 1, FREQS)
+
+    def test_hky_with_uniform_freqs_equals_k80(self):
+        uniform = np.full(4, 0.25)
+        assert np.allclose(
+            HKY85(2.0, uniform).transition_matrix(0.4),
+            K80(2.0).transition_matrix(0.4),
+        )
+
+
+class TestModelByName:
+    def test_all_names_resolve(self):
+        for name in ("jc69", "k80", "f81", "f84", "hky85", "tn93", "gtr"):
+            model = model_by_name(name, freqs=FREQS, kappa=2.0)
+            assert model.Q.shape == (4, 4)
+
+    def test_case_insensitive(self):
+        assert model_by_name("HKY85").name.startswith("HKY85")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown substitution model"):
+            model_by_name("jc1970")
+
+
+class TestGammaRates:
+    def test_single_category_is_unit(self):
+        assert np.allclose(GammaRates(1.0, 1).rates, [1.0])
+        assert np.allclose(GammaRates.uniform().rates, [1.0])
+
+    def test_mean_rate_is_one(self):
+        for alpha in (0.2, 0.5, 1.0, 2.0, 10.0):
+            for k in (2, 4, 8):
+                g = GammaRates(alpha, k)
+                assert float(np.dot(g.weights, g.rates)) == pytest.approx(1.0)
+
+    def test_rates_increase(self):
+        g = GammaRates(0.5, 4)
+        assert (np.diff(g.rates) > 0).all()
+
+    def test_low_alpha_is_more_heterogeneous(self):
+        spread_low = np.ptp(GammaRates(0.3, 4).rates)
+        spread_high = np.ptp(GammaRates(5.0, 4).rates)
+        assert spread_low > spread_high
+
+    def test_high_alpha_approaches_uniform(self):
+        g = GammaRates(1000.0, 4)
+        assert np.allclose(g.rates, 1.0, atol=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GammaRates(0.0)
+        with pytest.raises(ValueError):
+            GammaRates(1.0, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.1, 20.0), st.integers(1, 10))
+    def test_mean_one_property(self, alpha, k):
+        g = GammaRates(alpha, k)
+        assert float(np.dot(g.weights, g.rates)) == pytest.approx(1.0, abs=1e-6)
+        assert (g.rates >= 0).all()

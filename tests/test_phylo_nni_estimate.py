@@ -1,0 +1,172 @@
+"""Tests for NNI rearrangements and model parameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.bio.phylo.estimate import (
+    empirical_frequencies,
+    fit_alpha,
+    fit_hky_gamma,
+    fit_kappa,
+)
+from repro.bio.phylo.likelihood import TreeLikelihood
+from repro.bio.phylo.models import GammaRates, HKY85, JC69
+from repro.bio.phylo.nni import (
+    NNIMove,
+    apply_nni,
+    evaluate_nni,
+    internal_edges,
+    nni_candidates,
+    nni_search,
+)
+from repro.bio.phylo.simulate import random_yule_tree, simulate_alignment
+from repro.bio.phylo.tree import Tree, TreeError, parse_newick, rf_distance
+
+FREQS = np.array([0.35, 0.15, 0.2, 0.3])
+
+
+class TestNNIMechanics:
+    def test_internal_edges_excludes_leaves(self):
+        tree = parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);")
+        indices = internal_edges(tree)
+        edges = tree.edges()
+        assert len(indices) == 2
+        assert all(not edges[i].is_leaf for i in indices)
+
+    def test_candidates_two_per_internal_edge(self):
+        tree = parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);")
+        assert len(nni_candidates(tree)) == 4
+
+    def test_star_has_no_moves(self):
+        assert nni_candidates(Tree.star(["a", "b", "c", "d"])) == []
+
+    def test_apply_changes_topology(self):
+        tree = parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);")
+        before = tree.splits()
+        move = nni_candidates(tree)[0]
+        apply_nni(tree, move)
+        assert tree.splits() != before
+        assert sorted(tree.leaf_names()) == ["a", "b", "c", "d", "e"]
+
+    def test_moves_produce_distinct_topologies(self):
+        base = "((a:1,b:1):1,(c:1,d:1):1,e:1);"
+        seen = set()
+        tree = parse_newick(base)
+        for move in nni_candidates(tree):
+            work = parse_newick(base)
+            apply_nni(work, move)
+            seen.add(frozenset(work.splits()))
+        # around one internal edge the two swaps give the two
+        # alternative resolutions; both must differ from the original
+        assert frozenset(parse_newick(base).splits()) not in seen
+
+    def test_apply_validation(self):
+        tree = parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);")
+        with pytest.raises(IndexError):
+            apply_nni(tree, NNIMove(99, 0))
+        leaf_index = tree.edges().index(tree.find("a"))
+        with pytest.raises(TreeError):
+            apply_nni(tree, NNIMove(leaf_index, 0))
+        with pytest.raises(ValueError):
+            NNIMove(0, 2)
+
+    def test_branch_lengths_travel_with_subtrees(self):
+        tree = parse_newick("((a:0.1,b:0.2)x:0.3,(c:0.4,d:0.5)y:0.6,e:0.7);")
+        total_before = tree.total_branch_length()
+        apply_nni(tree, nni_candidates(tree)[0])
+        assert tree.total_branch_length() == pytest.approx(total_before)
+
+
+class TestNNISearch:
+    def test_escapes_a_bad_join(self):
+        # Build data on a clear topology, start the search from a
+        # deliberately wrong arrangement: NNI must repair it.
+        true = parse_newick("((a:0.05,b:0.05):0.2,(c:0.05,d:0.05):0.2,e:0.3);")
+        aln = simulate_alignment(true, JC69(), 1500, seed=9)
+        wrong = parse_newick("((a:0.05,c:0.05):0.2,(b:0.05,d:0.05):0.2,e:0.3);")
+        fixed, ll, rounds = nni_search(wrong, aln, JC69())
+        assert rf_distance(fixed, true) == 0
+        assert rounds >= 1
+        # input untouched
+        assert rf_distance(wrong, parse_newick("((a:0.05,c:0.05):0.2,(b:0.05,d:0.05):0.2,e:0.3);")) == 0
+
+    def test_no_move_improves_optimal_tree(self):
+        true = parse_newick("((a:0.05,b:0.05):0.2,(c:0.05,d:0.05):0.2,e:0.3);")
+        aln = simulate_alignment(true, JC69(), 1500, seed=10)
+        result, ll, rounds = nni_search(true, aln, JC69())
+        assert rf_distance(result, true) == 0
+
+    def test_evaluate_nni_is_pure(self):
+        true = random_yule_tree(6, seed=3)
+        aln = simulate_alignment(true, JC69(), 200, seed=4)
+        newick = true.newick()
+        move = nni_candidates(true)[0]
+        s1 = evaluate_nni(newick, move, aln, JC69())
+        s2 = evaluate_nni(newick, move, aln, JC69())
+        assert s1.log_likelihood == s2.log_likelihood
+        assert true.newick() == newick
+
+
+class TestEmpiricalFrequencies:
+    def test_sums_to_one_and_tracks_content(self):
+        tree = random_yule_tree(6, seed=5)
+        model = HKY85(2.0, FREQS)
+        aln = simulate_alignment(tree, model, 3000, seed=6)
+        freqs = empirical_frequencies(aln)
+        assert freqs.sum() == pytest.approx(1.0)
+        assert np.allclose(freqs, FREQS, atol=0.05)
+
+    def test_pseudocount_prevents_zero(self):
+        from repro.bio.phylo.alignment import SiteAlignment
+        from repro.bio.seq.sequence import dna
+
+        aln = SiteAlignment.from_sequences(
+            [dna("a", "AAAA"), dna("b", "AAAA"), dna("c", "AAAA"), dna("d", "AAAA")]
+        )
+        freqs = empirical_frequencies(aln)
+        assert (freqs > 0).all()
+
+    def test_validation(self):
+        tree = random_yule_tree(4, seed=1)
+        aln = simulate_alignment(tree, JC69(), 50, seed=2)
+        with pytest.raises(ValueError):
+            empirical_frequencies(aln, pseudocount=0)
+
+
+class TestParameterFitting:
+    def setup_method(self):
+        self.tree = random_yule_tree(8, seed=21, mean_branch=0.12)
+        self.kappa_true = 4.0
+        self.model = HKY85(self.kappa_true, FREQS)
+
+    def test_fit_kappa_recovers_truth(self):
+        aln = simulate_alignment(self.tree, self.model, 4000, seed=22)
+        kappa, ll = fit_kappa(self.tree, aln, empirical_frequencies(aln))
+        assert kappa == pytest.approx(self.kappa_true, rel=0.25)
+        assert ll < 0
+
+    def test_fit_alpha_recovers_heterogeneity(self):
+        alpha_true = 0.4
+        aln = simulate_alignment(
+            self.tree, self.model, 4000, seed=23, rates=GammaRates(alpha_true, 8)
+        )
+        alpha, _ll = fit_alpha(self.tree, aln, self.model, categories=4)
+        assert alpha == pytest.approx(alpha_true, rel=0.5)
+
+    def test_alpha_large_on_homogeneous_data(self):
+        aln = simulate_alignment(self.tree, self.model, 2000, seed=24)
+        alpha, _ll = fit_alpha(self.tree, aln, self.model, categories=4)
+        assert alpha > 5.0  # effectively "no heterogeneity"
+
+    def test_fit_hky_gamma_improves_loglik(self):
+        aln = simulate_alignment(self.tree, self.model, 1500, seed=25)
+        naive_ll = TreeLikelihood(self.tree, aln, JC69()).log_likelihood()
+        fitted = fit_hky_gamma(self.tree, aln)
+        assert fitted.log_likelihood > naive_ll
+        assert fitted.alpha is None  # gamma disabled by default
+        assert fitted.kappa > 1.5  # transition bias detected
+
+    def test_fit_validation(self):
+        aln = simulate_alignment(self.tree, self.model, 100, seed=26)
+        with pytest.raises(ValueError):
+            fit_hky_gamma(self.tree, aln, rounds=0)

@@ -1,0 +1,200 @@
+"""Tests for trees, Newick I/O, edge editing and RF distance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.phylo.tree import Node, Tree, TreeError, parse_newick, rf_distance
+from repro.bio.phylo.simulate import random_yule_tree
+
+
+class TestConstruction:
+    def test_star(self):
+        tree = Tree.star(["a", "b", "c"], branch_length=0.2)
+        assert tree.n_leaves == 3
+        assert sorted(tree.leaf_names()) == ["a", "b", "c"]
+        assert all(c.branch_length == 0.2 for c in tree.root.children)
+
+    def test_star_validation(self):
+        with pytest.raises(TreeError):
+            Tree.star(["only"])
+        with pytest.raises(TreeError):
+            Tree.star(["a", "a", "b"])
+
+    def test_add_child_rejects_reparenting(self):
+        a, b = Node("a"), Node("b")
+        a.add_child(b)
+        with pytest.raises(TreeError, match="already has a parent"):
+            Node("c").add_child(b)
+
+    def test_detach_root_rejected(self):
+        tree = Tree.star(["a", "b", "c"])
+        with pytest.raises(TreeError, match="root"):
+            tree.root.detach()
+
+    def test_copy_is_deep(self):
+        tree = Tree.star(["a", "b", "c"])
+        dup = tree.copy()
+        dup.find("a").branch_length = 9.9
+        assert tree.find("a").branch_length != 9.9
+        assert dup.newick() != tree.newick()
+
+
+class TestTraversal:
+    def test_postorder_children_first(self):
+        tree = parse_newick("((a:1,b:1):1,c:1);")
+        order = [n.name or "*" for n in tree.postorder()]
+        assert order == ["a", "b", "*", "c", "*"]
+
+    def test_preorder_parent_first(self):
+        tree = parse_newick("((a:1,b:1):1,c:1);")
+        order = [n.name or "*" for n in tree.preorder()]
+        assert order == ["*", "*", "a", "b", "c"]
+
+    def test_edges_excludes_root(self):
+        tree = parse_newick("((a:1,b:1):1,c:1);")
+        assert len(tree.edges()) == 4
+        assert all(e.parent is not None for e in tree.edges())
+
+    def test_find(self):
+        tree = Tree.star(["x", "y", "z"])
+        assert tree.find("y").name == "y"
+        with pytest.raises(TreeError):
+            tree.find("missing")
+
+    def test_total_branch_length(self):
+        tree = parse_newick("((a:1,b:2):3,c:4);")
+        assert tree.total_branch_length() == 10.0
+
+
+class TestNewick:
+    def test_parse_simple(self):
+        tree = parse_newick("(a:0.1,b:0.2,c:0.3);")
+        assert tree.n_leaves == 3
+        assert tree.find("b").branch_length == pytest.approx(0.2)
+
+    def test_parse_nested(self):
+        tree = parse_newick("((a:1,b:1)ab:0.5,c:2);")
+        internal = tree.find("ab")
+        assert not internal.is_leaf
+        assert internal.branch_length == pytest.approx(0.5)
+
+    def test_quoted_names(self):
+        tree = parse_newick("('taxon one':1,'it''s':2,c:3);")
+        names = set(tree.leaf_names())
+        assert "taxon one" in names
+        assert "it's" in names
+
+    def test_roundtrip(self):
+        text = "((a:1,b:1):0.5,(c:2,d:2):0.25,e:3);"
+        tree = parse_newick(text)
+        again = parse_newick(tree.newick())
+        assert again.newick() == tree.newick()
+
+    def test_roundtrip_quoted(self):
+        tree = Tree.star(["plain", "with space", "quo'te"])
+        again = parse_newick(tree.newick())
+        assert sorted(again.leaf_names()) == sorted(tree.leaf_names())
+
+    def test_parse_errors(self):
+        for bad in [
+            "(a,b",          # unterminated
+            "(a,b);x",       # trailing
+            "(a,b)",         # missing semicolon
+            "(a:1,b:bad);",  # bad branch length
+            "(a:-1,b:1);",   # negative branch length
+            "(a,a,b);",      # duplicate leaf names
+        ]:
+            with pytest.raises(TreeError):
+                parse_newick(bad)
+
+    def test_scientific_notation_lengths(self):
+        tree = parse_newick("(a:1e-3,b:2.5E2,c:1);")
+        assert tree.find("a").branch_length == pytest.approx(1e-3)
+        assert tree.find("b").branch_length == pytest.approx(250.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(4, 24), st.integers(0, 1000))
+    def test_roundtrip_random_trees(self, n, seed):
+        tree = random_yule_tree(n, seed=seed)
+        again = parse_newick(tree.newick())
+        assert again.newick() == tree.newick()
+        assert rf_distance(tree, again) == 0
+
+
+class TestEdgeEditing:
+    def test_insert_and_remove_is_identity(self):
+        tree = parse_newick("((a:1,b:1):0.5,c:2,d:3);")
+        before = tree.newick()
+        edge = tree.find("b")
+        v, leaf = tree.insert_on_edge(edge, "new", leaf_branch=0.7)
+        assert leaf.name == "new"
+        assert tree.n_leaves == 5
+        assert edge.parent is v
+        assert v.branch_length + edge.branch_length == pytest.approx(1.0)
+        removed = tree.remove_insertion(v)
+        assert removed is leaf
+        assert tree.newick() == before
+
+    def test_insert_split_fraction(self):
+        tree = parse_newick("(a:1,b:2,c:3);")
+        v, _leaf = tree.insert_on_edge(tree.find("c"), "x", split=0.25)
+        assert tree.find("c").branch_length == pytest.approx(0.75)
+        assert v.branch_length == pytest.approx(2.25)
+
+    def test_insert_on_root_rejected(self):
+        tree = Tree.star(["a", "b", "c"])
+        with pytest.raises(TreeError, match="root"):
+            tree.insert_on_edge(tree.root, "x")
+
+    def test_insert_bad_split(self):
+        tree = Tree.star(["a", "b", "c"])
+        with pytest.raises(TreeError, match="split"):
+            tree.insert_on_edge(tree.find("a"), "x", split=1.5)
+
+    def test_remove_non_insertion_rejected(self):
+        tree = Tree.star(["a", "b", "c"])
+        with pytest.raises(TreeError):
+            tree.remove_insertion(tree.find("a"))
+
+    def test_sequential_insertions_grow_edges(self):
+        # Unrooted tree with k leaves has 2k-3 edges.
+        tree = Tree.star(["t0", "t1", "t2"])
+        for k in range(3, 10):
+            assert len(tree.edges()) == 2 * k - 3
+            tree.insert_on_edge(tree.edges()[0], f"t{k}")
+        assert tree.n_leaves == 10
+
+    def test_edge_index_survives_newick_roundtrip(self):
+        # The distributed protocol depends on this invariant.
+        tree = random_yule_tree(12, seed=5)
+        again = parse_newick(tree.newick())
+        ours = [(e.name, round(e.branch_length, 9)) for e in tree.edges()]
+        theirs = [(e.name, round(e.branch_length, 9)) for e in again.edges()]
+        assert ours == theirs
+
+
+class TestSplitsAndRF:
+    def test_identical_trees_distance_zero(self):
+        a = parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);")
+        b = parse_newick(a.newick())
+        assert rf_distance(a, b) == 0
+
+    def test_different_topologies_positive(self):
+        a = parse_newick("((a:1,b:1):1,c:1,d:1);")
+        b = parse_newick("((a:1,c:1):1,b:1,d:1);")
+        assert rf_distance(a, b) == 2
+
+    def test_star_has_no_splits(self):
+        assert Tree.star(["a", "b", "c", "d"]).splits() == set()
+
+    def test_leaf_set_mismatch_rejected(self):
+        a = Tree.star(["a", "b", "c"])
+        b = Tree.star(["a", "b", "x"])
+        with pytest.raises(TreeError, match="leaf set"):
+            rf_distance(a, b)
+
+    def test_splits_ignore_rooting_position(self):
+        a = parse_newick("((a:1,b:1):1,(c:1,d:1):1,e:1);")
+        b = parse_newick("((c:1,d:1):1,(a:1,b:1):1,e:1);")
+        assert a.splits() == b.splits()

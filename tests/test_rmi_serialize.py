@@ -1,0 +1,78 @@
+"""Tests for the framed pickle codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rmi import serialize
+from repro.rmi.errors import ProtocolError, SerializationError
+
+
+class TestFraming:
+    def test_roundtrip_simple(self):
+        for obj in [None, 0, 3.14, "text", b"bytes", [1, 2], {"k": (1, 2)}]:
+            assert serialize.loads(serialize.dumps(obj)) == obj
+
+    def test_roundtrip_numpy(self):
+        arr = np.arange(100, dtype=np.float64).reshape(10, 10)
+        out = serialize.loads(serialize.dumps(arr))
+        assert np.array_equal(out, arr)
+
+    def test_header_carries_payload_length(self):
+        frame = serialize.dumps("hello")
+        length = serialize.parse_header(frame[: serialize.HEADER_SIZE])
+        assert length == len(frame) - serialize.HEADER_SIZE
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(serialize.dumps(1))
+        frame[0] = 0xFF
+        with pytest.raises(ProtocolError, match="bad magic"):
+            serialize.loads(bytes(frame))
+
+    def test_bad_version_rejected(self):
+        frame = bytearray(serialize.dumps(1))
+        frame[2] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            serialize.loads(bytes(frame))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ProtocolError, match="short header"):
+            serialize.parse_header(b"JR")
+
+    def test_truncated_payload_rejected(self):
+        frame = serialize.dumps([1, 2, 3])
+        with pytest.raises(ProtocolError, match="length mismatch"):
+            serialize.loads(frame[:-1])
+
+    def test_unpicklable_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            serialize.dumps(lambda x: x)  # lambdas cannot be pickled
+
+    def test_corrupt_payload_raises_serialization_error(self):
+        frame = bytearray(serialize.dumps({"a": 1}))
+        frame[serialize.HEADER_SIZE] ^= 0xFF
+        with pytest.raises(SerializationError):
+            serialize.loads(bytes(frame))
+
+
+_JSONISH = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False) | st.text(max_size=20),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@given(_JSONISH)
+def test_roundtrip_property(obj):
+    assert serialize.loads(serialize.dumps(obj)) == obj
+
+
+@given(st.binary(max_size=200))
+def test_arbitrary_bytes_never_crash_parser(data):
+    """Garbage input raises a protocol/serialization error, never others."""
+    try:
+        serialize.loads(data)
+    except (ProtocolError, SerializationError):
+        pass

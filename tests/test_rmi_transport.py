@@ -1,0 +1,188 @@
+"""Integration tests for the TCP transport, RMI server/proxy and the
+bulk data channel — all over real localhost sockets."""
+
+import threading
+
+import pytest
+
+from repro.rmi import (
+    DataChannelServer,
+    RemoteError,
+    RMIError,
+    RMIServer,
+    connect,
+    fetch_data,
+    push_data,
+)
+from repro.rmi.transport import TransportServer, dial
+
+
+class EchoHandler:
+    """Transport handler echoing every object back."""
+
+    def __call__(self, fsock):
+        while True:
+            fsock.send_obj(fsock.recv_obj())
+
+
+class Calculator:
+    """A remote object for the RMI tests."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def add(self, a, b):
+        self.calls += 1
+        return a + b
+
+    def fail(self):
+        raise ValueError("deliberate failure")
+
+    def _secret(self):  # pragma: no cover - must never execute remotely
+        raise AssertionError("private method invoked remotely")
+
+
+class TestTransport:
+    def test_echo_roundtrip(self):
+        with TransportServer(EchoHandler()) as server:
+            with dial(server.host, server.port) as fsock:
+                for obj in [1, "two", {"three": 3}, list(range(100))]:
+                    fsock.send_obj(obj)
+                    assert fsock.recv_obj() == obj
+
+    def test_many_sequential_connections(self):
+        with TransportServer(EchoHandler()) as server:
+            for i in range(10):
+                with dial(server.host, server.port) as fsock:
+                    fsock.send_obj(i)
+                    assert fsock.recv_obj() == i
+
+    def test_concurrent_connections(self):
+        with TransportServer(EchoHandler()) as server:
+            errors = []
+
+            def worker(n):
+                try:
+                    with dial(server.host, server.port) as fsock:
+                        for i in range(20):
+                            fsock.send_obj((n, i))
+                            assert fsock.recv_obj() == (n, i)
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert errors == []
+
+    def test_large_object(self):
+        with TransportServer(EchoHandler()) as server:
+            with dial(server.host, server.port) as fsock:
+                blob = b"x" * (4 << 20)
+                fsock.send_obj(blob)
+                assert fsock.recv_obj() == blob
+
+
+class TestRMI:
+    def test_remote_call(self):
+        with RMIServer() as server:
+            server.bind("calc", Calculator())
+            with connect(server.host, server.port, "calc") as calc:
+                assert calc.add(2, 3) == 5
+                assert calc.add("a", "b") == "ab"
+
+    def test_remote_exception_propagates(self):
+        with RMIServer() as server:
+            server.bind("calc", Calculator())
+            with connect(server.host, server.port, "calc") as calc:
+                with pytest.raises(RemoteError, match="deliberate failure") as info:
+                    calc.fail()
+                assert info.value.exc_type == "ValueError"
+                assert "fail" in info.value.remote_traceback
+
+    def test_unknown_object(self):
+        with RMIServer() as server:
+            server.bind("calc", Calculator())
+            with connect(server.host, server.port, "nope") as proxy:
+                with pytest.raises(RemoteError, match="no remote object"):
+                    proxy.add(1, 2)
+
+    def test_unknown_method(self):
+        with RMIServer() as server:
+            server.bind("calc", Calculator())
+            with connect(server.host, server.port, "calc") as calc:
+                with pytest.raises(RemoteError, match="no remote method"):
+                    calc.subtract(1, 2)
+
+    def test_private_method_blocked(self):
+        # Registry-level check: craft a request naming a private method.
+        from repro.rmi.registry import CallRequest, RemoteObjectRegistry
+
+        registry = RemoteObjectRegistry()
+        registry.bind("calc", Calculator())
+        response = registry.dispatch(CallRequest("calc", "_secret", (), {}))
+        assert not response.ok
+        assert response.exc_type == "AttributeError"
+
+    def test_state_persists_across_calls(self):
+        calc = Calculator()
+        with RMIServer() as server:
+            server.bind("calc", calc)
+            with connect(server.host, server.port, "calc") as proxy:
+                for _ in range(5):
+                    proxy.add(1, 1)
+        assert calc.calls == 5
+
+    def test_kwargs_pass_through(self):
+        with RMIServer() as server:
+            server.bind("calc", Calculator())
+            with connect(server.host, server.port, "calc") as calc:
+                assert calc.add(a=10, b=20) == 30
+
+    def test_registry_bind_conflict(self):
+        with RMIServer() as server:
+            server.bind("calc", Calculator())
+            with pytest.raises(KeyError):
+                server.bind("calc", Calculator())
+            server.registry.rebind("calc", Calculator())  # rebind allowed
+
+
+class TestDataChannel:
+    def test_fetch(self):
+        with DataChannelServer() as dcs:
+            dcs.store("db", b"ACGT" * 1000)
+            data = fetch_data(dcs.host, dcs.port, "db")
+            assert data == b"ACGT" * 1000
+
+    def test_push_then_fetch(self):
+        with DataChannelServer() as dcs:
+            payload = bytes(range(256)) * 512
+            push_data(dcs.host, dcs.port, "results", payload)
+            assert dcs.get("results") == payload
+            assert fetch_data(dcs.host, dcs.port, "results") == payload
+
+    def test_missing_key(self):
+        with DataChannelServer() as dcs:
+            with pytest.raises(RMIError, match="no blob"):
+                fetch_data(dcs.host, dcs.port, "ghost")
+
+    def test_large_transfer(self):
+        with DataChannelServer() as dcs:
+            blob = bytes(17) * (3 << 20)  # ~3 MiB, non-trivial chunk count
+            dcs.store("big", blob)
+            assert fetch_data(dcs.host, dcs.port, "big") == blob
+
+    def test_empty_blob(self):
+        with DataChannelServer() as dcs:
+            dcs.store("empty", b"")
+            assert fetch_data(dcs.host, dcs.port, "empty") == b""
+
+    def test_keys_and_delete(self):
+        with DataChannelServer() as dcs:
+            dcs.store("a", b"1")
+            dcs.store("b", b"2")
+            assert dcs.keys() == ["a", "b"]
+            dcs.delete("a")
+            assert dcs.keys() == ["b"]

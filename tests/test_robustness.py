@@ -1,0 +1,135 @@
+"""Robustness tests: garbage on the wire, both-strand search, and
+stepwise options not covered elsewhere."""
+
+import socket
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dsearch import DSearchAlgorithm, DSearchConfig
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import random_sequence
+from repro.rmi import RMIServer, connect
+from repro.rmi.transport import dial
+
+
+class Echo:
+    def ping(self, x):
+        return x
+
+
+class TestWireGarbage:
+    """A server facing the open lab network must shrug off junk."""
+
+    @pytest.fixture()
+    def server(self):
+        srv = RMIServer()
+        srv.bind("echo", Echo())
+        yield srv
+        srv.close()
+
+    def test_garbage_bytes_dont_kill_server(self, server):
+        with socket.create_connection((server.host, server.port)) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\n\r\n")  # a confused web browser
+        # The server must still serve real clients afterwards.
+        with connect(server.host, server.port, "echo") as proxy:
+            assert proxy.ping(42) == 42
+
+    def test_half_frame_then_disconnect(self, server):
+        from repro.rmi import serialize
+
+        frame = serialize.dumps({"partial": True})
+        with socket.create_connection((server.host, server.port)) as sock:
+            sock.sendall(frame[: len(frame) // 2])
+        with connect(server.host, server.port, "echo") as proxy:
+            assert proxy.ping("still alive") == "still alive"
+
+    @settings(max_examples=20, deadline=None)
+    @given(junk=st.binary(min_size=1, max_size=64))
+    def test_random_junk_property(self, junk):
+        srv = RMIServer()
+        srv.bind("echo", Echo())
+        try:
+            with socket.create_connection((srv.host, srv.port)) as sock:
+                sock.sendall(junk)
+            with connect(srv.host, srv.port, "echo") as proxy:
+                assert proxy.ping(1) == 1
+        finally:
+            srv.close()
+
+    def test_non_callrequest_object(self, server):
+        with dial(server.host, server.port) as fsock:
+            fsock.send_obj({"not": "a CallRequest"})
+            response = fsock.recv_obj()
+            assert not response.ok
+            assert "expected CallRequest" in response.exc_message
+
+
+class TestBothStrands:
+    def test_reverse_strand_feature_found(self):
+        rng = np.random.default_rng(41)
+        query = random_sequence("q", 60, DNA, rng)
+        # Plant the query's reverse complement inside a subject.
+        flank1 = random_sequence("f1", 40, DNA, rng)
+        flank2 = random_sequence("f2", 40, DNA, rng)
+        from repro.bio.seq.sequence import Sequence
+
+        planted = Sequence(
+            "subject",
+            np.concatenate(
+                [flank1.codes, query.reverse_complement().codes, flank2.codes]
+            ),
+            DNA,
+        )
+        decoy = random_sequence("decoy", 140, DNA, rng)
+
+        single = DSearchAlgorithm(DSearchConfig(top_hits=2))
+        both = DSearchAlgorithm(DSearchConfig(top_hits=2, both_strands=True))
+        payload = ([query], [planted, decoy])
+
+        single_hits = {h.subject_id: h.score for h in single.compute(payload)["q"]}
+        both_hits = {h.subject_id: h.score for h in both.compute(payload)["q"]}
+        # Forward-only search scores the planted subject like noise;
+        # both-strand search lights it up.
+        assert both_hits["subject"] >= 5.0 * len(query) * 0.9  # near-perfect match
+        assert both_hits["subject"] > single_hits["subject"] * 2
+
+    def test_cost_doubles(self):
+        rng = np.random.default_rng(42)
+        query = random_sequence("q", 50, DNA, rng)
+        subject = random_sequence("s", 80, DNA, rng)
+        single = DSearchAlgorithm(DSearchConfig())
+        both = DSearchAlgorithm(DSearchConfig(both_strands=True))
+        assert both.cost(([query], [subject])) == pytest.approx(
+            2 * single.cost(([query], [subject]))
+        )
+
+    def test_protein_both_strands_rejected(self):
+        with pytest.raises(ValueError, match="both_strands"):
+            DSearchConfig(scoring="blosum62", both_strands=True)
+
+    def test_config_file_key(self):
+        from repro.util.config import ConfigFile
+
+        cfg = DSearchConfig.from_config(
+            ConfigFile.from_text("both_strands = yes\n")
+        )
+        assert cfg.both_strands is True
+
+
+class TestStepwiseGlobalOpt:
+    def test_periodic_global_optimisation_runs(self):
+        from repro.bio.phylo.models import JC69
+        from repro.bio.phylo.simulate import random_yule_tree, simulate_alignment
+        from repro.bio.phylo.stepwise import StepwiseSearch
+
+        true = random_yule_tree(6, seed=301, mean_branch=0.15)
+        aln = simulate_alignment(true, JC69(), 300, seed=302)
+        plain = StepwiseSearch(aln, JC69()).run()
+        periodic = StepwiseSearch(aln, JC69(), global_opt_every=1).run()
+        # Same data, same order: periodic optimisation can only match or
+        # improve the final likelihood (both end with a full polish).
+        assert periodic.log_likelihood >= plain.log_likelihood - 0.5
+        assert sorted(periodic.tree.leaf_names()) == sorted(aln.names)

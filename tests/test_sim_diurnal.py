@@ -1,0 +1,111 @@
+"""Tests for the diurnal lab-availability model."""
+
+import pytest
+
+from repro.cluster.sim import SimCluster, homogeneous_pool
+from repro.cluster.sim.diurnal import (
+    DAY_SECONDS,
+    DiurnalProfile,
+    diurnal_pool,
+    diurnal_sessions,
+)
+from repro.cluster.sim.machines import MachineSpec
+from repro.cluster.sim.trace import WorkloadTrace, trace_problem
+from repro.core.scheduler import AdaptiveGranularity
+
+
+class TestProfile:
+    def test_availability_by_time_of_day(self):
+        profile = DiurnalProfile(
+            work_start=9 * 3600, work_end=18 * 3600,
+            busy_availability=0.3, idle_availability=0.9,
+        )
+        assert profile.availability_at(3 * 3600) == 0.9     # night
+        assert profile.availability_at(12 * 3600) == 0.3    # working hours
+        assert profile.availability_at(20 * 3600) == 0.9    # evening
+        # Next day, same shape.
+        assert profile.availability_at(DAY_SECONDS + 12 * 3600) == 0.3
+
+    def test_mean_availability(self):
+        profile = DiurnalProfile(
+            work_start=0.0, work_end=DAY_SECONDS / 2,
+            busy_availability=0.2, idle_availability=1.0,
+        )
+        assert profile.mean_availability() == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(work_start=10.0, work_end=5.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(busy_availability=0.0)
+        with pytest.raises(ValueError):
+            DiurnalProfile(idle_availability=1.5)
+
+
+class TestSessions:
+    def test_cover_horizon_without_overlap(self):
+        profile = DiurnalProfile()
+        horizon = 2.5 * DAY_SECONDS
+        intervals = diurnal_sessions(profile, horizon)
+        assert intervals[0][0] == 0.0
+        assert intervals[-1][1] == horizon
+        for (s1, e1, _), (s2, _e2, _) in zip(intervals, intervals[1:]):
+            assert e1 == s2  # contiguous
+        total = sum(e - s for s, e, _a in intervals)
+        assert total == pytest.approx(horizon)
+
+    def test_availability_labels(self):
+        profile = DiurnalProfile(busy_availability=0.25, idle_availability=0.75)
+        intervals = diurnal_sessions(profile, DAY_SECONDS)
+        labels = {a for _s, _e, a in intervals}
+        assert labels == {0.25, 0.75}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_sessions(DiurnalProfile(), 0.0)
+
+
+class TestDiurnalPool:
+    def test_expands_to_shift_specs(self):
+        pool = homogeneous_pool(3)
+        expanded = diurnal_pool(pool, DiurnalProfile(), horizon=2 * DAY_SECONDS)
+        assert len(expanded) == 6
+        ids = {m.machine_id for m in expanded}
+        assert "pc-000@day" in ids and "pc-000@night" in ids
+        day = next(m for m in expanded if m.machine_id == "pc-000@day")
+        night = next(m for m in expanded if m.machine_id == "pc-000@night")
+        assert day.availability < night.availability
+        # A day spec is only present during working hours.
+        assert day.present_at(12 * 3600)
+        assert not day.present_at(3 * 3600)
+        assert night.present_at(3 * 3600)
+
+    def test_rejects_churned_input(self):
+        spec = MachineSpec("m", sessions=((0.0, 10.0),))
+        with pytest.raises(ValueError, match="churnless"):
+            diurnal_pool([spec], DiurnalProfile(), horizon=DAY_SECONDS)
+
+    def test_simulation_runs_faster_at_night(self):
+        """A workload submitted at night outruns one during the day."""
+        profile = DiurnalProfile(busy_availability=0.2, idle_availability=1.0)
+        pool = diurnal_pool(homogeneous_pool(8), profile, horizon=10 * DAY_SECONDS)
+
+        def makespan(submit_at):
+            cluster = SimCluster(
+                pool,
+                policy=AdaptiveGranularity(target_seconds=300.0),
+                lease_timeout=4 * 3600.0,
+                seed=3,
+                execute=False,
+            )
+            pid = cluster.submit(
+                trace_problem(WorkloadTrace.single_stage([60.0] * 400)),
+                at=submit_at,
+            )
+            report = cluster.run()
+            assert report.completed
+            return report.makespans[pid]
+
+        at_night = makespan(20 * 3600.0)   # 8 pm: labs empty
+        by_day = makespan(9.5 * 3600.0)    # 9:30 am: labs busy
+        assert at_night < by_day

@@ -1,0 +1,234 @@
+"""Tests for the discrete-event engine: ordering, timeouts, resources."""
+
+import pytest
+
+from repro.cluster.sim.engine import (
+    Acquire,
+    SimResource,
+    Simulator,
+    Timeout,
+    transfer,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(5.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.peek() == 10.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(2.0, second)
+
+        def second():
+            times.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+    def test_every_stops_on_condition(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), until=lambda: len(ticks) >= 3)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        ev.cancelled = True
+        sim.run()
+        assert fired == []
+
+
+class TestProcesses:
+    def test_timeout_sequence(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Timeout(2.0)
+            trace.append(sim.now)
+            yield Timeout(3.0)
+            trace.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert trace == [0.0, 2.0, 5.0]
+
+    def test_spawn_delay(self):
+        sim = Simulator()
+        start = []
+
+        def proc():
+            start.append(sim.now)
+            yield Timeout(1.0)
+
+        sim.spawn(proc(), delay=7.0)
+        sim.run()
+        assert start == [7.0]
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not-an-effect"
+
+        sim.spawn(bad())
+        with pytest.raises(TypeError, match="expected Timeout or Acquire"):
+            sim.run()
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def proc(name, dt):
+            for _ in range(3):
+                yield Timeout(dt)
+                trace.append((name, sim.now))
+
+        sim.spawn(proc("fast", 1.0))
+        sim.spawn(proc("slow", 2.5))
+        sim.run()
+        assert trace == [
+            ("fast", 1.0),
+            ("fast", 2.0),
+            ("slow", 2.5),
+            ("fast", 3.0),
+            ("slow", 5.0),
+            ("slow", 7.5),
+        ]
+
+
+class TestResources:
+    def test_mutual_exclusion_serializes(self):
+        sim = Simulator()
+        res = SimResource(sim, capacity=1)
+        done = []
+
+        def proc(name):
+            yield Acquire(res)
+            yield Timeout(10.0)
+            res.release()
+            done.append((name, sim.now))
+
+        sim.spawn(proc("a"))
+        sim.spawn(proc("b"))
+        sim.spawn(proc("c"))
+        sim.run()
+        assert done == [("a", 10.0), ("b", 20.0), ("c", 30.0)]
+
+    def test_capacity_two_runs_pairs(self):
+        sim = Simulator()
+        res = SimResource(sim, capacity=2)
+        done = []
+
+        def proc(name):
+            yield Acquire(res)
+            yield Timeout(10.0)
+            res.release()
+            done.append((name, sim.now))
+
+        for name in "abcd":
+            sim.spawn(proc(name))
+        sim.run()
+        assert [t for _n, t in done] == [10.0, 10.0, 20.0, 20.0]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        res = SimResource(sim, capacity=1)
+        grabbed = []
+
+        def proc(name, arrive):
+            yield Timeout(arrive)
+            yield Acquire(res)
+            grabbed.append(name)
+            yield Timeout(5.0)
+            res.release()
+
+        sim.spawn(proc("late", 2.0))
+        sim.spawn(proc("early", 1.0))
+        sim.spawn(proc("middle", 1.5))
+        sim.run()
+        assert grabbed == ["early", "middle", "late"]
+
+    def test_release_idle_resource_raises(self):
+        sim = Simulator()
+        res = SimResource(sim, capacity=1)
+        with pytest.raises(RuntimeError, match="release of idle"):
+            res.release()
+
+    def test_transfer_helper(self):
+        sim = Simulator()
+        res = SimResource(sim, capacity=1)
+        ends = []
+
+        def proc():
+            yield from transfer(res, 4.0)
+            ends.append(sim.now)
+
+        sim.spawn(proc())
+        sim.spawn(proc())
+        sim.run()
+        assert ends == [4.0, 8.0]
+        assert res.in_use == 0
+
+    def test_queue_length_visible(self):
+        sim = Simulator()
+        res = SimResource(sim, capacity=1)
+
+        def holder():
+            yield Acquire(res)
+            yield Timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield Acquire(res)
+            res.release()
+
+        sim.spawn(holder())
+        sim.spawn(waiter())
+        sim.spawn(waiter())
+        sim.run(until=5.0)
+        assert res.queue_length == 2
+
+    def test_bad_capacity(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SimResource(sim, capacity=0)

@@ -1,0 +1,190 @@
+"""Tests for remote submission, tree drawing, translated search and the
+DPRml consensus helper."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dprml import DPRmlConfig, run_many_dprml
+from repro.apps.dprml.driver import consensus_of
+from repro.apps.dsearch import DSearchConfig
+from repro.apps.dsearch.translated import (
+    build_translated_problem,
+    fold_frames,
+    run_translated_search,
+    translated_queries,
+)
+from repro.bio.phylo.draw import ascii_outline, ascii_tree
+from repro.bio.phylo.models import JC69
+from repro.bio.phylo.simulate import random_yule_tree, simulate_alignment
+from repro.bio.phylo.tree import parse_newick
+from repro.bio.seq import DNA, PROTEIN
+from repro.bio.seq.generate import random_database, random_sequence
+from repro.bio.seq.sequence import dna
+from repro.bio.seq.translate import translate
+from repro.cluster.local import RemoteSubmitter, ServerFacade
+from repro.core.problem import Problem
+from repro.core.scheduler import FixedGranularity
+from repro.core.server import TaskFarmServer
+from repro.rmi import RMIServer
+from tests.helpers import RangeSumAlgorithm, RangeSumDataManager
+
+
+class TestRemoteSubmitter:
+    @pytest.fixture()
+    def farm(self):
+        server = TaskFarmServer(policy=FixedGranularity(20), lease_timeout=60.0)
+        facade = ServerFacade(server)
+        rmi = RMIServer()
+        rmi.bind("taskfarm", facade)
+        yield server, facade, rmi
+        rmi.close()
+
+    def test_submit_wait_result(self, farm):
+        server, facade, rmi = farm
+        import threading
+
+        from repro.core.client import DonorClient
+        from repro.rmi import connect
+
+        with RemoteSubmitter(rmi.host, rmi.port) as submitter:
+            pid = submitter.submit(
+                Problem("sum", RangeSumDataManager(100), RangeSumAlgorithm())
+            )
+            assert not submitter.is_complete(pid)
+
+            donor_proxy = connect(rmi.host, rmi.port, "taskfarm")
+            donor = DonorClient("remote-donor", donor_proxy, idle_sleep=0.01)
+            thread = threading.Thread(target=donor.run)
+            thread.start()
+            progress_samples = []
+            result = submitter.wait(
+                pid, timeout=30.0, poll_interval=0.02,
+                on_progress=progress_samples.append,
+            )
+            thread.join()
+            donor_proxy.close()
+            assert result == sum(range(100))
+            assert submitter.is_complete(pid)
+            assert all(0.0 <= p <= 1.0 for p in progress_samples)
+
+    def test_wait_timeout(self, farm):
+        _server, _facade, rmi = farm
+        with RemoteSubmitter(rmi.host, rmi.port) as submitter:
+            pid = submitter.submit(
+                Problem("stuck", RangeSumDataManager(10), RangeSumAlgorithm())
+            )
+            with pytest.raises(TimeoutError, match="did not complete"):
+                submitter.wait(pid, timeout=0.2, poll_interval=0.05)
+
+    def test_status_report_remote(self, farm):
+        _server, _facade, rmi = farm
+        with RemoteSubmitter(rmi.host, rmi.port) as submitter:
+            submitter.submit(
+                Problem("job", RangeSumDataManager(10), RangeSumAlgorithm())
+            )
+            assert "task farm status" in submitter.status_report()
+
+
+class TestDraw:
+    TREE = "((a:0.1,b:0.2):0.15,(c:0.12,(d:0.08,e:0.1):0.05):0.1,f:0.3);"
+
+    def test_outline_contains_all_nodes(self):
+        tree = parse_newick(self.TREE)
+        text = ascii_outline(tree)
+        for name in "abcdef":
+            assert name in text
+        assert ":0.15" in text
+
+    def test_ascii_tree_places_all_leaves(self):
+        tree = parse_newick(self.TREE)
+        art = ascii_tree(tree, width=50)
+        for name in "abcdef":
+            assert f" {name}" in art
+        assert "+" in art and "-" in art
+
+    def test_phylogram_scales_with_length(self):
+        tree = parse_newick("(short:0.01,long:1.0,mid:0.5);")
+        art = ascii_tree(tree, width=60, use_lengths=True)
+        lines = {line.split()[-1]: len(line) for line in art.splitlines() if line.strip()}
+        assert lines["long"] > lines["short"]
+
+    def test_cladogram_equal_depths(self):
+        tree = parse_newick("(a:0.01,b:5.0,c:1.0);")
+        art = ascii_tree(tree, width=40, use_lengths=False)
+        cols = {
+            line.rindex(f" {leaf}")
+            for leaf in "abc"
+            for line in art.splitlines()
+            if line.endswith(f" {leaf}")
+        }
+        assert len(cols) == 1  # all leaves at the same depth
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ascii_tree(parse_newick("(a:1,b:1,c:1);"), width=5)
+
+
+class TestTranslatedSearch:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rng = np.random.default_rng(91)
+        # A protein, its coding DNA, and decoy proteins.
+        protein_db = random_database(25, PROTEIN, seed=92, mean_length=120)
+        target = protein_db[7]
+        # Reverse-translate the target deterministically (pick one codon
+        # per residue) to get a DNA query whose frame-0 translation is
+        # exactly the target protein.
+        from repro.bio.seq.translate import GENETIC_CODE
+
+        codon_for = {}
+        for codon, aa in sorted(GENETIC_CODE.items()):
+            codon_for.setdefault(aa, codon)
+        dna_text = "".join(codon_for[aa] for aa in str(target))
+        query = dna("dnaquery", dna_text)
+        return protein_db, query, target
+
+    def test_translated_queries_have_six_frames(self, workload):
+        _db, query, _target = workload
+        frames = translated_queries([query])
+        assert len(frames["dnaquery"]) == 6
+
+    def test_dna_scoring_rejected(self, workload):
+        db, query, _target = workload
+        with pytest.raises(ValueError, match="protein scoring"):
+            build_translated_problem(db, [query], DSearchConfig(scoring="dna"))
+
+    def test_dna_database_rejected(self, workload):
+        _db, query, _target = workload
+        with pytest.raises(ValueError, match="protein sequences"):
+            build_translated_problem([dna("d", "ACGT")], [query])
+
+    def test_finds_coding_match(self, workload):
+        db, query, target = workload
+        config = DSearchConfig(scoring="blosum62", top_hits=3)
+        folded = run_translated_search(db, [query], config, workers=2)
+        hits = folded["dnaquery"]
+        assert hits[0].hit.subject_id == target.seq_id
+        assert hits[0].frame_id == "dnaquery_f0"  # the coding frame
+        assert len(hits) <= 3
+
+    def test_frame0_translation_matches_target(self, workload):
+        _db, query, target = workload
+        assert str(translate(query)) == str(target)
+
+
+class TestDPRmlConsensus:
+    def test_consensus_of_instances(self):
+        true = random_yule_tree(7, seed=201, mean_branch=0.15)
+        aln = simulate_alignment(true, JC69(), 800, seed=202)
+        reports = run_many_dprml(
+            aln, instances=3, config=DPRmlConfig(model="jc69"), workers=3
+        )
+        tree, splits = consensus_of(reports)
+        assert sorted(tree.leaf_names()) == sorted(aln.names)
+        assert all(0.5 < s.frequency <= 1.0 for s in splits)
+        # On clean data the instances agree on most clades.
+        assert len(splits) >= 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            consensus_of([])

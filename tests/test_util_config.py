@@ -1,0 +1,115 @@
+"""Tests for the key=value configuration file format."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.config import ConfigError, ConfigFile, required
+
+
+class TestParsing:
+    def test_basic_pairs(self):
+        cfg = ConfigFile.from_text("a = 1\nb = two\n")
+        assert cfg["a"] == "1"
+        assert cfg["b"] == "two"
+        assert len(cfg) == 2
+
+    def test_comments_and_blanks_ignored(self):
+        cfg = ConfigFile.from_text("# header\n\na = 1  # trailing\n   \n")
+        assert dict(cfg) == {"a": "1"}
+
+    def test_whitespace_stripped(self):
+        cfg = ConfigFile.from_text("  key   =   some value  \n")
+        assert cfg["key"] == "some value"
+
+    def test_value_may_contain_equals(self):
+        cfg = ConfigFile.from_text("expr = a=b\n")
+        assert cfg["expr"] == "a=b"
+
+    def test_missing_equals_is_error(self):
+        with pytest.raises(ConfigError, match="expected 'key = value'"):
+            ConfigFile.from_text("just a line\n")
+
+    def test_empty_key_is_error(self):
+        with pytest.raises(ConfigError, match="empty key"):
+            ConfigFile.from_text("= value\n")
+
+    def test_duplicate_key_is_error(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            ConfigFile.from_text("a = 1\na = 2\n")
+
+    def test_error_names_line_number(self):
+        with pytest.raises(ConfigError, match=":3:"):
+            ConfigFile.from_text("a = 1\nb = 2\nbroken\n")
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "app.conf"
+        path.write_text("x = 9\n")
+        cfg = ConfigFile.from_path(path)
+        assert cfg.get_int("x") == 9
+
+
+class TestTypedAccessors:
+    def setup_method(self):
+        self.cfg = ConfigFile.from_text(
+            "n = 42\nratio = 2.5\nflag = yes\noff = 0\nalgo = sw\n"
+        )
+
+    def test_get_int(self):
+        assert self.cfg.get_int("n") == 42
+
+    def test_get_int_bad_value(self):
+        with pytest.raises(ConfigError, match="expects an integer"):
+            self.cfg.get_int("algo")
+
+    def test_get_float(self):
+        assert self.cfg.get_float("ratio") == pytest.approx(2.5)
+        assert self.cfg.get_float("n") == pytest.approx(42.0)
+
+    def test_get_bool_variants(self):
+        assert self.cfg.get_bool("flag") is True
+        assert self.cfg.get_bool("off") is False
+
+    def test_get_bool_bad_value(self):
+        with pytest.raises(ConfigError, match="expects a boolean"):
+            self.cfg.get_bool("algo")
+
+    def test_get_choice(self):
+        assert self.cfg.get_choice("algo", ("nw", "sw")) == "sw"
+
+    def test_get_choice_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="must be one of"):
+            self.cfg.get_choice("algo", ("nw", "banded"))
+
+    def test_defaults_used_when_absent(self):
+        assert self.cfg.get_int("missing", 7) == 7
+        assert self.cfg.get_str("missing", "d") == "d"
+        assert self.cfg.get_bool("missing", True) is True
+
+    def test_required_sentinel_raises(self):
+        with pytest.raises(ConfigError, match="missing required key"):
+            self.cfg.get_int("absent", required())
+
+    def test_require_lists_all_missing(self):
+        with pytest.raises(ConfigError, match="alpha, beta"):
+            self.cfg.require("n", "alpha", "beta")
+
+
+_KEY = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_"),
+    min_size=1,
+    max_size=12,
+)
+_VALUE = st.text(
+    alphabet=st.characters(blacklist_characters="#\n\r=", blacklist_categories=("Cs", "Cc")),
+    min_size=1,
+    max_size=30,
+).map(str.strip).filter(bool)
+
+
+@given(st.dictionaries(_KEY, _VALUE, min_size=1, max_size=12))
+def test_roundtrip_through_text(pairs):
+    """to_text() output parses back to the same mapping."""
+    cfg = ConfigFile(pairs)
+    reparsed = ConfigFile.from_text(cfg.to_text())
+    assert dict(reparsed) == pairs

@@ -6,6 +6,7 @@ service", and users submit problems.  These commands are that story:
 
 * ``repro-server`` — host a task-farm server on a TCP port.
 * ``repro-donor``  — run a donor against a server (the lab-PC side).
+* ``repro-status`` — show live progress of a running server.
 * ``repro-dsearch`` — run a DSEARCH job on a local cluster.
 * ``repro-dprml``  — run DPRml on a local cluster.
 * ``repro-dboot``  — run a distributed bootstrap on a local cluster.

@@ -30,6 +30,11 @@ def server_main(argv: list[str] | None = None) -> int:
         "--unit-target-seconds", type=float, default=60.0,
         help="adaptive granularity target per unit",
     )
+    parser.add_argument(
+        "--status-interval", type=float, default=0.0, metavar="SECONDS",
+        help="print a live status table every SECONDS "
+             "(0 disables; repro-status can also pull it remotely)",
+    )
     args = parser.parse_args(argv)
 
     server = TaskFarmServer(
@@ -37,7 +42,9 @@ def server_main(argv: list[str] | None = None) -> int:
         lease_timeout=args.lease_timeout,
     )
     facade = ServerFacade(server)
-    rmi = RMIServer(host=args.host, port=args.port)
+    # Share the farm's meter registry so RMI dispatch telemetry lands in
+    # the same snapshot repro-status reads.
+    rmi = RMIServer(host=args.host, port=args.port, obs=server.obs)
     rmi.bind("taskfarm", facade)
     print(f"task-farm server listening on {rmi.host}:{rmi.port}", flush=True)
 
@@ -48,9 +55,15 @@ def server_main(argv: list[str] | None = None) -> int:
 
     signal.signal(signal.SIGINT, handle_signal)
     signal.signal(signal.SIGTERM, handle_signal)
+    next_status = (
+        time.monotonic() + args.status_interval if args.status_interval > 0 else None
+    )
     try:
         while not stop["flag"]:
             time.sleep(0.5)
+            if next_status is not None and time.monotonic() >= next_status:
+                print(facade.status_report(), flush=True)
+                next_status = time.monotonic() + args.status_interval
     finally:
         rmi.close()
         print("server stopped", flush=True)

@@ -1,0 +1,215 @@
+"""``repro-status``: live progress of a running farm.
+
+Connects to a running ``repro-server`` (or any
+:class:`~repro.cluster.local.ServerFacade` exported over RMI) and
+renders a point-in-time progress table: per-problem % complete,
+per-donor utilization and calibrated items/s, and streaming meter
+summaries.  ``--json`` dumps the raw snapshot for scripts and the
+benchmarks; ``--from-json`` renders a previously dumped snapshot (e.g.
+one written by a simulation), so live and simulated runs share one
+rendering path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.rmi import connect
+
+#: Counters worth a line in the human-readable meter summary, in order.
+_KEY_COUNTERS = (
+    "farm.units.issued",
+    "farm.units.completed",
+    "farm.units.requeued",
+    "farm.units.failed",
+    "farm.units.duplicate",
+    "farm.items.completed",
+    "farm.bytes.in",
+    "farm.bytes.out",
+    "farm.leases.expired",
+    "rmi.calls",
+    "net.bytes",
+)
+
+
+def _fmt_quantity(value: float) -> str:
+    if value == int(value):
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def _histogram_line(name: str, summary: dict[str, Any]) -> str:
+    count = summary["count"]
+    if not count:
+        return f"  {name:<24} (empty)"
+    # Bucket-resolution quantiles from the cumulative counts.
+    bounds, counts = summary["bounds"], summary["counts"]
+
+    def quantile(q: float) -> float:
+        rank = q * count
+        seen = 0
+        for i, c in enumerate(counts):
+            seen += c
+            if seen >= rank and c:
+                return min(bounds[i], summary["max"]) if i < len(bounds) else summary["max"]
+        return summary["max"]
+
+    return (
+        f"  {name:<24} n={count:<8} mean={summary['mean']:<10.4g} "
+        f"p50≤{quantile(0.5):<10.4g} p90≤{quantile(0.9):<10.4g} "
+        f"max={summary['max']:.4g}"
+    )
+
+
+def render_snapshot(snap: dict[str, Any]) -> str:
+    """Render a ``status_json``/``status_snapshot`` dict as a table."""
+    problems = snap.get("problems", [])
+    donors = snap.get("donors", [])
+    running = sum(1 for p in problems if p["status"] == "running")
+    busy = sum(1 for d in donors if d["active"])
+    lines = [
+        f"task farm status @ t={snap.get('time', 0.0):.1f}: "
+        f"{running} running problem(s), {len(donors)} donor(s) ({busy} busy)",
+        "",
+        f"{'id':>4} {'problem':<18} {'status':<9} {'progress':>9} "
+        f"{'done':>6} {'flight':>7} {'requeued':>9}",
+    ]
+    for p in problems:
+        lines.append(
+            f"{p['problem_id']:>4} {p['name']:<18.18} {p['status']:<9} "
+            f"{p['progress']:>8.1%} {p['units_completed']:>6} "
+            f"{p['units_in_flight']:>7} {p['units_requeued']:>9}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'donor':<18} {'units':>6} {'items':>8} {'busy(s)':>9} "
+        f"{'items/s':>8} {'util':>6} {'state':<10}"
+    )
+    for d in donors:
+        state = "busy" if d["active"] else f"idle {d['idle_seconds']:.0f}s"
+        rate = f"{d['items_per_second']:.2f}" if d["items_per_second"] else "-"
+        lines.append(
+            f"{d['donor_id']:<18.18} {d['units_completed']:>6} "
+            f"{d['items_completed']:>8} {d['busy_seconds']:>9.1f} "
+            f"{rate:>8} {d['utilization']:>6.0%} {state:<10}"
+        )
+    meters = snap.get("meters", {})
+    counters = meters.get("counters", {})
+    shown = [n for n in _KEY_COUNTERS if counters.get(n)]
+    if shown:
+        lines.append("")
+        lines.append("meters")
+        for name in shown:
+            lines.append(f"  {name:<24} {_fmt_quantity(counters[name])}")
+    histograms = meters.get("histograms", {})
+    interesting = [n for n in sorted(histograms) if histograms[n]["count"]]
+    if interesting:
+        lines.append("")
+        lines.append("histograms")
+        for name in interesting:
+            lines.append(_histogram_line(name, histograms[name]))
+    traces = snap.get("traces")
+    if traces:
+        lines.append("")
+        lines.append(
+            f"traces: {traces['open_spans']} open span(s), "
+            f"{traces['finished_spans']} finished (ring-buffered)"
+        )
+    return "\n".join(lines)
+
+
+def fetch_snapshot(host: str, port: int, timeout: float = 5.0) -> dict[str, Any]:
+    """Pull one status snapshot from a live server over RMI."""
+    proxy = connect(host, port, "taskfarm", timeout=timeout)
+    try:
+        return proxy.status_json()
+    finally:
+        proxy.close()
+
+
+def status_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-status",
+        description="Show live progress of a running task-farm server.",
+    )
+    parser.add_argument(
+        "server", nargs="?", default=None, help="server address as host:port"
+    )
+    parser.add_argument(
+        "--from-json", type=Path, default=None, metavar="PATH",
+        help="render a snapshot previously dumped with --json "
+             "(e.g. from a simulated run) instead of contacting a server",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="dump the raw snapshot as JSON"
+    )
+    parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="refresh every SECONDS until interrupted",
+    )
+    args = parser.parse_args(argv)
+
+    if (args.server is None) == (args.from_json is None):
+        parser.error("need exactly one of: a server address, or --from-json")
+    if args.from_json is not None and args.watch is not None:
+        parser.error("--watch needs a live server")
+
+    if args.from_json is not None:
+        try:
+            snap = json.loads(args.from_json.read_text())
+        except OSError as exc:
+            print(f"repro-status: cannot read {args.from_json}: {exc}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"repro-status: {args.from_json} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 1
+        _emit(snap, args.json)
+        return 0
+
+    host, _, port_text = args.server.partition(":")
+    if not port_text:
+        parser.error("server must be host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"bad port {port_text!r}")
+
+    while True:
+        try:
+            snap = fetch_snapshot(host, port)
+        except OSError as exc:
+            print(f"repro-status: cannot reach {host}:{port}: {exc}", file=sys.stderr)
+            return 1
+        _emit(snap, args.json)
+        if args.watch is None:
+            return 0
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+        print()
+
+
+def _emit(snap: dict[str, Any], as_json: bool) -> None:
+    try:
+        if as_json:
+            json.dump(snap, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            print(render_snapshot(snap))
+    except BrokenPipeError:
+        # Reader (head, less, ...) went away: exit quietly, and point
+        # stdout at devnull so the interpreter's final flush stays silent.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0) from None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(status_main())

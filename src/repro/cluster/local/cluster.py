@@ -110,6 +110,21 @@ class ServerFacade:
         with self._lock:
             return render_status(self._server, self._now())
 
+    def status_json(self) -> dict:
+        """Mid-run JSON snapshot: farm status + streaming meters.
+
+        This is what ``repro-status`` calls over RMI against a live
+        deployment.
+        """
+        from repro.core.status import snapshot_dict
+
+        with self._lock:
+            return snapshot_dict(self._server, self._now())
+
+    def metrics_snapshot(self) -> dict:
+        """Just the streaming meters (cheap; no per-problem scan)."""
+        return self._server.obs.meters.snapshot()
+
 
 class ThreadCluster:
     """Donors as threads against an in-process server."""
@@ -222,7 +237,9 @@ class LocalCluster:
     ):
         self.server = TaskFarmServer(policy=policy, lease_timeout=lease_timeout)
         self.facade = ServerFacade(self.server)
-        self.rmi = RMIServer()
+        # One observability bundle across layers: RMI dispatch meters and
+        # farm counters land in the same registry the status CLI reads.
+        self.rmi = RMIServer(obs=self.server.obs)
         self.rmi.bind("taskfarm", self.facade)
         self.workers = workers
         self.idle_sleep = idle_sleep

@@ -26,6 +26,7 @@ from repro.core.problem import Problem
 from repro.core.scheduler import GranularityPolicy
 from repro.core.server import Assignment, TaskFarmServer
 from repro.core.workunit import WorkResult
+from repro.obs import Observability
 from repro.util.events import EventLog
 from repro.util.rng import spawn_rng
 
@@ -88,6 +89,7 @@ class SimCluster:
         seed: int = 0,
         execute: bool = True,
         idle_poll: float = 5.0,
+        obs: Observability | None = None,
     ):
         if not machines:
             raise ValueError("need at least one machine")
@@ -95,9 +97,15 @@ class SimCluster:
         if len(set(ids)) != len(ids):
             raise ValueError("machine ids must be unique")
         self.machines = list(machines)
-        self.sim = Simulator()
-        self.server = TaskFarmServer(policy=policy, lease_timeout=lease_timeout)
-        self.network = NetworkModel(self.sim, network)
+        # One observability bundle shared by the engine, the network
+        # model and the embedded server — the simulated mirror of the
+        # live cluster's single registry.
+        self.obs = obs or Observability()
+        self.sim = Simulator(meters=self.obs.meters)
+        self.server = TaskFarmServer(
+            policy=policy, lease_timeout=lease_timeout, obs=self.obs
+        )
+        self.network = NetworkModel(self.sim, network, meters=self.obs.meters)
         self.seed = seed
         self.execute = execute
         self.idle_poll = idle_poll
@@ -130,6 +138,23 @@ class SimCluster:
     def _all_done(self) -> bool:
         """No active problems *and* none still scheduled to arrive."""
         return self._pending_submissions == 0 and self.server.all_complete()
+
+    def status_snapshot(self) -> dict:
+        """Mid-run JSON snapshot at the current virtual time.
+
+        Pause the simulation with ``run(until=...)``, call this, resume
+        with another ``run()`` — the simulated twin of the live
+        facade's ``status_json``.
+        """
+        from repro.core.status import snapshot_dict
+
+        return snapshot_dict(self.server, self.sim.now)
+
+    def status_report(self) -> str:
+        """Human-readable status table at the current virtual time."""
+        from repro.core.status import render_status
+
+        return render_status(self.server, self.sim.now)
 
     def run(self, until: float | None = None) -> SimReport:
         """Spawn every machine process and drain the simulation."""

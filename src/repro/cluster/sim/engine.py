@@ -97,13 +97,21 @@ class _ScheduledEvent:
 
 
 class Simulator:
-    """The event loop: a heap of timestamped callbacks."""
+    """The event loop: a heap of timestamped callbacks.
 
-    def __init__(self) -> None:
+    When *meters* is supplied (a :class:`repro.obs.meters.MeterRegistry`),
+    the loop streams ``sim.events`` / ``sim.processes.alive`` counts and
+    the ``sim.time`` gauge into it, so a paused or long-running
+    simulation is observable with the same snapshot machinery as a live
+    deployment.
+    """
+
+    def __init__(self, meters=None) -> None:
         self._heap: list[_ScheduledEvent] = []
         self._seq = 0
         self._now = 0.0
         self._processes_alive = 0
+        self.meters = meters
 
     @property
     def now(self) -> float:
@@ -188,6 +196,10 @@ class Simulator:
             processed += 1
             if processed > max_events:
                 raise RuntimeError(f"exceeded {max_events} events; likely livelock")
+        if self.meters is not None and processed:
+            self.meters.counter("sim.events").inc(processed)
+            self.meters.gauge("sim.time").set(self._now)
+            self.meters.gauge("sim.processes.alive").set(self._processes_alive)
         return self._now
 
     def peek(self) -> float | None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.sim.engine import Effect, SimResource, Simulator, Timeout, transfer
+from repro.obs.meters import BYTES_BUCKETS
 from typing import Iterator
 
 #: 100 Mbit/s in usable bytes/second (the paper's LAN).
@@ -54,13 +55,21 @@ class NetworkConfig:
 
 
 class NetworkModel:
-    """The server link as a simulation resource."""
+    """The server link as a simulation resource.
 
-    def __init__(self, sim: Simulator, config: NetworkConfig | None = None):
+    With *meters* attached, link traffic streams into ``net.bytes`` /
+    ``net.transfers`` counters and a transfer-size histogram — the
+    simulated twin of the live transport's ``rmi.bytes.*`` meters.
+    """
+
+    def __init__(
+        self, sim: Simulator, config: NetworkConfig | None = None, meters=None
+    ):
         self.config = config or NetworkConfig()
         self.link = SimResource(sim, capacity=1, name="server-link")
         self.bytes_transferred = 0
         self.transfers = 0
+        self.meters = meters
 
     def transfer_seconds(self, nbytes: int) -> float:
         return nbytes / self.config.bandwidth
@@ -81,6 +90,10 @@ class NetworkModel:
             yield from transfer(self.link, occupancy)
             self.bytes_transferred += nbytes
         self.transfers += 1
+        if self.meters is not None:
+            self.meters.counter("net.transfers").inc()
+            self.meters.counter("net.bytes").inc(nbytes)
+            self.meters.histogram("net.transfer.bytes", BYTES_BUCKETS).observe(nbytes)
 
     def control_roundtrip(self) -> Iterator[Effect]:
         """Process fragment: one request/response control exchange."""

@@ -14,6 +14,7 @@ implementations:
 
 from __future__ import annotations
 
+import pickle
 import time
 from typing import Any, Callable, Protocol
 
@@ -156,6 +157,10 @@ class DonorClient:
         finally:
             stop_heartbeat()
         elapsed = self._clock() - start
+        try:
+            output_bytes = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            output_bytes = 0  # unpicklable values never leave the process anyway
         return WorkResult(
             problem_id=assignment.problem_id,
             unit_id=assignment.unit_id,
@@ -163,6 +168,7 @@ class DonorClient:
             donor_id=self.donor_id,
             compute_seconds=elapsed,
             items=assignment.items,
+            output_bytes=output_bytes,
         )
 
     def _start_heartbeat(self) -> Callable[[], None]:

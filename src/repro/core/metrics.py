@@ -25,6 +25,9 @@ class ProblemMetrics:
     units_requeued: int
     duplicate_results: int
     mean_unit_seconds: float
+    units_issued: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
 
 
 @dataclass(slots=True)
@@ -40,10 +43,17 @@ class DonorMetrics:
 
     @property
     def utilization(self) -> float:
-        """Busy fraction of the donor's time in the pool."""
+        """Busy fraction of the donor's time in the pool.
+
+        A donor whose whole recorded presence is a single instant (one
+        event, or a single instantaneous unit) has zero span; if it
+        nevertheless did work it was busy for all of the time we saw it,
+        so report 1.0 rather than dividing by zero — and 0.0 only when
+        it truly did nothing.
+        """
         span = self.last_seen - self.first_seen
         if span <= 0:
-            return 0.0
+            return 1.0 if self.busy_seconds > 0 else 0.0
         return min(1.0, self.busy_seconds / span)
 
 
@@ -60,6 +70,26 @@ class RunMetrics:
         return sum(d.busy_seconds for d in self.donors.values())
 
     @property
+    def total_units_completed(self) -> int:
+        return sum(p.units_completed for p in self.problems.values())
+
+    @property
+    def total_items_completed(self) -> int:
+        return sum(p.items_completed for p in self.problems.values())
+
+    @property
+    def total_units_requeued(self) -> int:
+        return sum(p.units_requeued for p in self.problems.values())
+
+    @property
+    def total_bytes_in(self) -> int:
+        return sum(p.bytes_in for p in self.problems.values())
+
+    @property
+    def total_bytes_out(self) -> int:
+        return sum(p.bytes_out for p in self.problems.values())
+
+    @property
     def mean_utilization(self) -> float:
         if not self.donors:
             return 0.0
@@ -72,6 +102,7 @@ def problem_metrics(log: EventLog, problem_id: int) -> ProblemMetrics:
     completed = None
     name = ""
     units = items = requeued = duplicates = 0
+    issued = bytes_in = bytes_out = 0
     unit_seconds: list[float] = []
     for event in log:
         if event.data.get("problem_id") != problem_id:
@@ -81,10 +112,14 @@ def problem_metrics(log: EventLog, problem_id: int) -> ProblemMetrics:
             name = event.data.get("name", "")
         elif event.kind == "problem.completed":
             completed = event.time
+        elif event.kind == "unit.issued":
+            issued += 1
+            bytes_in += event.data.get("input_bytes", 0)
         elif event.kind == "unit.completed":
             units += 1
             items += event.data.get("items", 0)
             unit_seconds.append(event.data.get("compute_seconds", 0.0))
+            bytes_out += event.data.get("output_bytes", 0)
         elif event.kind == "unit.requeued":
             requeued += 1
         elif event.kind in ("unit.duplicate", "unit.stale"):
@@ -102,6 +137,9 @@ def problem_metrics(log: EventLog, problem_id: int) -> ProblemMetrics:
         units_requeued=requeued,
         duplicate_results=duplicates,
         mean_unit_seconds=mean_unit,
+        units_issued=issued,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
     )
 
 

@@ -32,10 +32,10 @@ class PerfModel:
     last_items: int = 0
 
     def observe(self, items: int, seconds: float) -> None:
-        if seconds <= 0:
-            # Instantaneous completion: treat as a very fast donor rather
-            # than dividing by zero; one item per microsecond.
-            seconds = 1e-6
+        # Sub-microsecond (or zero/negative) completion: treat as a very
+        # fast donor rather than dividing by ~zero — a denormal duration
+        # would overflow the rate to infinity.
+        seconds = max(seconds, 1e-6)
         rate = items / seconds
         if self.samples == 0:
             self.items_per_second = rate
@@ -147,7 +147,9 @@ class AdaptiveGranularity(GranularityPolicy):
         model = donor.perf_for(problem_id, alpha=self.alpha)
         if not model.calibrated:
             return self.probe_items
-        ideal = model.items_per_second * self.target_seconds
+        # Clamp before ceil(): an extreme rate estimate must saturate at
+        # max_items, not overflow.
+        ideal = min(float(self.max_items), model.items_per_second * self.target_seconds)
         ramp_cap = max(self.probe_items, model.last_items) * self.max_growth
         return int(
             min(self.max_items, ramp_cap, max(self.min_items, math.ceil(ideal)))

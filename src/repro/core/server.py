@@ -29,6 +29,8 @@ from repro.core.scheduler import (
     ProblemRoundRobin,
 )
 from repro.core.workunit import UnitStatus, WorkResult, WorkUnit
+from repro.obs import ITEMS_BUCKETS, LATENCY_BUCKETS, Observability
+from repro.obs.trace import Span
 from repro.util.events import EventLog
 
 
@@ -93,6 +95,12 @@ class TaskFarmServer:
     log:
         Event sink; a fresh :class:`~repro.util.events.EventLog` is
         created when omitted.
+    obs:
+        Streaming meters + tracer (:class:`~repro.obs.Observability`);
+        a private bundle is created when omitted.  Counters are updated
+        at exactly the program points that record events, so their
+        end-of-run totals reconcile with
+        :func:`repro.core.metrics.run_metrics`.
     """
 
     def __init__(
@@ -101,6 +109,7 @@ class TaskFarmServer:
         lease_timeout: float = 300.0,
         log: EventLog | None = None,
         max_unit_attempts: int = 5,
+        obs: Observability | None = None,
     ):
         if max_unit_attempts < 1:
             raise ValueError("max_unit_attempts must be >= 1")
@@ -108,10 +117,38 @@ class TaskFarmServer:
         self.leases = LeaseTable(lease_timeout)
         self.log = log or EventLog()
         self.max_unit_attempts = max_unit_attempts
+        self.obs = obs or Observability()
         self._problems: dict[int, _ProblemState] = {}
         self._donors: dict[str, DonorState] = {}
         self._rr = ProblemRoundRobin()
         self._failures: dict[int, str] = {}
+        self._problem_spans: dict[int, Span] = {}
+        self._unit_spans: dict[tuple[int, int], Span] = {}
+        meters = self.obs.meters
+        self._m_units_issued = meters.counter("farm.units.issued")
+        self._m_units_completed = meters.counter("farm.units.completed")
+        self._m_units_requeued = meters.counter("farm.units.requeued")
+        self._m_units_duplicate = meters.counter("farm.units.duplicate")
+        self._m_units_stale = meters.counter("farm.units.stale")
+        self._m_units_failed = meters.counter("farm.units.failed")
+        self._m_items_completed = meters.counter("farm.items.completed")
+        self._m_bytes_in = meters.counter("farm.bytes.in")
+        self._m_bytes_out = meters.counter("farm.bytes.out")
+        self._m_leases_expired = meters.counter("farm.leases.expired")
+        self._m_problems_submitted = meters.counter("farm.problems.submitted")
+        self._m_problems_completed = meters.counter("farm.problems.completed")
+        self._m_problems_failed = meters.counter("farm.problems.failed")
+        self._g_donors = meters.gauge("farm.donors.registered")
+        self._g_donors_busy = meters.gauge("farm.donors.busy")
+        self._g_problems_running = meters.gauge("farm.problems.running")
+        self._h_unit_seconds = meters.histogram("farm.unit.seconds", LATENCY_BUCKETS)
+        self._h_unit_items = meters.histogram("farm.unit.items", ITEMS_BUCKETS)
+
+    def _sync_donor_gauges(self) -> None:
+        self._g_donors.set(len(self._donors))
+        self._g_donors_busy.set(
+            sum(1 for d in self._donors.values() if d.active_unit is not None)
+        )
 
     # ------------------------------------------------------------------
     # problem lifecycle
@@ -124,6 +161,11 @@ class TaskFarmServer:
         self._problems[problem.problem_id] = _ProblemState(problem, now)
         self.log.record(
             now, "problem.submitted", problem_id=problem.problem_id, name=problem.name
+        )
+        self._m_problems_submitted.inc()
+        self._g_problems_running.set(len(self.active_problem_ids()))
+        self._problem_spans[problem.problem_id] = self.obs.tracer.start(
+            "problem", now, problem_id=problem.problem_id, problem_name=problem.name
         )
         return problem.problem_id
 
@@ -174,6 +216,7 @@ class TaskFarmServer:
             self.deregister_donor(donor_id, now)
         self._donors[donor_id] = DonorState(donor_id, now, now)
         self.log.record(now, "donor.registered", donor_id=donor_id)
+        self._sync_donor_gauges()
 
     def deregister_donor(self, donor_id: str, now: float = 0.0) -> None:
         """Remove a donor; any unit it held goes back on the queue."""
@@ -183,6 +226,7 @@ class TaskFarmServer:
         for lease in self.leases.revoke_donor(donor_id):
             self._requeue_unit(lease.unit, now, reason="donor-left")
         self.log.record(now, "donor.deregistered", donor_id=donor_id)
+        self._sync_donor_gauges()
 
     def heartbeat(self, donor_id: str, now: float) -> None:
         """Keep a slow donor's lease alive while it reports progress."""
@@ -240,6 +284,21 @@ class TaskFarmServer:
                 donor_id=donor_id,
                 items=unit.items,
                 attempt=unit.attempts,
+                input_bytes=unit.input_bytes,
+            )
+            self._m_units_issued.inc()
+            self._m_bytes_in.inc(unit.input_bytes)
+            self._h_unit_items.observe(unit.items)
+            self._sync_donor_gauges()
+            self._unit_spans[(pid, unit.unit_id)] = self.obs.tracer.start(
+                "unit",
+                now,
+                parent=self._problem_spans.get(pid),
+                problem_id=pid,
+                unit_id=unit.unit_id,
+                donor_id=donor_id,
+                items=unit.items,
+                attempt=unit.attempts,
             )
             return Assignment(
                 problem_id=pid,
@@ -281,6 +340,7 @@ class TaskFarmServer:
                 unit_id=result.unit_id,
                 donor_id=result.donor_id,
             )
+            self._m_units_stale.inc()
             return False
         if result.unit_id in state.completed_units:
             self.log.record(
@@ -290,6 +350,7 @@ class TaskFarmServer:
                 unit_id=result.unit_id,
                 donor_id=result.donor_id,
             )
+            self._m_units_duplicate.inc()
             return False
 
         lease = self.leases.release(result.problem_id, result.unit_id)
@@ -309,6 +370,17 @@ class TaskFarmServer:
                 result.items, result.compute_seconds
             )
 
+        unit_span = self._unit_spans.pop(
+            (result.problem_id, result.unit_id), None
+        )
+        self.obs.tracer.event(
+            "combine",
+            now,
+            parent=unit_span,
+            problem_id=result.problem_id,
+            unit_id=result.unit_id,
+            items=result.items,
+        )
         state.problem.data_manager.handle_result(result)
         state.completed_units.add(result.unit_id)
         state.units_completed += 1
@@ -321,7 +393,17 @@ class TaskFarmServer:
             donor_id=result.donor_id,
             items=result.items,
             compute_seconds=result.compute_seconds,
+            output_bytes=result.output_bytes,
         )
+        self._m_units_completed.inc()
+        self._m_items_completed.inc(result.items)
+        self._m_bytes_out.inc(result.output_bytes)
+        self._h_unit_seconds.observe(result.compute_seconds)
+        self._sync_donor_gauges()
+        if unit_span is not None:
+            self.obs.tracer.finish(
+                unit_span, now, compute_seconds=result.compute_seconds
+            )
 
         if state.problem.data_manager.is_complete():
             self._complete_problem(state, now)
@@ -359,6 +441,11 @@ class TaskFarmServer:
             attempt=unit.attempts,
             error=error[:500],
         )
+        self._m_units_failed.inc()
+        self._sync_donor_gauges()
+        failed_span = self._unit_spans.pop((problem_id, unit_id), None)
+        if failed_span is not None:
+            self.obs.tracer.finish(failed_span, now, status="failed", error=error[:100])
         if unit.attempts >= self.max_unit_attempts:
             self._fail_problem(
                 state,
@@ -378,6 +465,7 @@ class TaskFarmServer:
         self._failures[state.problem.problem_id] = reason
         for lease in self.leases.outstanding(state.problem.problem_id):
             self.leases.release(lease.unit.problem_id, lease.unit.unit_id)
+        self._close_unit_spans(state.problem.problem_id, now, "cancelled")
         state.requeue.clear()
         self.log.record(
             now,
@@ -386,6 +474,11 @@ class TaskFarmServer:
             name=state.problem.name,
             reason=reason[:500],
         )
+        self._m_problems_failed.inc()
+        self._g_problems_running.set(len(self.active_problem_ids()))
+        span = self._problem_spans.pop(state.problem.problem_id, None)
+        if span is not None:
+            self.obs.tracer.finish(span, now, status="failed", reason=reason[:100])
 
     def expire_leases(self, now: float) -> int:
         """Requeue every unit whose lease has lapsed; returns the count."""
@@ -398,6 +491,9 @@ class TaskFarmServer:
             ):
                 donor.active_unit = None
             self._requeue_unit(lease.unit, now, reason="lease-expired")
+        if expired:
+            self._m_leases_expired.inc(len(expired))
+            self._sync_donor_gauges()
         return len(expired)
 
     # ------------------------------------------------------------------
@@ -419,6 +515,15 @@ class TaskFarmServer:
             unit_id=unit.unit_id,
             reason=reason,
         )
+        self._m_units_requeued.inc()
+        span = self._unit_spans.pop((unit.problem_id, unit.unit_id), None)
+        if span is not None:
+            self.obs.tracer.finish(span, now, status="requeued", reason=reason)
+
+    def _close_unit_spans(self, problem_id: int, now: float, status: str) -> None:
+        """Finish any still-open unit spans of a problem that just ended."""
+        for key in [k for k in self._unit_spans if k[0] == problem_id]:
+            self.obs.tracer.finish(self._unit_spans.pop(key), now, status=status)
 
     @staticmethod
     def _drop_from_requeue(state: _ProblemState, unit_id: int) -> None:
@@ -433,6 +538,7 @@ class TaskFarmServer:
         # Cancel anything still in flight for this problem.
         for lease in self.leases.outstanding(state.problem.problem_id):
             self.leases.release(lease.unit.problem_id, lease.unit.unit_id)
+        self._close_unit_spans(state.problem.problem_id, now, "cancelled")
         state.requeue.clear()
         self.log.record(
             now,
@@ -442,6 +548,13 @@ class TaskFarmServer:
             units=state.units_completed,
             items=state.items_completed,
         )
+        self._m_problems_completed.inc()
+        self._g_problems_running.set(len(self.active_problem_ids()))
+        span = self._problem_spans.pop(state.problem.problem_id, None)
+        if span is not None:
+            self.obs.tracer.finish(
+                span, now, units=state.units_completed, items=state.items_completed
+            )
 
     def _state(self, problem_id: int) -> _ProblemState:
         try:

@@ -34,6 +34,8 @@ class DonorStatusLine:
     busy_seconds: float
     active: bool
     idle_seconds: float
+    items_per_second: float = 0.0
+    utilization: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,13 +72,16 @@ class FarmStatus:
             )
         lines.append("")
         lines.append(
-            f"{'donor':<18} {'units':>6} {'items':>8} {'busy(s)':>9} {'state':<6}"
+            f"{'donor':<18} {'units':>6} {'items':>8} {'busy(s)':>9} "
+            f"{'items/s':>8} {'util':>6} {'state':<6}"
         )
         for d in self.donors:
             state = "busy" if d.active else f"idle {d.idle_seconds:.0f}s"
+            rate = f"{d.items_per_second:.2f}" if d.items_per_second else "-"
             lines.append(
                 f"{d.donor_id:<18.18} {d.units_completed:>6} "
-                f"{d.items_completed:>8} {d.busy_seconds:>9.1f} {state:<6}"
+                f"{d.items_completed:>8} {d.busy_seconds:>9.1f} "
+                f"{rate:>8} {d.utilization:>6.0%} {state:<6}"
             )
         return "\n".join(lines)
 
@@ -105,6 +110,14 @@ def snapshot(server: TaskFarmServer, now: float) -> FarmStatus:
     donors = []
     for donor_id in server.donor_ids():
         donor = server.donor_state(donor_id)
+        rates = [
+            m.items_per_second for m in donor.perf.values() if m.calibrated
+        ]
+        span = now - donor.registered_at
+        if span <= 0:
+            utilization = 1.0 if donor.busy_seconds > 0 else 0.0
+        else:
+            utilization = min(1.0, donor.busy_seconds / span)
         donors.append(
             DonorStatusLine(
                 donor_id=donor_id,
@@ -113,6 +126,8 @@ def snapshot(server: TaskFarmServer, now: float) -> FarmStatus:
                 busy_seconds=donor.busy_seconds,
                 active=donor.active_unit is not None,
                 idle_seconds=max(0.0, now - donor.last_seen),
+                items_per_second=sum(rates) / len(rates) if rates else 0.0,
+                utilization=utilization,
             )
         )
     return FarmStatus(time=now, problems=problems, donors=donors)
@@ -121,3 +136,46 @@ def snapshot(server: TaskFarmServer, now: float) -> FarmStatus:
 def render_status(server: TaskFarmServer, now: float) -> str:
     """One-call convenience: snapshot and render."""
     return snapshot(server, now).render()
+
+
+def snapshot_dict(server: TaskFarmServer, now: float) -> dict:
+    """A JSON-able mid-run snapshot: farm status + streaming meters.
+
+    This is what the status CLI consumes — over RMI from a live
+    deployment, or directly from a paused :class:`SimCluster` — and
+    what the benchmarks dump alongside their reports.
+    """
+    status = snapshot(server, now)
+    return {
+        "time": status.time,
+        "problems": [
+            {
+                "problem_id": p.problem_id,
+                "name": p.name,
+                "status": p.status,
+                "progress": p.progress,
+                "units_completed": p.units_completed,
+                "units_in_flight": p.units_in_flight,
+                "units_requeued": p.units_requeued,
+            }
+            for p in status.problems
+        ],
+        "donors": [
+            {
+                "donor_id": d.donor_id,
+                "units_completed": d.units_completed,
+                "items_completed": d.items_completed,
+                "busy_seconds": d.busy_seconds,
+                "active": d.active,
+                "idle_seconds": d.idle_seconds,
+                "items_per_second": d.items_per_second,
+                "utilization": d.utilization,
+            }
+            for d in status.donors
+        ],
+        "meters": server.obs.meters.snapshot(),
+        "traces": {
+            "open_spans": server.obs.tracer.open_count,
+            "finished_spans": server.obs.tracer.finished_count,
+        },
+    }

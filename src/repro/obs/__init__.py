@@ -1,0 +1,54 @@
+"""Live observability: streaming meters + span tracing.
+
+The event log (:mod:`repro.util.events`) is the system's flight
+recorder — complete, but only analysed after landing.  This package is
+the cockpit instrument panel: counters/gauges/histograms updated while
+the farm runs (:mod:`repro.obs.meters`) and span trees for individual
+operations (:mod:`repro.obs.trace`).  One :class:`Observability` bundle
+is threaded through the server, the RMI layer, the data channel and
+both cluster drivers, so a live deployment and a simulated run emit
+identical telemetry and ``repro-status`` can render either.
+
+End-of-run invariant (enforced by tests): streaming counter totals
+reconcile exactly with :func:`repro.core.metrics.run_metrics` computed
+from the event log.
+"""
+
+from __future__ import annotations
+
+from repro.obs.meters import (
+    BYTES_BUCKETS,
+    ITEMS_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MeterRegistry,
+)
+from repro.obs.trace import Span, Tracer
+
+
+class Observability:
+    """One registry + one tracer, shared across a deployment's layers."""
+
+    def __init__(
+        self,
+        meters: MeterRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.meters = meters or MeterRegistry()
+        self.tracer = tracer or Tracer()
+
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "ITEMS_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MeterRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,178 @@
+"""Per-call tracing: span trees under an injected clock.
+
+A :class:`Span` is one timed operation; spans nest through parent ids,
+so a unit's issue→compute→combine round trip renders as a small tree
+and an RMI call shows up under whichever operation triggered it.
+
+Consistent with the server's ``now``-passing design, the tracer itself
+has **no clock**: every :meth:`Tracer.start`/:meth:`Tracer.finish`
+takes the current time explicitly, so the same code traces wall-clock
+seconds in the live cluster and virtual seconds in the simulator.  The
+:meth:`Tracer.timed` context manager is the convenience wrapper for
+call sites that do own a clock (the RMI dispatch loop).
+
+Memory is bounded: finished spans live in a ring buffer of
+``max_spans``; a multi-day run keeps the most recent window rather than
+growing without limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(slots=True)
+class Span:
+    """One traced operation.
+
+    ``end`` is ``None`` while the span is open; ``status`` is ``"ok"``
+    unless the finisher says otherwise (``"failed"``, ``"requeued"``,
+    ``"expired"``...).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+
+class Tracer:
+    """Records span trees; clock-free and thread-safe.
+
+    Parameters
+    ----------
+    max_spans:
+        Ring-buffer capacity for finished spans.  Open spans are always
+        retained (they are bounded by in-flight work).
+    """
+
+    def __init__(self, max_spans: int = 10_000):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = max_spans
+        self._ids = itertools.count(1)
+        self._open: dict[int, Span] = {}
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        now: float,
+        parent: "Span | int | None" = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span at time *now* (optionally under *parent*)."""
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        span = Span(
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            name=name,
+            start=now,
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._open[span.span_id] = span
+        return span
+
+    def finish(
+        self, span: Span, now: float, status: str = "ok", **attrs: Any
+    ) -> Span:
+        """Close *span* at time *now*; later finishes of the same span are ignored."""
+        with self._lock:
+            live = self._open.pop(span.span_id, None)
+            if live is None:
+                return span  # already finished (e.g. late duplicate result)
+            live.end = now
+            live.status = status
+            live.attrs.update(attrs)
+            self._finished.append(live)
+            return live
+
+    def event(self, name: str, now: float, parent: "Span | int | None" = None, **attrs: Any) -> Span:
+        """A zero-duration span: a point annotation in the tree."""
+        span = self.start(name, now, parent=parent, **attrs)
+        return self.finish(span, now)
+
+    @contextmanager
+    def timed(
+        self,
+        name: str,
+        clock: Callable[[], float],
+        parent: "Span | int | None" = None,
+        **attrs: Any,
+    ) -> Iterator[Span]:
+        """Context manager for callers that own a clock (the live path)."""
+        span = self.start(name, clock(), parent=parent, **attrs)
+        try:
+            yield span
+        except BaseException:
+            self.finish(span, clock(), status="failed")
+            raise
+        # Preserve a status the caller set on the span while it was open.
+        self.finish(span, clock(), status=span.status)
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def open_count(self) -> int:
+        with self._lock:
+            return len(self._open)
+
+    @property
+    def finished_count(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def open_spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._open.values())
+
+    def finished_spans(self, name: str | None = None) -> list[Span]:
+        with self._lock:
+            spans = list(self._finished)
+        if name is None:
+            return spans
+        return [s for s in spans if s.name == name]
+
+    def children(self, span: Span | int) -> list[Span]:
+        parent_id = span.span_id if isinstance(span, Span) else span
+        with self._lock:
+            spans = list(self._finished) + list(self._open.values())
+        return sorted(
+            (s for s in spans if s.parent_id == parent_id),
+            key=lambda s: (s.start, s.span_id),
+        )
+
+    def render_tree(self, root: Span, indent: str = "") -> str:
+        """ASCII rendering of *root* and its recorded descendants."""
+        state = f"{root.duration:.3f}s" if root.finished else "open"
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(root.attrs.items()))
+        line = f"{indent}{root.name} [{root.status}, {state}]"
+        if attrs:
+            line += f" {attrs}"
+        lines = [line]
+        for child in self.children(root):
+            lines.append(self.render_tree(child, indent + "  "))
+        return "\n".join(lines)

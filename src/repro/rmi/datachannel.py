@@ -21,6 +21,7 @@ import struct
 import threading
 import zlib
 
+from repro.obs.meters import BYTES_BUCKETS, MeterRegistry
 from repro.rmi.errors import ProtocolError, RMIError
 from repro.rmi.transport import FrameSocket, TransportServer, _recv_exact
 
@@ -65,12 +66,25 @@ class DataChannelServer:
     fetch the slice they need; results flow back the same way.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        meters: MeterRegistry | None = None,
+    ):
         self._blobs: dict[str, bytes] = {}
         self._lock = threading.Lock()
+        self.meters = meters
         self._transport = TransportServer(self._serve, host=host, port=port)
         self.host = self._transport.host
         self.port = self._transport.port
+
+    def _meter_transfer(self, direction: str, nbytes: int) -> None:
+        if self.meters is None:
+            return
+        self.meters.counter(f"data.transfers.{direction}").inc()
+        self.meters.counter(f"data.bytes.{direction}").inc(nbytes)
+        self.meters.histogram("data.transfer.bytes", BYTES_BUCKETS).observe(nbytes)
 
     def store(self, key: str, data: bytes) -> None:
         """Make *data* fetchable under *key*."""
@@ -102,12 +116,14 @@ class DataChannelServer:
                     continue
                 fsock.send_obj({"ok": True, "size": len(data)})
                 _send_stream(fsock.raw, data)
+                self._meter_transfer("out", len(data))
             elif op == "put":
                 fsock.send_obj({"ok": True})
                 data = _recv_stream(fsock.raw)
                 with self._lock:
                     self._blobs[key] = data
                 fsock.send_obj({"ok": True, "size": len(data)})
+                self._meter_transfer("in", len(data))
             else:
                 fsock.send_obj({"ok": False, "error": f"unknown op {op!r}"})
 

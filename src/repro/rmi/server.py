@@ -8,14 +8,22 @@ connection to the one server.
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import Any, Callable
 
+from repro.obs import Observability
+from repro.obs.meters import LATENCY_BUCKETS
 from repro.rmi.registry import CallRequest, CallResponse, RemoteObjectRegistry
 from repro.rmi.transport import FrameSocket, TransportServer
 
 
 class RMIServer:
     """Hosts remote objects on a TCP port.
+
+    When *obs* is supplied, every dispatched call is traced
+    (``rmi.call`` spans, named attrs for object/method) and timed into
+    the ``rmi.call.seconds`` histogram; the transport streams frame and
+    byte counters into the same registry.
 
     Example
     -------
@@ -24,9 +32,22 @@ class RMIServer:
     >>> # clients: connect("127.0.0.1", server.port, "adder").add(1, 2)
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        obs: Observability | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         self.registry = RemoteObjectRegistry()
-        self._transport = TransportServer(self._serve_connection, host=host, port=port)
+        self.obs = obs
+        self._clock = clock
+        self._transport = TransportServer(
+            self._serve_connection,
+            host=host,
+            port=port,
+            meters=obs.meters if obs is not None else None,
+        )
         self.host = self._transport.host
         self.port = self._transport.port
 
@@ -42,7 +63,30 @@ class RMIServer:
                     )
                 )
                 continue
-            fsock.send_obj(self.registry.dispatch(request))
+            fsock.send_obj(self._dispatch(request))
+
+    def _dispatch(self, request: CallRequest) -> CallResponse:
+        if self.obs is None:
+            return self.registry.dispatch(request)
+        start = self._clock()
+        with self.obs.tracer.timed(
+            "rmi.call",
+            self._clock,
+            object_name=request.object_name,
+            method=request.method,
+        ) as span:
+            response = self.registry.dispatch(request)
+            if not response.ok:
+                span.status = "error"
+                span.attrs["exc_type"] = response.exc_type
+        meters = self.obs.meters
+        meters.counter("rmi.calls").inc()
+        if not response.ok:
+            meters.counter("rmi.calls.failed").inc()
+        meters.histogram("rmi.call.seconds", LATENCY_BUCKETS).observe(
+            self._clock() - start
+        )
+        return response
 
     def bind(self, name: str, obj: Any) -> None:
         """Convenience passthrough to :meth:`RemoteObjectRegistry.bind`."""

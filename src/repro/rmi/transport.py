@@ -6,6 +6,7 @@ import socket
 import threading
 from typing import Any, Callable
 
+from repro.obs.meters import MeterRegistry
 from repro.rmi import serialize
 from repro.rmi.errors import ConnectionClosed, RMIError
 
@@ -29,12 +30,17 @@ class FrameSocket:
     Thread safety: one thread may send while another receives, but
     concurrent senders (or concurrent receivers) must coordinate — the
     same contract as Java RMI's connection handling.
+
+    When *meters* is supplied, frame and byte counts are streamed into
+    it (``rmi.frames.*`` / ``rmi.bytes.*``) so the status CLI can show
+    control-plane traffic live.
     """
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket, meters: MeterRegistry | None = None):
         self._sock = sock
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
+        self.meters = meters
         # Control-plane messages are small and latency-sensitive.
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -50,6 +56,9 @@ class FrameSocket:
         frame = serialize.dumps(obj)
         with self._send_lock:
             self._sock.sendall(frame)
+        if self.meters is not None:
+            self.meters.counter("rmi.frames.sent").inc()
+            self.meters.counter("rmi.bytes.sent").inc(len(frame))
         return len(frame)
 
     def recv_obj(self) -> Any:
@@ -58,6 +67,11 @@ class FrameSocket:
             header = _recv_exact(self._sock, serialize.HEADER_SIZE)
             length = serialize.parse_header(header)
             payload = _recv_exact(self._sock, length)
+        if self.meters is not None:
+            self.meters.counter("rmi.frames.received").inc()
+            self.meters.counter("rmi.bytes.received").inc(
+                serialize.HEADER_SIZE + length
+            )
         return serialize.loads_payload(payload)
 
     def close(self) -> None:
@@ -93,8 +107,10 @@ class TransportServer:
         handler: Callable[[FrameSocket], None],
         host: str = "127.0.0.1",
         port: int = 0,
+        meters: MeterRegistry | None = None,
     ):
         self._handler = handler
+        self.meters = meters
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)
         self.host, self.port = self._listener.getsockname()[:2]
@@ -115,9 +131,12 @@ class TransportServer:
                 continue
             except OSError:
                 break
-            fsock = FrameSocket(conn)
+            fsock = FrameSocket(conn, meters=self.meters)
             with self._conns_lock:
                 self._conns.add(fsock)
+            if self.meters is not None:
+                self.meters.counter("rmi.connections.accepted").inc()
+                self.meters.gauge("rmi.connections.open").inc()
             thread = threading.Thread(
                 target=self._run_handler,
                 args=(fsock,),
@@ -143,7 +162,10 @@ class TransportServer:
         finally:
             fsock.close()
             with self._conns_lock:
+                dropped = fsock in self._conns
                 self._conns.discard(fsock)
+            if dropped and self.meters is not None:
+                self.meters.gauge("rmi.connections.open").dec()
 
     def close(self) -> None:
         """Stop accepting, drop live connections, reap handler threads.

@@ -1,0 +1,117 @@
+"""Cross-validation of the alignment kernels against each other.
+
+The three built-in aligners implement different algorithms with
+different complexity, but on common ground they must agree exactly:
+
+* Hirschberg (linear memory, divide & conquer) == Needleman-Wunsch
+  (full DP) under any linear gap scheme.
+* Banded global == full global whenever the band covers the matrix.
+* Banded local (Smith-Waterman through the shared row kernel) == full
+  local under a covering band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.align.banded import banded_global_score
+from repro.bio.align.hirschberg import hirschberg_align
+from repro.bio.align.kernels import gotoh_rows
+from repro.bio.align.nw import needleman_wunsch_score
+from repro.bio.align.scoring import dna_scheme
+from repro.bio.align.sw import smith_waterman_score
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import mutate_sequence, random_sequence
+from repro.bio.seq.sequence import dna
+
+LINEAR = dna_scheme(match=2.0, mismatch=-1.0, gap_open=0.0, gap_extend=-2.0)
+AFFINE = dna_scheme(match=2.0, mismatch=-1.0, gap_open=-5.0, gap_extend=-0.5)
+
+dna_text = st.text(alphabet="ACGT", min_size=1, max_size=24)
+
+
+def _banded_local_score(query, subject, scheme, band: int) -> float:
+    """Smith-Waterman restricted to the band, via the shared kernel."""
+    best = 0.0
+    for _i, row in gotoh_rows(query, subject, scheme, local=True, band=band):
+        best = max(best, float(row[np.isfinite(row)].max()))
+    return best
+
+
+class TestHirschbergVsNeedlemanWunsch:
+    @given(q=dna_text, s=dna_text)
+    @settings(max_examples=150, deadline=None)
+    def test_scores_agree_on_random_pairs(self, q, s):
+        query, subject = dna("q", q), dna("s", s)
+        aln = hirschberg_align(query, subject, LINEAR)
+        assert aln.score == pytest.approx(
+            needleman_wunsch_score(query, subject, LINEAR)
+        )
+
+    def test_scores_agree_on_long_homologs(self):
+        rng = np.random.default_rng(11)
+        query = random_sequence("q", 300, DNA, rng)
+        subject = mutate_sequence(query, rng, substitution_rate=0.1,
+                                  insertion_rate=0.02, deletion_rate=0.02)
+        aln = hirschberg_align(query, subject, LINEAR)
+        assert aln.score == pytest.approx(
+            needleman_wunsch_score(query, subject, LINEAR)
+        )
+
+    @given(q=dna_text, s=dna_text)
+    @settings(max_examples=100, deadline=None)
+    def test_alignment_renders_both_inputs(self, q, s):
+        aln = hirschberg_align(dna("q", q), dna("s", s), LINEAR)
+        assert aln.query_aligned.replace("-", "") == q
+        assert aln.subject_aligned.replace("-", "") == s
+
+
+class TestBandedVsFullGlobal:
+    @given(q=dna_text, s=dna_text)
+    @settings(max_examples=150, deadline=None)
+    def test_covering_band_equals_full_nw(self, q, s):
+        query, subject = dna("q", q), dna("s", s)
+        band = max(len(q), len(s))  # band covers every DP cell
+        assert banded_global_score(query, subject, AFFINE, band=band) == (
+            pytest.approx(needleman_wunsch_score(query, subject, AFFINE))
+        )
+
+    @given(q=dna_text, s=dna_text, band=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_narrow_band_is_a_lower_bound(self, q, s, band):
+        query, subject = dna("q", q), dna("s", s)
+        banded = banded_global_score(query, subject, AFFINE, band=band)
+        full = needleman_wunsch_score(query, subject, AFFINE)
+        assert banded <= full + 1e-9
+
+    def test_wide_band_on_homologs(self):
+        rng = np.random.default_rng(12)
+        query = random_sequence("q", 200, DNA, rng)
+        subject = mutate_sequence(query, rng, substitution_rate=0.15)
+        band = max(len(query), len(subject))
+        assert banded_global_score(query, subject, AFFINE, band=band) == (
+            pytest.approx(needleman_wunsch_score(query, subject, AFFINE))
+        )
+
+
+class TestBandedVsFullLocal:
+    @given(q=dna_text, s=dna_text)
+    @settings(max_examples=150, deadline=None)
+    def test_covering_band_equals_full_sw(self, q, s):
+        query, subject = dna("q", q), dna("s", s)
+        band = max(len(q), len(s))
+        assert _banded_local_score(query, subject, AFFINE, band) == (
+            pytest.approx(smith_waterman_score(query, subject, AFFINE))
+        )
+
+    @given(q=dna_text, s=dna_text, band=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_narrow_band_never_beats_full_sw(self, q, s, band):
+        query, subject = dna("q", q), dna("s", s)
+        # Widen as banded_global_score does, so the band is well-formed.
+        band = max(band, abs(len(q) - len(s)))
+        banded = _banded_local_score(query, subject, AFFINE, band)
+        assert banded <= smith_waterman_score(query, subject, AFFINE) + 1e-9

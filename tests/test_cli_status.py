@@ -1,0 +1,175 @@
+"""Tests for ``repro-status``: mid-run snapshots, live and simulated.
+
+The acceptance bar for the observability layer: the status command must
+render a *mid-run* snapshot from (a) a paused simulation and (b) a real
+server over RMI while donors are still working — and the two go through
+the same ``render_snapshot`` path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any
+
+import pytest
+
+from repro.cli.status import fetch_snapshot, render_snapshot, status_main
+from repro.cluster.local import ServerFacade
+from repro.cluster.sim import SimCluster
+from repro.cluster.sim.machines import MachineSpec
+from repro.core.client import DonorClient
+from repro.core.problem import Algorithm, Problem
+from repro.core.scheduler import FixedGranularity
+from repro.core.server import TaskFarmServer
+from repro.rmi import RMIServer, connect
+from tests.helpers import RangeSumAlgorithm, RangeSumDataManager
+
+
+def _sim_midrun_snapshot() -> dict[str, Any]:
+    cluster = SimCluster(
+        [MachineSpec(f"m{i}", speed=1.0 + i) for i in range(3)],
+        policy=FixedGranularity(10),
+        seed=7,
+    )
+    cluster.submit(Problem("rangesum", RangeSumDataManager(400), RangeSumAlgorithm()))
+    cluster.run(until=50.0)  # pause mid-flight
+    snap = cluster.status_snapshot()
+    assert not cluster.server.all_complete(), "horizon too late to be mid-run"
+    return snap
+
+
+class TestSimStatus:
+    def test_midrun_snapshot_renders(self):
+        snap = _sim_midrun_snapshot()
+        text = render_snapshot(snap)
+        assert "rangesum" in text
+        assert "running" in text
+        assert "m0" in text and "m2" in text
+        assert "farm.units.completed" in text
+        assert "farm.unit.seconds" in text
+
+    def test_snapshot_shows_partial_progress(self):
+        snap = _sim_midrun_snapshot()
+        (problem,) = snap["problems"]
+        assert 0.0 < problem["progress"] < 1.0
+        assert problem["units_in_flight"] > 0
+        counters = snap["meters"]["counters"]
+        assert 0 < counters["farm.units.completed"] < 40
+
+    def test_snapshot_is_json_round_trippable(self):
+        snap = _sim_midrun_snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_from_json_file_mode(self, tmp_path, capsys):
+        snap = _sim_midrun_snapshot()
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(snap))
+        assert status_main(["--from-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "rangesum" in out and "running" in out
+
+    def test_json_dump_mode(self, tmp_path, capsys):
+        snap = _sim_midrun_snapshot()
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(snap))
+        assert status_main(["--from-json", str(path), "--json"]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        assert dumped["problems"][0]["name"] == "rangesum"
+
+
+class _SlowRangeSum(Algorithm):
+    def __init__(self, delay_per_unit: float = 0.03):
+        self.delay = delay_per_unit
+
+    def compute(self, payload):
+        lo, hi = payload
+        time.sleep(self.delay)
+        return sum(range(lo, hi))
+
+    def cost(self, payload) -> float:
+        lo, hi = payload
+        return float(hi - lo)
+
+
+class TestLiveStatus:
+    def test_midrun_snapshot_over_rmi(self, capsys):
+        """A real server on a TCP port, a donor grinding in the
+        background, and the status CLI polling mid-run."""
+        server = TaskFarmServer(policy=FixedGranularity(10), lease_timeout=60.0)
+        facade = ServerFacade(server)
+        rmi = RMIServer(obs=server.obs)
+        rmi.bind("taskfarm", facade)
+        pid = facade.submit(
+            Problem("slowsum", RangeSumDataManager(200), _SlowRangeSum())
+        )
+
+        def donate():
+            proxy = connect(rmi.host, rmi.port, "taskfarm")
+            try:
+                DonorClient("bg-donor", proxy, idle_sleep=0.01).run()
+            finally:
+                proxy.close()
+
+        thread = threading.Thread(target=donate, daemon=True)
+        thread.start()
+        try:
+            snap = None
+            for _ in range(400):  # wait for genuinely mid-run state
+                snap = fetch_snapshot(rmi.host, rmi.port)
+                done = snap["meters"]["counters"].get("farm.units.completed", 0)
+                if 1 <= done < 20:
+                    break
+                time.sleep(0.01)
+            assert snap is not None
+            counters = snap["meters"]["counters"]
+            assert 1 <= counters["farm.units.completed"] < 20
+            (problem,) = snap["problems"]
+            assert problem["status"] == "running"
+            assert 0.0 < problem["progress"] < 1.0
+            (donor,) = snap["donors"]
+            assert donor["donor_id"] == "bg-donor"
+            assert donor["units_completed"] >= 1
+
+            # The actual CLI command against the live port.
+            code = status_main([f"{rmi.host}:{rmi.port}"])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "slowsum" in out
+            assert "bg-donor" in out
+            assert "rmi.calls" in out
+
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert facade.final_result(pid) == 200 * 199 // 2
+        finally:
+            rmi.close()
+
+    def test_json_mode_over_rmi(self, capsys):
+        server = TaskFarmServer()
+        facade = ServerFacade(server)
+        rmi = RMIServer(obs=server.obs)
+        rmi.bind("taskfarm", facade)
+        try:
+            assert status_main([f"{rmi.host}:{rmi.port}", "--json"]) == 0
+            dumped = json.loads(capsys.readouterr().out)
+            assert dumped["problems"] == [] and dumped["donors"] == []
+        finally:
+            rmi.close()
+
+
+class TestArgumentHandling:
+    def test_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            status_main([])
+        path = tmp_path / "s.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit):
+            status_main(["host:1", "--from-json", str(path)])
+
+    def test_rejects_bad_address(self):
+        with pytest.raises(SystemExit):
+            status_main(["localhost"])
+        with pytest.raises(SystemExit):
+            status_main(["localhost:notaport"])

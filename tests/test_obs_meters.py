@@ -1,0 +1,155 @@
+"""Unit tests for the streaming meters (counters/gauges/histograms)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.meters import (
+    BYTES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    ITEMS_BUCKETS,
+    LATENCY_BUCKETS,
+    MeterRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        c = Counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+        assert c.value == 0.0
+
+    def test_concurrent_increments_are_exact(self):
+        c = Counter("x")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4.0
+
+    def test_can_go_negative(self):
+        g = Gauge("x")
+        g.dec()
+        assert g.value == -1.0
+
+
+class TestHistogram:
+    def test_bucket_placement_inclusive_upper_edges(self):
+        h = Histogram("h", (1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["counts"] == [2, 2, 1]  # (-inf,1], (1,10], overflow
+        assert s["count"] == 5
+        assert s["min"] == 0.5 and s["max"] == 11.0
+
+    def test_empty_histogram_statistics_are_defined(self):
+        h = Histogram("h", LATENCY_BUCKETS)
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        s = h.summary()
+        assert s["min"] == 0.0 and s["max"] == 0.0 and s["mean"] == 0.0
+
+    def test_mean_and_sum(self):
+        h = Histogram("h", (10.0,))
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.total == 6.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_quantile_clamps_to_observed_max(self):
+        h = Histogram("h", (100.0,))
+        h.observe(3.0)
+        # The bucket edge is 100 but nothing above 3 was ever seen.
+        assert h.quantile(0.99) == 3.0
+
+    def test_quantile_overflow_bucket_uses_max(self):
+        h = Histogram("h", (1.0,))
+        h.observe(50.0)
+        assert h.quantile(1.0) == 50.0
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", ())
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram("h", (1.0, 1.0))
+
+    def test_concurrent_observes_are_exact(self):
+        h = Histogram("h", ITEMS_BUCKETS)
+
+        def worker():
+            for i in range(500):
+                h.observe(float(i % 40))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 2000
+        assert sum(h.summary()["counts"]) == 2000
+
+
+class TestMeterRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MeterRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h", BYTES_BUCKETS) is reg.histogram("h")
+
+    def test_namespaces_are_independent(self):
+        reg = MeterRegistry()
+        reg.counter("x").inc(3)
+        reg.gauge("x").set(7)
+        assert reg.counter("x").value == 3
+        assert reg.gauge("x").value == 7
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MeterRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(-1.5)
+        reg.histogram("h", (1.0, 2.0)).observe(1.5)
+        snap = reg.snapshot()
+        roundtrip = json.loads(json.dumps(snap))
+        assert roundtrip["counters"]["c"] == 2
+        assert roundtrip["gauges"]["g"] == -1.5
+        assert roundtrip["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_mid_flight_sees_partial_state(self):
+        reg = MeterRegistry()
+        c = reg.counter("c")
+        c.inc()
+        before = reg.snapshot()
+        c.inc()
+        after = reg.snapshot()
+        assert before["counters"]["c"] == 1
+        assert after["counters"]["c"] == 2

@@ -1,0 +1,152 @@
+"""End-of-run reconciliation: streaming meters == post-hoc metrics.
+
+The meters are the live instrument panel; the event log is the flight
+recorder.  They are updated at the same program points, so at the end
+of any run — simulated or live, calm or churning — the counter totals
+must equal the event-log-derived :func:`repro.core.metrics.run_metrics`
+*exactly*, not approximately.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.local import ThreadCluster
+from repro.cluster.sim import SimCluster
+from repro.cluster.sim.machines import MachineSpec
+from repro.core.metrics import run_metrics
+from repro.core.problem import Algorithm, Problem
+from repro.core.scheduler import AdaptiveGranularity, FixedGranularity
+from repro.core.server import TaskFarmServer
+from repro.core.workunit import WorkResult
+from tests.helpers import ManualClock, RangeSumAlgorithm, RangeSumDataManager
+
+
+def assert_reconciles(server) -> None:
+    """Meter totals must equal event-log totals, field for field."""
+    counters = server.obs.meters.snapshot()["counters"]
+    m = run_metrics(server.log)
+    assert counters["farm.units.completed"] == m.total_units_completed
+    assert counters["farm.items.completed"] == m.total_items_completed
+    assert counters["farm.units.requeued"] == m.total_units_requeued
+    assert counters["farm.bytes.in"] == m.total_bytes_in
+    assert counters["farm.bytes.out"] == m.total_bytes_out
+    assert counters["farm.units.issued"] == sum(
+        p.units_issued for p in m.problems.values()
+    )
+    assert counters["farm.units.duplicate"] + counters["farm.units.stale"] == sum(
+        p.duplicate_results for p in m.problems.values()
+    )
+    assert counters["farm.problems.submitted"] == len(m.problems)
+    # And the per-unit histogram saw exactly the completed units.
+    assert server.obs.meters.histogram("farm.unit.seconds").count == (
+        m.total_units_completed
+    )
+
+
+class TestSimReconciliation:
+    def test_calm_run(self):
+        cluster = SimCluster(
+            [MachineSpec(f"m{i}", speed=1.0 + 0.5 * i) for i in range(4)],
+            policy=AdaptiveGranularity(target_seconds=10.0),
+            seed=5,
+        )
+        cluster.submit(Problem("a", RangeSumDataManager(500), RangeSumAlgorithm()))
+        cluster.submit(Problem("b", RangeSumDataManager(300), RangeSumAlgorithm()))
+        assert cluster.run().completed
+        assert_reconciles(cluster.server)
+
+    def test_churning_run_with_requeues(self):
+        """Machines leave mid-compute; leases expire; units reissue.
+        The books must still balance to the cent."""
+        machines = [
+            MachineSpec("steady", speed=1.0),
+            # Joins late, leaves early — abandons whatever it holds.
+            MachineSpec("flaky1", speed=0.4, sessions=((5.0, 60.0), (200.0, 260.0))),
+            MachineSpec("flaky2", speed=0.3, sessions=((0.0, 45.0),)),
+        ]
+        cluster = SimCluster(
+            machines,
+            policy=FixedGranularity(25),
+            lease_timeout=30.0,
+            seed=9,
+        )
+        cluster.submit(Problem("sum", RangeSumDataManager(600), RangeSumAlgorithm()))
+        report = cluster.run()
+        assert report.completed
+        counters = cluster.server.obs.meters.snapshot()["counters"]
+        assert counters["farm.units.requeued"] > 0, (
+            "churn scenario produced no requeues; scenario needs retuning"
+        )
+        assert_reconciles(cluster.server)
+
+
+class _SlowRangeSum(Algorithm):
+    """RangeSum that outlives a short lease, forcing live requeues."""
+
+    def __init__(self, delay: float):
+        self.delay = delay
+
+    def compute(self, payload):
+        lo, hi = payload
+        time.sleep(self.delay)
+        return sum(range(lo, hi))
+
+    def cost(self, payload) -> float:
+        lo, hi = payload
+        return float(hi - lo)
+
+
+class TestLiveReconciliation:
+    def test_threadcluster_with_expiring_leases(self):
+        """A real wall-clock run where every unit overruns its lease:
+        expiries, requeues and duplicate results all occur, and the
+        meters still reconcile exactly."""
+        cluster = ThreadCluster(
+            workers=3,
+            policy=FixedGranularity(10),
+            lease_timeout=0.02,
+            idle_sleep=0.001,
+        )
+        cluster.submit(Problem("slow", RangeSumDataManager(80), _SlowRangeSum(0.05)))
+        cluster.run()
+        counters = cluster.server.obs.meters.snapshot()["counters"]
+        assert counters["farm.units.completed"] > 0
+        assert counters["farm.units.requeued"] > 0, (
+            "leases never expired; timing constants need retuning"
+        )
+        assert_reconciles(cluster.server)
+
+    def test_manual_clock_donor_churn(self):
+        """Deterministic churn: a donor takes a unit and deregisters
+        without returning it; a second donor cleans up."""
+        server = TaskFarmServer(policy=FixedGranularity(5), lease_timeout=1e9)
+        clock = ManualClock()
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(40), RangeSumAlgorithm()), clock()
+        )
+        server.register_donor("quitter", clock())
+        held = server.request_work("quitter", clock())
+        assert held is not None
+        clock.advance(1.0)
+        server.deregister_donor("quitter", clock())  # requeues the held unit
+
+        server.register_donor("steady", clock())
+        while not server.all_complete():
+            a = server.request_work("steady", clock())
+            clock.advance(1.0)
+            server.submit_result(
+                WorkResult(
+                    problem_id=pid,
+                    unit_id=a.unit_id,
+                    value=sum(range(*a.payload)),
+                    donor_id="steady",
+                    compute_seconds=1.0,
+                    items=a.items,
+                ),
+                clock(),
+            )
+        counters = server.obs.meters.snapshot()["counters"]
+        assert counters["farm.units.requeued"] == 1
+        assert server.final_result(pid) == 40 * 39 // 2
+        assert_reconciles(server)

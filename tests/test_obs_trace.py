@@ -1,0 +1,127 @@
+"""Unit tests for the clock-injected tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import Span, Tracer
+from tests.helpers import ManualClock
+
+
+class TestSpanLifecycle:
+    def test_start_and_finish(self):
+        tr = Tracer()
+        span = tr.start("op", 1.0, kind="test")
+        assert not span.finished
+        assert span.duration == 0.0  # open spans have no duration yet
+        tr.finish(span, 3.5)
+        assert span.finished
+        assert span.duration == 2.5
+        assert span.status == "ok"
+        assert span.attrs == {"kind": "test"}
+
+    def test_finish_records_status_and_extra_attrs(self):
+        tr = Tracer()
+        span = tr.start("op", 0.0)
+        tr.finish(span, 1.0, status="failed", error="boom")
+        assert span.status == "failed"
+        assert span.attrs["error"] == "boom"
+
+    def test_finish_is_idempotent(self):
+        """The late-duplicate-result ordering: a span finished as
+        ``requeued`` must not be resurrected by the original donor's
+        tardy completion."""
+        tr = Tracer()
+        span = tr.start("unit", 0.0)
+        tr.finish(span, 5.0, status="requeued")
+        tr.finish(span, 9.0, status="ok")
+        assert span.end == 5.0
+        assert span.status == "requeued"
+        assert tr.finished_count == 1
+
+    def test_event_is_zero_duration(self):
+        tr = Tracer()
+        span = tr.event("combine", 2.0, unit_id=3)
+        assert span.finished
+        assert span.duration == 0.0
+
+
+class TestParenting:
+    def test_children_sorted_by_start(self):
+        tr = Tracer()
+        root = tr.start("problem", 0.0)
+        b = tr.start("unit", 2.0, parent=root)
+        a = tr.start("unit", 1.0, parent=root)
+        tr.finish(a, 3.0)
+        tr.finish(b, 3.0)
+        kids = tr.children(root)
+        assert [s.start for s in kids] == [1.0, 2.0]
+        assert all(s.parent_id == root.span_id for s in kids)
+
+    def test_parent_accepts_span_or_id(self):
+        tr = Tracer()
+        root = tr.start("problem", 0.0)
+        by_span = tr.start("a", 1.0, parent=root)
+        by_id = tr.start("b", 1.0, parent=root.span_id)
+        assert by_span.parent_id == by_id.parent_id == root.span_id
+
+    def test_render_tree(self):
+        tr = Tracer()
+        root = tr.start("problem", 0.0, problem_id=1)
+        child = tr.start("unit", 1.0, parent=root)
+        tr.finish(child, 4.0)
+        text = tr.render_tree(root)
+        assert "problem [ok, open] problem_id=1" in text
+        assert "  unit [ok, 3.000s]" in text
+
+
+class TestTimed:
+    def test_timed_uses_injected_clock(self):
+        tr = Tracer()
+        clock = ManualClock(10.0)
+        with tr.timed("rmi.call", clock, method="request_work") as span:
+            clock.advance(0.25)
+        assert span.finished
+        assert span.duration == pytest.approx(0.25)
+        assert span.attrs["method"] == "request_work"
+
+    def test_timed_marks_failures_and_reraises(self):
+        tr = Tracer()
+        clock = ManualClock()
+        with pytest.raises(RuntimeError):
+            with tr.timed("op", clock):
+                raise RuntimeError("boom")
+        (span,) = tr.finished_spans("op")
+        assert span.status == "failed"
+
+    def test_timed_preserves_caller_set_status(self):
+        tr = Tracer()
+        clock = ManualClock()
+        with tr.timed("op", clock) as span:
+            span.status = "error"
+        assert tr.finished_spans("op")[0].status == "error"
+
+
+class TestBuffering:
+    def test_finished_ring_buffer_caps_memory(self):
+        tr = Tracer(max_spans=3)
+        for i in range(5):
+            tr.finish(tr.start("op", float(i)), float(i))
+        assert tr.finished_count == 3
+        assert [s.start for s in tr.finished_spans()] == [2.0, 3.0, 4.0]
+
+    def test_open_spans_always_retained(self):
+        tr = Tracer(max_spans=1)
+        spans = [tr.start("op", float(i)) for i in range(4)]
+        assert tr.open_count == 4
+        assert {s.span_id for s in tr.open_spans()} == {s.span_id for s in spans}
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_name_filter(self):
+        tr = Tracer()
+        tr.finish(tr.start("a", 0.0), 1.0)
+        tr.finish(tr.start("b", 0.0), 1.0)
+        assert [s.name for s in tr.finished_spans("a")] == ["a"]

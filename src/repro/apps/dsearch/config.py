@@ -13,6 +13,8 @@ Recognised keys::
     top_hits    = 10                    # hits kept per query
     unit_target_seconds = 60            # adaptive granularity target
     both_strands = false                # DNA: also search the reverse strand
+    batch       = true                  # batched multi-subject kernels
+    batch_waste_cap = 0.25              # max padding waste per length bucket
 """
 
 from __future__ import annotations
@@ -41,6 +43,8 @@ class DSearchConfig:
     top_hits: int = 10
     unit_target_seconds: float = 60.0
     both_strands: bool = False
+    batch: bool = True
+    batch_waste_cap: float = 0.25
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -55,6 +59,8 @@ class DSearchConfig:
             raise ValueError("unit_target_seconds must be positive")
         if self.both_strands and self.scoring != "dna":
             raise ValueError("both_strands only makes sense for DNA searches")
+        if not (0.0 <= self.batch_waste_cap < 1.0):
+            raise ValueError("batch_waste_cap must be in [0, 1)")
 
     @classmethod
     def from_config(cls, cfg: ConfigFile) -> "DSearchConfig":
@@ -69,6 +75,8 @@ class DSearchConfig:
             top_hits=cfg.get_int("top_hits", 10),
             unit_target_seconds=cfg.get_float("unit_target_seconds", 60.0),
             both_strands=cfg.get_bool("both_strands", False),
+            batch=cfg.get_bool("batch", True),
+            batch_waste_cap=cfg.get_float("batch_waste_cap", 0.25),
         )
 
     @classmethod

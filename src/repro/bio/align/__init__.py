@@ -10,6 +10,10 @@ method of Crochemore et al. [4].  This package implements:
 * :mod:`repro.bio.align.kernels` — the shared vectorised Gotoh row-sweep
   (exact affine-gap DP with the within-row dependency resolved by a
   max-scan, so each row is pure NumPy).
+* :mod:`repro.bio.align.batch` — the batched multi-subject engine:
+  length-bucketed, padded subject tensors swept by the same recurrence
+  vectorised across the whole bucket (bit-identical scores, far fewer
+  Python dispatches per DP cell).
 * :mod:`repro.bio.align.nw` / :mod:`repro.bio.align.sw` — global and
   local alignment scores on that kernel.
 * :mod:`repro.bio.align.banded` — banded global alignment, the reduced-
@@ -20,6 +24,14 @@ method of Crochemore et al. [4].  This package implements:
   result currency of a distributed search.
 """
 
+from repro.bio.align.batch import (
+    BucketPlan,
+    SubjectBucket,
+    banded_model_cells,
+    batched_scores,
+    plan_buckets,
+    use_batched,
+)
 from repro.bio.align.scoring import ScoringScheme, blosum62, dna_scheme, pam250
 from repro.bio.align.nw import needleman_wunsch_score
 from repro.bio.align.sw import smith_waterman_score
@@ -33,10 +45,14 @@ from repro.bio.align.hits import Hit, TopK, merge_topk
 
 __all__ = [
     "Alignment",
+    "BucketPlan",
     "Hit",
     "ScoringScheme",
+    "SubjectBucket",
     "TopK",
     "banded_global_score",
+    "banded_model_cells",
+    "batched_scores",
     "blosum62",
     "dna_scheme",
     "global_align",
@@ -44,5 +60,7 @@ __all__ = [
     "merge_topk",
     "needleman_wunsch_score",
     "pam250",
+    "plan_buckets",
     "smith_waterman_score",
+    "use_batched",
 ]

@@ -1,0 +1,325 @@
+"""Batched multi-subject alignment: one DP row-sweep per *bucket*.
+
+The scalar kernel (:mod:`repro.bio.align.kernels`) already vectorises
+each DP row across the subject's columns, but for the short-to-mid
+length sequences a real FASTA database is full of, a row is only a few
+hundred elements and Python/NumPy dispatch overhead dominates.  This
+module applies the inter-sequence SIMD idea used by striped aligners:
+pack many subjects into a length-bucketed, padded ``(n_subjects,
+width)`` tensor and sweep the Gotoh recurrence **across the whole
+bucket at once**, so each NumPy row operation scores hundreds of
+subjects instead of one.
+
+Correctness of padding
+    Affine-gap DP information flows strictly left-to-right within a
+    row (the lazy-E prefix scan) and top-to-bottom between rows, so a
+    cell ``(i, j)`` never reads a column ``> j``.  Padding columns sit
+    to the *right* of every subject's last real column and therefore
+    cannot influence real scores: global scores are gathered at each
+    subject's own final column, and local row-maxima are taken under a
+    per-subject validity mask.  Because the batched sweep performs the
+    same primitive operations in the same order as the scalar kernel on
+    the shared column prefix, batched scores are bit-identical to
+    scalar scores, not merely close.
+
+Bucketing
+    Subjects are sorted by length and grouped greedily so that padding
+    waste ``1 - effective/padded`` stays below a configurable cap — one
+    10 kb subject lands in its own bucket instead of inflating the
+    padding of hundreds of short ones.  Buckets also cap the subject
+    count so working-set memory stays bounded.
+
+Fallback rules
+    Packing decisions (:func:`plan_buckets`) and the batched-vs-scalar
+    choice (:func:`use_batched`) depend only on sequence *lengths*, so
+    :meth:`DSearchAlgorithm.cost` can charge exactly the cells the
+    donor will fill.  A bucket falls back to the scalar reference
+    kernels when it is too small to amortise anything (a single
+    subject), or — for banded alignment, where the batched engine fills
+    the full padded matrix rather than just the band — when the band
+    window is so much narrower than the bucket that full-width sweeping
+    would outweigh the vectorisation win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence as PySequence
+
+import numpy as np
+
+from repro.bio.align.kernels import NEG
+from repro.bio.align.scoring import ScoringScheme
+from repro.bio.seq.sequence import Sequence
+
+#: Maximum tolerated padding waste ``1 - effective/padded`` per bucket.
+DEFAULT_WASTE_CAP = 0.25
+
+#: Maximum subjects per bucket (bounds the working set: state arrays are
+#: ``O(n_subjects × width)`` float64).
+DEFAULT_MAX_BUCKET = 256
+
+#: Buckets below this size gain nothing from batching.
+MIN_BATCH_SUBJECTS = 2
+
+#: Banded buckets batch only when full padded cells stay within this
+#: factor of the banded cost model (the batched engine sweeps full
+#: rows; a narrow band over long subjects is better off scalar).
+BANDED_BATCH_FACTOR = 1.35
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """Membership of one length bucket, decided from lengths alone.
+
+    ``indices`` point back into the original subject list; ``width`` is
+    the padded (maximum) length.  The plan is all
+    :meth:`~repro.apps.dsearch.algorithm.DSearchAlgorithm.cost` needs,
+    so the simulator's cost model and the donor's actual work agree
+    without materialising any tensors.
+    """
+
+    indices: tuple[int, ...]
+    lengths: tuple[int, ...]
+    width: int
+
+    @property
+    def size(self) -> int:
+        return len(self.indices)
+
+    def padded_cells(self, rows: int) -> int:
+        """DP cells the batched engine fills for *rows* query rows."""
+        return rows * self.size * self.width
+
+    def effective_cells(self, rows: int) -> int:
+        """DP cells a perfectly packed (waste-free) sweep would fill."""
+        return rows * sum(self.lengths)
+
+
+def plan_buckets(
+    lengths: PySequence[int],
+    waste_cap: float = DEFAULT_WASTE_CAP,
+    max_bucket: int = DEFAULT_MAX_BUCKET,
+) -> list[BucketPlan]:
+    """Greedy length bucketing with a padding-waste cap.
+
+    Subjects are visited in (length, index) order; a bucket closes when
+    admitting the next (longer) subject would push padding waste above
+    *waste_cap* or the bucket above *max_bucket* subjects.  Deterministic
+    in the input lengths, so server-side cost accounting and donor-side
+    execution always agree on the packing.
+    """
+    if not (0.0 <= waste_cap < 1.0):
+        raise ValueError("waste_cap must be in [0, 1)")
+    if max_bucket < 1:
+        raise ValueError("max_bucket must be >= 1")
+    order = sorted(range(len(lengths)), key=lambda i: (lengths[i], i))
+    plans: list[BucketPlan] = []
+    cur: list[int] = []
+    cur_sum = 0
+    for i in order:
+        length = lengths[i]
+        if cur:
+            padded = length * (len(cur) + 1)
+            waste = padded - (cur_sum + length)
+            if len(cur) >= max_bucket or waste > waste_cap * padded:
+                plans.append(_close(cur, lengths))
+                cur, cur_sum = [], 0
+        cur.append(i)
+        cur_sum += length
+    if cur:
+        plans.append(_close(cur, lengths))
+    return plans
+
+
+def _close(members: list[int], lengths: PySequence[int]) -> BucketPlan:
+    bucket_lengths = tuple(lengths[i] for i in members)
+    return BucketPlan(tuple(members), bucket_lengths, max(bucket_lengths))
+
+
+def banded_model_cells(m: int, lengths: PySequence[int], band: int) -> float:
+    """Cells the banded cost model charges for one *m*-row query.
+
+    Matches the scalar kernels' semantics: the band is widened per pair
+    to ``|m − len|`` so the terminal cell stays reachable, and a band
+    wider than the matrix degenerates to the full ``m × len`` sweep.
+    """
+    total = 0.0
+    for length in lengths:
+        band_j = max(band, abs(m - length))
+        total += min(m * length, (2 * band_j + 1) * max(m, length))
+    return total
+
+
+def use_batched(plan: BucketPlan, m: int, algorithm: str, band: int) -> bool:
+    """Whether the batched engine should score this (query, bucket).
+
+    Depends only on lengths and configuration, so the server's cost
+    model can replay the same decision the donor will make.
+    """
+    if plan.size < MIN_BATCH_SUBJECTS:
+        return False
+    if algorithm == "banded":
+        return plan.padded_cells(m) <= BANDED_BATCH_FACTOR * banded_model_cells(
+            m, plan.lengths, band
+        )
+    return True
+
+
+class SubjectBucket:
+    """A materialised bucket: padded int-encoded subject tensor.
+
+    Built once per work unit and shared across every query (and strand
+    variant) scored against the slice.
+    """
+
+    __slots__ = ("plan", "codes", "lengths", "alphabet")
+
+    def __init__(self, plan: BucketPlan, subjects: PySequence[Sequence]):
+        members = [subjects[i] for i in plan.indices]
+        alphabet = members[0].alphabet
+        for seq in members:
+            if seq.alphabet != alphabet:
+                raise ValueError("bucket mixes alphabets")
+            if len(seq) == 0:
+                raise ValueError("cannot align empty sequences")
+        self.plan = plan
+        self.alphabet = alphabet
+        self.lengths = np.asarray(plan.lengths, dtype=np.intp)
+        codes = np.zeros((plan.size, plan.width), dtype=np.intp)
+        for row, seq in enumerate(members):
+            codes[row, : len(seq)] = seq.icodes
+        self.codes = codes
+
+
+def batched_scores(
+    variants: PySequence[Sequence],
+    bucket: SubjectBucket,
+    scheme: ScoringScheme,
+    local: bool,
+    band: int | None = None,
+) -> np.ndarray:
+    """Score every variant against every subject in one bucket.
+
+    *variants* are equal-length query rows sharing the DP sweep (the
+    query and its reverse complement for a both-strands search).
+    Returns a ``(n_variants, n_subjects)`` score array, bit-identical to
+    the scalar kernels.  With *band* set (global only), each subject's
+    band is auto-widened to ``|m − len|`` exactly as the scalar path
+    does.
+    """
+    if not variants:
+        raise ValueError("need at least one query variant")
+    m = len(variants[0])
+    if m == 0:
+        raise ValueError("cannot align empty sequences")
+    for v in variants:
+        if len(v) != m:
+            raise ValueError("query variants must share one length")
+        if v.alphabet != scheme.alphabet:
+            raise ValueError(
+                f"scheme {scheme.name!r} is over alphabet "
+                f"{scheme.alphabet.name!r}; got query {v.alphabet.name!r}"
+            )
+    if bucket.alphabet != scheme.alphabet:
+        raise ValueError(
+            f"scheme {scheme.name!r} is over alphabet {scheme.alphabet.name!r}; "
+            f"got subject {bucket.alphabet.name!r}"
+        )
+    if band is not None and local:
+        raise ValueError("banded batching applies to global alignment only")
+
+    codes = bucket.codes  # (n, W) intp
+    lengths = bucket.lengths  # (n,)
+    n, width = codes.shape
+    nvar = len(variants)
+    go, ge = scheme.gap_open, scheme.gap_extend
+    qcodes = np.stack([v.icodes for v in variants])  # (V, m)
+    jidx = np.arange(width + 1, dtype=np.float64)
+    ge_jidx = ge * jidx
+    e_base = go + ge_jidx[1:]
+
+    # Per-bucket substitution precompute: scores_by_code[c] is the (n, W)
+    # score sheet for query residue code c, so each row's substitution
+    # term is one row-gather instead of an elementwise matrix lookup.
+    # Skipped for huge buckets (long-subject buckets) to bound memory.
+    matrix = scheme.matrix
+    n_codes = matrix.shape[0]
+    if n_codes * n * width <= 40_000_000:
+        scores_by_code = np.ascontiguousarray(matrix[:, codes])  # (A+1, n, W)
+    else:
+        scores_by_code = None
+
+    if band is not None:
+        band_j = np.maximum(band, np.abs(m - lengths))  # (n,)
+        col = np.arange(width + 1)
+
+    shape = (nvar, n, width + 1)
+    if local:
+        H = np.zeros(shape)
+        # Running cell-wise max over all rows; the best local score is
+        # its maximum over each subject's *valid* columns at the end
+        # (max is exactly associative, so this equals the scalar
+        # row-by-row tracking bit for bit).
+        maxH = np.zeros(shape)
+    else:
+        H = np.broadcast_to(go + ge_jidx, shape).copy()
+        H[..., 0] = 0.0
+    F = np.full(shape, NEG)
+    if band is not None:
+        _mask_band_rows(H, 0, band_j, col)
+
+    # Ping-pong row buffers; every per-row temporary is preallocated so
+    # the sweep allocates nothing inside the loop.
+    Hn = np.empty(shape)
+    tmp = np.empty(shape)
+    sub = np.empty((nvar, n, width))
+    c = np.empty(shape)
+    for i in range(1, m + 1):
+        # Same primitive ops, same order, as the scalar gotoh_rows —
+        # just with a (variants, subjects) batch on the leading axes.
+        np.add(H, go, out=tmp)
+        np.maximum(F, tmp, out=F)
+        F += ge
+        q_i = qcodes[:, i - 1]
+        if scores_by_code is not None:
+            np.take(scores_by_code, q_i, axis=0, out=sub)
+        else:
+            sub[:] = matrix[q_i][:, codes]
+        Hn[..., 0] = 0.0 if local else go + ge * i
+        Htmp = Hn[..., 1:]
+        np.add(H[..., :-1], sub, out=Htmp)
+        np.maximum(Htmp, F[..., 1:], out=Htmp)
+        if local:
+            np.maximum(Htmp, 0.0, out=Htmp)
+        # Exact within-row E via the prefix max-scan (lazy-E), swept
+        # over the whole bucket at once.
+        np.subtract(Hn, ge_jidx, out=c)
+        np.maximum.accumulate(c, axis=-1, out=c)
+        E = tmp[..., 1:]
+        np.add(e_base, c[..., :-1], out=E)
+        np.maximum(Hn[..., 1:], E, out=Hn[..., 1:])
+        if local:
+            np.maximum(Hn[..., 1:], 0.0, out=Hn[..., 1:])
+        if band is not None:
+            _mask_band_rows(Hn, i, band_j, col)
+        H, Hn = Hn, H
+        if local:
+            np.maximum(maxH, H, out=maxH)
+
+    if local:
+        # Columns beyond a subject's own length must not win its max.
+        maxH += np.where(jidx[None, :] <= lengths[:, None], 0.0, NEG)
+        return maxH.max(axis=-1)
+    # Each subject's global score sits at its own final column.
+    return H[np.arange(nvar)[:, None], np.arange(n)[None, :], lengths[None, :]]
+
+
+def _mask_band_rows(
+    H: np.ndarray, i: int, band_j: np.ndarray, col: np.ndarray
+) -> None:
+    """Apply the per-subject band mask to one DP row (in place)."""
+    outside = (col[None, :] < i - band_j[:, None]) | (
+        col[None, :] > i + band_j[:, None]
+    )
+    H[:, outside] = NEG

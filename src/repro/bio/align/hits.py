@@ -25,8 +25,8 @@ class Hit:
     subject_length: int = 0
 
     def sort_key(self) -> tuple:
-        """Descending score; ties broken by subject id for determinism."""
-        return (-self.score, self.subject_id)
+        """Descending score; ties broken by subject then query id."""
+        return (-self.score, self.subject_id, self.query_id)
 
 
 class TopK:
@@ -36,24 +36,39 @@ class TopK:
         if k < 1:
             raise ValueError("k must be >= 1")
         self.k = k
-        # Min-heap of (score, reversed-tiebreak, Hit) keeps the current
-        # worst retained hit at the root.
-        self._heap: list[tuple[float, tuple, Hit]] = []
+        # Min-heap of (key, seq, Hit) keeps the current worst retained
+        # hit at the root.  ``seq`` is a heap-internal tiebreaker only:
+        # it stops the heap from ever comparing Hit objects, while all
+        # retention decisions use ``key`` alone so the outcome does not
+        # depend on offer order.
+        self._heap: list[tuple[tuple, int, Hit]] = []
         self._counter = 0
 
     def __len__(self) -> int:
         return len(self._heap)
 
+    @staticmethod
+    def _key(hit: Hit) -> tuple:
+        # Ascending "goodness": higher score wins; on equal scores the
+        # lexicographically smaller subject id (then query id) wins, so
+        # scalar and batched search retain byte-identical hit lists
+        # whatever order candidates arrive in.
+        return (
+            hit.score,
+            _reverse_str_key(hit.subject_id),
+            _reverse_str_key(hit.query_id),
+        )
+
     def offer(self, hit: Hit) -> bool:
         """Consider a hit; returns True when it is retained."""
-        # Higher score wins; on equal scores the lexicographically
-        # smaller subject id wins (so results are order-independent).
-        entry = (hit.score, _reverse_str_key(hit.subject_id), hit)
+        key = self._key(hit)
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, entry)
+            self._counter += 1
+            heapq.heappush(self._heap, (key, self._counter, hit))
             return True
-        if entry[:2] > self._heap[0][:2]:
-            heapq.heapreplace(self._heap, entry)
+        if key > self._heap[0][0]:
+            self._counter += 1
+            heapq.heapreplace(self._heap, (key, self._counter, hit))
             return True
         return False
 

@@ -57,8 +57,8 @@ def gotoh_rows(
     _check_pair(query, subject, scheme)
     m, n = len(query), len(subject)
     go, ge = scheme.gap_open, scheme.gap_extend
-    profile = scheme.profile(query.codes)  # (m, A+1)
-    s_codes = np.asarray(subject.codes, dtype=np.intp)
+    profile = scheme.profile(query.icodes)  # (m, A+1)
+    s_codes = subject.icodes
     jidx = np.arange(n + 1, dtype=np.float64)
 
     if local:

@@ -16,7 +16,7 @@ class Sequence:
     reconstructed on demand.
     """
 
-    __slots__ = ("seq_id", "description", "codes", "alphabet")
+    __slots__ = ("seq_id", "description", "codes", "alphabet", "_icodes")
 
     def __init__(
         self,
@@ -39,6 +39,30 @@ class Sequence:
             self.codes = codes
         else:
             self.codes = alphabet.encode(residues)
+        self._icodes = None
+
+    @property
+    def icodes(self) -> np.ndarray:
+        """Codes widened to the platform index type, computed once.
+
+        Alignment kernels index substitution matrices with these; the
+        cache means a database slice is encoded once per work unit
+        instead of once per ``(query, subject)`` pair.
+        """
+        cached = self._icodes
+        if cached is None:
+            cached = self.codes.astype(np.intp)
+            cached.setflags(write=False)
+            self._icodes = cached
+        return cached
+
+    def __getstate__(self):
+        # The icodes cache is derived data; keep it off the wire.
+        return (self.seq_id, self.description, self.codes, self.alphabet)
+
+    def __setstate__(self, state) -> None:
+        self.seq_id, self.description, self.codes, self.alphabet = state
+        self._icodes = None
 
     # -- basic container behaviour ----------------------------------------
 

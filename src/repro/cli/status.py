@@ -33,6 +33,11 @@ _KEY_COUNTERS = (
     "farm.bytes.in",
     "farm.bytes.out",
     "farm.leases.expired",
+    "farm.align.cells.effective",
+    "farm.align.cells.padded",
+    "farm.align.buckets.batched",
+    "farm.align.pairs.scalar",
+    "farm.align.batch.fallbacks",
     "rmi.calls",
     "net.bytes",
 )
@@ -107,6 +112,16 @@ def render_snapshot(snap: dict[str, Any]) -> str:
         lines.append("meters")
         for name in shown:
             lines.append(f"  {name:<24} {_fmt_quantity(counters[name])}")
+            if name == "farm.align.cells.padded":
+                # How much of the batched engine's padded DP tensor was
+                # real alignment work (the rest was bucket padding).
+                efficiency = (
+                    counters.get("farm.align.cells.effective", 0.0)
+                    / counters[name]
+                )
+                lines.append(
+                    f"  {'farm.align.pad.efficiency':<24} {efficiency:.1%}"
+                )
     histograms = meters.get("histograms", {})
     interesting = [n for n in sorted(histograms) if histograms[n]["count"]]
     if interesting:

@@ -26,7 +26,7 @@ from repro.core.problem import Problem
 from repro.core.scheduler import GranularityPolicy
 from repro.core.server import Assignment, TaskFarmServer
 from repro.core.workunit import WorkResult
-from repro.obs import Observability
+from repro.obs import Observability, unitstats
 from repro.util.events import EventLog
 from repro.util.rng import spawn_rng
 
@@ -262,8 +262,12 @@ class SimCluster:
         yield Timeout(duration)
         self._machine_busy[donor_id] += duration
 
+        extra: dict = {}
         if self.execute:
-            value = algorithm.compute(assignment.payload)
+            with unitstats.collect() as stats:
+                value = algorithm.compute(assignment.payload)
+            if stats:
+                extra = {"meters": stats}
             try:
                 output_bytes = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
             except Exception:
@@ -282,6 +286,7 @@ class SimCluster:
                 compute_seconds=duration,
                 items=assignment.items,
                 output_bytes=output_bytes,
+                extra=extra,
             ),
             sim.now,
         )

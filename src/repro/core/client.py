@@ -21,6 +21,7 @@ from typing import Any, Callable, Protocol
 from repro.core.problem import Algorithm
 from repro.core.server import Assignment, TaskFarmServer
 from repro.core.workunit import WorkResult
+from repro.obs import unitstats
 
 
 class ServerPort(Protocol):
@@ -153,7 +154,8 @@ class DonorClient:
         stop_heartbeat = self._start_heartbeat()
         start = self._clock()
         try:
-            value = algo.compute(assignment.payload)
+            with unitstats.collect() as stats:
+                value = algo.compute(assignment.payload)
         finally:
             stop_heartbeat()
         elapsed = self._clock() - start
@@ -169,6 +171,7 @@ class DonorClient:
             compute_seconds=elapsed,
             items=assignment.items,
             output_bytes=output_bytes,
+            extra={"meters": stats} if stats else {},
         )
 
     def _start_heartbeat(self) -> Callable[[], None]:

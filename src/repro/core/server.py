@@ -16,6 +16,7 @@ idle), matching the paper's client-initiated design.
 from __future__ import annotations
 
 import enum
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Any
@@ -399,6 +400,7 @@ class TaskFarmServer:
         self._m_items_completed.inc(result.items)
         self._m_bytes_out.inc(result.output_bytes)
         self._h_unit_seconds.observe(result.compute_seconds)
+        self._fold_unit_meters(result)
         self._sync_donor_gauges()
         if unit_span is not None:
             self.obs.tracer.finish(
@@ -408,6 +410,33 @@ class TaskFarmServer:
         if state.problem.data_manager.is_complete():
             self._complete_problem(state, now)
         return True
+
+    def _fold_unit_meters(self, result: WorkResult) -> None:
+        """Fold donor-collected per-unit stats into the live counters.
+
+        Donors report through ``WorkResult.extra["meters"]`` (see
+        :mod:`repro.obs.unitstats`); only whitelisted ``farm.align.*``
+        names with positive finite amounts are accepted, so a buggy or
+        hostile donor cannot inflate the framework's own accounting
+        (``farm.units.*`` etc.).  Called only after the duplicate/stale
+        checks, which makes the folding exactly-once per unit.
+        """
+        meters = result.extra.get("meters") if result.extra else None
+        if not isinstance(meters, dict):
+            return
+        accepted = sorted(
+            name
+            for name in meters
+            if isinstance(name, str) and name.startswith("farm.align.")
+        )
+        for name in accepted:
+            amount = meters[name]
+            if not isinstance(amount, (int, float)):
+                continue
+            amount = float(amount)
+            if not math.isfinite(amount) or amount <= 0:
+                continue
+            self.obs.meters.counter(name).inc(amount)
 
     def report_failure(
         self, problem_id: int, unit_id: int, donor_id: str, error: str, now: float

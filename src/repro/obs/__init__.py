@@ -26,6 +26,7 @@ from repro.obs.meters import (
     MeterRegistry,
 )
 from repro.obs.trace import Span, Tracer
+from repro.obs import unitstats
 
 
 class Observability:
@@ -51,4 +52,5 @@ __all__ = [
     "Observability",
     "Span",
     "Tracer",
+    "unitstats",
 ]

@@ -1,0 +1,53 @@
+"""Donor-side per-unit stat collection.
+
+The streaming meters (:mod:`repro.obs.meters`) live in the *server's*
+registry, but some magnitudes are only known inside the donor's
+``Algorithm.compute`` — e.g. how many DP cells the batched alignment
+engine actually filled versus how many were pure padding.  Donors
+cannot reach the server registry directly (they may be another process
+or another machine), so compute-side code reports through a thread-
+local sink instead:
+
+* the executing layer (:class:`~repro.core.client.DonorClient`, or the
+  simulator's execute path) opens a :func:`collect` context around
+  ``compute`` and attaches whatever was recorded to
+  ``WorkResult.extra["meters"]``;
+* the server folds those increments into its own counters when the
+  result is accepted — exactly once, because duplicate and stale
+  results are dropped before folding.
+
+Outside a :func:`collect` context, :func:`record` is a no-op, so
+library code can report unconditionally (a bare ``compute`` call in a
+unit test neither crashes nor leaks state).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+_local = threading.local()
+
+
+def record(name: str, amount: float = 1.0) -> None:
+    """Accumulate *amount* under *name* in the active collection, if any."""
+    sink = getattr(_local, "sink", None)
+    if sink is not None:
+        sink[name] = sink.get(name, 0.0) + float(amount)
+
+
+@contextmanager
+def collect() -> Iterator[dict[str, float]]:
+    """Collect :func:`record` calls made by this thread into a dict.
+
+    Nests correctly: an inner collection shadows the outer one for its
+    duration (the inner dict gets the inner increments).
+    """
+    previous = getattr(_local, "sink", None)
+    sink: dict[str, float] = {}
+    _local.sink = sink
+    try:
+        yield sink
+    finally:
+        _local.sink = previous

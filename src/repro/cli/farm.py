@@ -9,6 +9,7 @@ import time
 
 from repro.cluster.local import ServerFacade
 from repro.core.client import DonorClient
+from repro.core.integrity import IntegrityPolicy
 from repro.core.scheduler import AdaptiveGranularity
 from repro.core.server import TaskFarmServer
 from repro.rmi import RMIServer, connect
@@ -35,11 +36,45 @@ def server_main(argv: list[str] | None = None) -> int:
         help="print a live status table every SECONDS "
              "(0 disables; repro-status can also pull it remotely)",
     )
+    integrity = parser.add_argument_group(
+        "result integrity",
+        "defend against byzantine (lying) donors by issuing units to "
+        "several independent donors and comparing result digests",
+    )
+    integrity.add_argument(
+        "--replication", type=int, default=1, metavar="K",
+        help="issue every unit to K independent donors (1 disables)",
+    )
+    integrity.add_argument(
+        "--quorum", type=int, default=2, metavar="N",
+        help="matching digests needed to accept a replicated unit",
+    )
+    integrity.add_argument(
+        "--spot-check-rate", type=float, default=0.0, metavar="RATE",
+        help="fraction of units double-issued at random even when "
+             "--replication is 1",
+    )
+    integrity.add_argument(
+        "--quarantine-after", type=float, default=3.0, metavar="SUSPICION",
+        help="suspicion score at which a donor stops receiving work",
+    )
     args = parser.parse_args(argv)
+
+    try:
+        policy = IntegrityPolicy(
+            replication=args.replication,
+            quorum=args.quorum,
+            spot_check_rate=args.spot_check_rate,
+            quarantine_after=args.quarantine_after,
+            blacklist_after=max(args.quarantine_after, 10.0),
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
 
     server = TaskFarmServer(
         policy=AdaptiveGranularity(target_seconds=args.unit_target_seconds),
         lease_timeout=args.lease_timeout,
+        integrity=policy,
     )
     facade = ServerFacade(server)
     # Share the farm's meter registry so RMI dispatch telemetry lands in

@@ -33,6 +33,13 @@ _KEY_COUNTERS = (
     "farm.bytes.in",
     "farm.bytes.out",
     "farm.leases.expired",
+    "farm.integrity.redundant_units",
+    "farm.integrity.redundant_items",
+    "farm.integrity.spot_checks",
+    "farm.integrity.agreements",
+    "farm.integrity.disagreements",
+    "farm.integrity.untrusted",
+    "farm.integrity.quarantines",
     "farm.align.cells.effective",
     "farm.align.cells.padded",
     "farm.align.buckets.batched",
@@ -129,6 +136,32 @@ def render_snapshot(snap: dict[str, Any]) -> str:
         lines.append("histograms")
         for name in interesting:
             lines.append(_histogram_line(name, histograms[name]))
+    integrity = snap.get("integrity")
+    if integrity:
+        policy = integrity.get("policy", {})
+        lines.append("")
+        lines.append(
+            f"integrity: replication={policy.get('replication', 1)} "
+            f"quorum={policy.get('quorum', 2)} "
+            f"spot-check={policy.get('spot_check_rate', 0.0):.0%}"
+        )
+        quarantined = set(integrity.get("quarantined", []))
+        reputations = integrity.get("reputations", {})
+        if reputations:
+            lines.append(
+                f"  {'donor':<18} {'agree':>6} {'disagree':>9} "
+                f"{'expired':>8} {'failed':>7} {'state':<12}"
+            )
+            for donor_id, rep in sorted(reputations.items()):
+                lines.append(
+                    f"  {donor_id:<18.18} {rep['agreements']:>6} "
+                    f"{rep['disagreements']:>9} {rep['expiries']:>8} "
+                    f"{rep['failures']:>7} {rep['state']:<12}"
+                )
+        if quarantined:
+            lines.append(
+                "  quarantined: " + ", ".join(sorted(quarantined))
+            )
     traces = snap.get("traces")
     if traces:
         lines.append("")

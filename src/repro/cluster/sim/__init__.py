@@ -1,5 +1,6 @@
 """Discrete-event simulation of a heterogeneous donor pool."""
 
+from repro.cluster.sim.chaos import FaultPlan, WireChaos
 from repro.cluster.sim.engine import Acquire, Simulator, SimResource, Timeout
 from repro.cluster.sim.machines import MachineSpec, homogeneous_pool, heterogeneous_pool
 from repro.cluster.sim.network import NetworkModel
@@ -7,6 +8,7 @@ from repro.cluster.sim.cluster import SimCluster, SimReport
 
 __all__ = [
     "Acquire",
+    "FaultPlan",
     "MachineSpec",
     "NetworkModel",
     "SimCluster",
@@ -14,6 +16,7 @@ __all__ = [
     "SimResource",
     "Simulator",
     "Timeout",
+    "WireChaos",
     "heterogeneous_pool",
     "homogeneous_pool",
 ]

@@ -1,0 +1,219 @@
+"""Deterministic chaos: seeded fault schedules for the task farm.
+
+The recovery machinery (leases, requeue, checkpoint restore, quorum
+voting, reconnect) is only trustworthy if it survives *adversarial*
+schedules, not just the friendly ones the regular tests produce.  This
+module defines a seeded :class:`FaultPlan` that the simulated cluster
+(:class:`~repro.cluster.sim.cluster.SimCluster`) weaves into donor
+behaviour — crashes, corrupted results, dropped / duplicated / delayed
+messages, one mid-run server restart — and a :class:`WireChaos`
+injector that does byte-level damage on the live RMI transport
+(:mod:`repro.rmi.transport` / :mod:`repro.rmi.datachannel`).
+
+Determinism contract
+--------------------
+Every fault decision derives from ``seed`` through pure hashes
+(:func:`~repro.util.rng.stable_seed`) or per-donor RNG streams
+(:func:`~repro.util.rng.spawn_rng`) keyed by stable identifiers, never
+from global randomness or wall-clock time.  Under the deterministic
+sim engine the same ``(workload, FaultPlan)`` pair therefore replays
+the exact same fault schedule — and the chaos property tests assert
+the stronger end-to-end invariant: *for any seeded fault schedule,
+every problem completes and the assembled results are bit-identical to
+the fault-free run*.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.util.rng import spawn_rng, stable_coin, stable_seed
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One seeded fault schedule for a simulated run.
+
+    All rates are probabilities in ``[0, 1]``; a default-constructed
+    plan injects nothing.
+
+    Parameters
+    ----------
+    seed:
+        Root of every fault decision (see the determinism contract).
+    crash_rate:
+        Per completed unit: the donor process dies *without*
+        deregistering (its lease must expire) and respawns after
+        ``crash_downtime`` simulated seconds.
+    byzantine_fraction:
+        Fraction of donors (chosen by stable hash of the donor id)
+        that corrupt results.
+    corrupt_rate:
+        Per unit, for byzantine donors: probability the returned value
+        is replaced by a donor-specific poison value.  Corruption is a
+        pure function of (donor, problem, unit), so a byzantine donor
+        lies *consistently* — the adversarial worst case for quorum.
+    drop_rate:
+        Per result message: silently lost (lease expiry recovers it).
+    dup_rate:
+        Per result message: delivered twice (duplicate detection must
+        hold).
+    delay_rate / max_delay:
+        Per result message: delayed by up to ``max_delay`` simulated
+        seconds before landing; with ``max_delay`` beyond the lease
+        timeout this exercises the late-result paths.
+    server_restart_at:
+        Simulated time at which the server is torn down and rebuilt
+        from an in-memory checkpoint (donors must re-register and
+        in-flight work must survive).  ``None`` disables it.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    crash_downtime: float = 60.0
+    byzantine_fraction: float = 0.0
+    corrupt_rate: float = 1.0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_delay: float = 30.0
+    server_restart_at: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "crash_rate",
+            "byzantine_fraction",
+            "corrupt_rate",
+            "drop_rate",
+            "dup_rate",
+            "delay_rate",
+        ):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.crash_downtime <= 0:
+            raise ValueError("crash_downtime must be positive")
+        if self.max_delay < 0:
+            raise ValueError("max_delay cannot be negative")
+        if self.server_restart_at is not None and self.server_restart_at <= 0:
+            raise ValueError("server_restart_at must be positive")
+
+    def rng_for(self, *parts: Any) -> np.random.Generator:
+        """A dedicated RNG stream for one (donor, session) context."""
+        return spawn_rng(self.seed, "chaos", *parts)
+
+    def is_byzantine(self, donor_id: str) -> bool:
+        """Open-world membership coin (pool size unknown)."""
+        return (
+            stable_coin(self.seed, "byzantine", donor_id)
+            < self.byzantine_fraction
+        )
+
+    def byzantine_set(self, donor_ids: Iterable[str]) -> frozenset[str]:
+        """Choose exactly ``round(fraction * n)`` byzantine donors.
+
+        Quorum voting (like any BFT scheme) only converges while honest
+        donors outnumber the liars it still trusts; a per-donor coin
+        can by chance corrupt nearly the whole pool and wedge every
+        replicated unit.  When the pool is known up front, ranking by
+        stable hash bounds the liar count while staying deterministic
+        per seed.
+        """
+        ids = sorted(set(donor_ids))
+        count = int(round(self.byzantine_fraction * len(ids)))
+        ranked = sorted(
+            ids, key=lambda d: stable_coin(self.seed, "byzantine", d)
+        )
+        return frozenset(ranked[:count])
+
+    def corrupts_unit(
+        self, donor_id: str, problem_id: int, unit_id: int
+    ) -> bool:
+        """Does a byzantine *donor_id* lie about this particular unit?"""
+        return (
+            stable_coin(self.seed, "corrupt", donor_id, problem_id, unit_id)
+            < self.corrupt_rate
+        )
+
+    def corrupts(self, donor_id: str, problem_id: int, unit_id: int) -> bool:
+        """Open-world convenience: membership coin + per-unit coin."""
+        return self.is_byzantine(donor_id) and self.corrupts_unit(
+            donor_id, problem_id, unit_id
+        )
+
+    def corrupted_value(
+        self, donor_id: str, problem_id: int, unit_id: int
+    ) -> tuple:
+        """The poison value a byzantine donor returns for one unit.
+
+        Donor-specific, so two byzantine donors can never accidentally
+        agree with each other and sneak past quorum.
+        """
+        return (
+            "byzantine",
+            donor_id,
+            problem_id,
+            unit_id,
+            stable_seed(self.seed, "poison", donor_id, problem_id, unit_id),
+        )
+
+
+class WireChaos:
+    """Byte-level damage injector for the live transport layer.
+
+    Attached to a :class:`~repro.rmi.transport.FrameSocket` or passed
+    to the datachannel senders, it flips a byte of outgoing payloads
+    with probability ``corrupt_rate`` and stalls sends by up to
+    ``max_delay`` wall seconds with probability ``delay_rate``.  Both
+    the RNG and the sleep are injectable so tests stay deterministic
+    and instantaneous.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        corrupt_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        max_delay: float = 0.0,
+        rng: np.random.Generator | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        for name, rate in (
+            ("corrupt_rate", corrupt_rate),
+            ("delay_rate", delay_rate),
+        ):
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if max_delay < 0:
+            raise ValueError("max_delay cannot be negative")
+        self.corrupt_rate = corrupt_rate
+        self.delay_rate = delay_rate
+        self.max_delay = max_delay
+        self.rng = rng if rng is not None else spawn_rng(seed, "wire")
+        self.sleep = sleep
+        self.corrupted = 0
+        self.delayed = 0
+
+    def mangle(self, payload: bytes) -> bytes:
+        """Return *payload*, possibly with one byte flipped."""
+        if not payload or self.corrupt_rate <= 0:
+            return payload
+        if self.rng.random() >= self.corrupt_rate:
+            return payload
+        index = int(self.rng.integers(0, len(payload)))
+        damaged = bytearray(payload)
+        damaged[index] ^= 0xFF
+        self.corrupted += 1
+        return bytes(damaged)
+
+    def maybe_delay(self) -> None:
+        """Possibly stall the caller before a send."""
+        if self.delay_rate <= 0 or self.max_delay <= 0:
+            return
+        if self.rng.random() < self.delay_rate:
+            self.delayed += 1
+            self.sleep(float(self.rng.uniform(0.0, self.max_delay)))

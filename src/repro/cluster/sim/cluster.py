@@ -19,9 +19,11 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.cluster.sim.chaos import FaultPlan
 from repro.cluster.sim.engine import Process, Simulator, Timeout
 from repro.cluster.sim.machines import MachineSpec
 from repro.cluster.sim.network import NetworkConfig, NetworkModel
+from repro.core.integrity import IntegrityPolicy
 from repro.core.problem import Problem
 from repro.core.scheduler import GranularityPolicy
 from repro.core.server import Assignment, TaskFarmServer
@@ -78,6 +80,12 @@ class SimCluster:
     idle_poll:
         How long an idle donor waits before asking again — the paper's
         clients poll, they are not pushed to.
+    integrity:
+        Replication/quorum policy for the embedded server (see
+        :class:`~repro.core.integrity.IntegrityPolicy`).
+    chaos:
+        A seeded :class:`~repro.cluster.sim.chaos.FaultPlan`; ``None``
+        runs fault-free.
     """
 
     def __init__(
@@ -90,6 +98,9 @@ class SimCluster:
         execute: bool = True,
         idle_poll: float = 5.0,
         obs: Observability | None = None,
+        integrity: IntegrityPolicy | None = None,
+        chaos: FaultPlan | None = None,
+        max_unit_attempts: int = 5,
     ):
         if not machines:
             raise ValueError("need at least one machine")
@@ -102,9 +113,12 @@ class SimCluster:
         # live cluster's single registry.
         self.obs = obs or Observability()
         self.sim = Simulator(meters=self.obs.meters)
-        self.server = TaskFarmServer(
-            policy=policy, lease_timeout=lease_timeout, obs=self.obs
-        )
+        self._policy = policy
+        self._lease_timeout = lease_timeout
+        self._max_unit_attempts = max_unit_attempts
+        self.integrity = integrity
+        self.chaos = chaos
+        self.server = self._make_server()
         self.network = NetworkModel(self.sim, network, meters=self.obs.meters)
         self.seed = seed
         self.execute = execute
@@ -114,6 +128,24 @@ class SimCluster:
         self._active_session: dict[str, int] = {}
         self._pending_submissions = 0
         self._problem_ids: list[int] = []
+        # Chaos respawns get fresh session indices above any real ones.
+        self._chaos_sessions = 1 << 16
+        # Closed-world pool: bound the liar count to the configured
+        # fraction (quorum voting needs the honest donors to outnumber
+        # the liars; a per-donor coin cannot guarantee that).
+        self._byzantine: frozenset[str] = (
+            chaos.byzantine_set(ids) if chaos is not None else frozenset()
+        )
+
+    def _make_server(self, log: EventLog | None = None) -> TaskFarmServer:
+        return TaskFarmServer(
+            policy=self._policy,
+            lease_timeout=self._lease_timeout,
+            obs=self.obs,
+            log=log,
+            integrity=self.integrity,
+            max_unit_attempts=self._max_unit_attempts,
+        )
 
     # ------------------------------------------------------------------
 
@@ -170,6 +202,8 @@ class SimCluster:
             lambda: self.server.expire_leases(self.sim.now),
             until=self._all_done,
         )
+        if self.chaos is not None and self.chaos.server_restart_at is not None:
+            self.sim.schedule(self.chaos.server_restart_at, self._restart_server)
         sim_time = self.sim.run(until=until)
 
         completed = self.server.all_complete()
@@ -194,16 +228,47 @@ class SimCluster:
 
     # ------------------------------------------------------------------
 
+    def _restart_server(self) -> None:
+        """Chaos event: kill the server, rebuild it from a checkpoint.
+
+        Everything a live restart would do happens in virtual time: the
+        problem state (with its quorum votes and reputation ledger)
+        round-trips through real checkpoint bytes, donor registrations
+        and leases are lost, and donors re-register when their next
+        request is refused — exercising the same paths the live
+        cluster's :class:`~repro.rmi.reconnect.ReconnectingPort` drives.
+        """
+        if self._all_done():
+            return
+        from repro.core.checkpoint import dumps_checkpoint, loads_checkpoint
+
+        now = self.sim.now
+        blob = dumps_checkpoint(self.server, now)
+        log = self.server.log  # event-log continuity across the restart
+        log.record(now, "server.restarted")
+        fresh = self._make_server(log=log)
+        loads_checkpoint(blob, fresh, now)
+        self.server = fresh
+
     def _machine_process(
         self, spec: MachineSpec, session_end: float, session_index: int
     ) -> Process:
-        """One donor session: register, pull work until done or gone."""
+        """One donor session: register, pull work until done or gone.
+
+        ``self.server`` is read dynamically throughout — a chaos
+        restart swaps the server object out from under running donors,
+        exactly as a live restart does.
+        """
         sim = self.sim
-        server = self.server
         rng = spawn_rng(self.seed, "machine", spec.machine_id, session_index)
+        chaos_rng = (
+            self.chaos.rng_for(spec.machine_id, session_index)
+            if self.chaos is not None
+            else None
+        )
         donor_id = spec.machine_id
 
-        server.register_donor(donor_id, sim.now)
+        self.server.register_donor(donor_id, sim.now)
         self._active_session[donor_id] = session_index
         try:
             while True:
@@ -213,23 +278,48 @@ class SimCluster:
                 yield from self.network.control_roundtrip()
                 if sim.now >= session_end:
                     return
-                assignment = server.request_work(donor_id, sim.now)
+                try:
+                    assignment = self.server.request_work(donor_id, sim.now)
+                except KeyError:
+                    # A restarted server forgot us: re-register and
+                    # retry, as the live ReconnectingPort's
+                    # on_reconnect hook does.
+                    self.server.register_donor(donor_id, sim.now)
+                    self._active_session[donor_id] = session_index
+                    continue
                 if assignment is None:
                     if self._all_done():
                         return
                     yield Timeout(self.idle_poll)
                     continue
                 finished = yield from self._execute_assignment(
-                    spec, donor_id, assignment, rng, session_end
+                    spec, donor_id, assignment, rng, chaos_rng, session_end
                 )
                 if not finished:
                     return  # left the pool mid-compute
+                if (
+                    self.chaos is not None
+                    and chaos_rng.random() < self.chaos.crash_rate
+                ):
+                    # Hard crash: no deregistration (the lease must
+                    # expire on its own), back after the downtime as a
+                    # fresh session.
+                    self._chaos_sessions += 1
+                    self.sim.spawn(
+                        self._machine_process(
+                            spec, session_end, self._chaos_sessions
+                        ),
+                        delay=self.chaos.crash_downtime,
+                    )
+                    self._active_session.pop(donor_id, None)
+                    return
         finally:
             # Leaving (or completing) deregisters; the server requeues
             # anything this donor still held.  Guard against a later
-            # session of the same machine having already re-registered.
+            # session of the same machine having already re-registered
+            # (and against chaos crashes, which skip the goodbye).
             if self._active_session.get(donor_id) == session_index:
-                server.deregister_donor(donor_id, sim.now)
+                self.server.deregister_donor(donor_id, sim.now)
                 del self._active_session[donor_id]
 
     def _execute_assignment(
@@ -238,6 +328,7 @@ class SimCluster:
         donor_id: str,
         assignment: Assignment,
         rng,
+        chaos_rng,
         session_end: float,
     ) -> Process:
         """Download, compute, upload.  Returns False if the machine's
@@ -276,19 +367,43 @@ class SimCluster:
             value = None
             output_bytes = max(256, assignment.input_bytes // 16)
 
+        plan = self.chaos
+        if plan is not None and donor_id in self._byzantine:
+            # Key the corruption coin on the *submission ordinal*, not
+            # the process-global problem id: the id counter advances
+            # across clusters in one process, and keying on it would
+            # make the "same" run draw different coins on replay.
+            ordinal = self._problem_ids.index(assignment.problem_id)
+            if plan.corrupts_unit(donor_id, ordinal, assignment.unit_id):
+                # Byzantine donor: a consistent, donor-specific lie.
+                value = plan.corrupted_value(
+                    donor_id, ordinal, assignment.unit_id
+                )
+
+        deliveries = 1
+        if plan is not None:
+            if chaos_rng.random() < plan.drop_rate:
+                # The result vanishes on the wire; the lease expires
+                # and the server reissues the unit elsewhere.
+                self._machine_units[donor_id] += 1
+                return True
+            if chaos_rng.random() < plan.delay_rate:
+                yield Timeout(float(chaos_rng.uniform(0.0, plan.max_delay)))
+            if chaos_rng.random() < plan.dup_rate:
+                deliveries = 2
+
         yield from self.network.transmit(output_bytes)
-        self.server.submit_result(
-            WorkResult(
-                problem_id=assignment.problem_id,
-                unit_id=assignment.unit_id,
-                value=value,
-                donor_id=donor_id,
-                compute_seconds=duration,
-                items=assignment.items,
-                output_bytes=output_bytes,
-                extra=extra,
-            ),
-            sim.now,
+        result = WorkResult(
+            problem_id=assignment.problem_id,
+            unit_id=assignment.unit_id,
+            value=value,
+            donor_id=donor_id,
+            compute_seconds=duration,
+            items=assignment.items,
+            output_bytes=output_bytes,
+            extra=extra,
         )
+        for _ in range(deliveries):
+            self.server.submit_result(result, sim.now)
         self._machine_units[donor_id] += 1
         return True

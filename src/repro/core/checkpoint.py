@@ -8,6 +8,12 @@ needed to resume issuing units.  Outstanding leases are deliberately
 *not* persisted: after a restart their donors are gone, so the units
 would only expire; instead they are requeued immediately on restore.
 
+Version 2 additionally persists the integrity layer: the per-donor
+reputation ledger (a restarted server must not forget who lied to it)
+and each problem's in-flight quorum votes, so replicated units resume
+collecting the votes they still need instead of recomputing from
+scratch.
+
 Format: one pickled :class:`CheckpointBlob` per file, with a magic
 header and version so a stale or foreign file fails loudly.
 """
@@ -15,15 +21,16 @@ header and version so a stale or foreign file fails loudly.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.core.integrity import DonorReputation, _UnitIntegrity
 from repro.core.server import ProblemStatus, TaskFarmServer, _ProblemState
 from repro.core.workunit import WorkUnit
 
 MAGIC = b"TFCK"
-VERSION = 1
+VERSION = 2
 
 
 @dataclass
@@ -39,6 +46,8 @@ class _ProblemSnapshot:
     completed_units: set[int]
     requeued_units: list[WorkUnit]
     failure_reason: str | None = None
+    # unit_id -> quorum-vote state for replicated units still in flight.
+    voting: dict[int, _UnitIntegrity] = field(default_factory=dict)
 
 
 @dataclass
@@ -46,22 +55,29 @@ class CheckpointBlob:
     version: int
     saved_at: float
     snapshots: list[_ProblemSnapshot]
+    reputations: dict[str, DonorReputation] = field(default_factory=dict)
 
 
 class CheckpointError(RuntimeError):
     """A checkpoint file is missing, foreign, or from another version."""
 
 
-def save_checkpoint(server: TaskFarmServer, path: str | Path, now: float) -> None:
-    """Write the server's problem state to *path* atomically."""
+def dumps_checkpoint(server: TaskFarmServer, now: float) -> bytes:
+    """Serialize the server's problem state to checkpoint bytes."""
     snapshots = []
     for state in server._problems.values():
-        # Units currently leased would be lost on restore; fold them
-        # into the requeue so the snapshot is self-contained.
-        leased = [
-            lease.unit
-            for lease in server.leases.outstanding(state.problem.problem_id)
-        ]
+        # Units currently leased (or queued as verification replicas)
+        # would be lost on restore; fold one copy of each distinct unit
+        # into the requeue so the snapshot is self-contained.  Replica
+        # multiplicity is *not* persisted — the restore rebuilds exactly
+        # the supply each unit's surviving vote requirement still needs.
+        units: dict[int, WorkUnit] = {}
+        for unit in state.requeue:
+            units.setdefault(unit.unit_id, unit)
+        for unit in state.replicas:
+            units.setdefault(unit.unit_id, unit)
+        for lease in server.leases.outstanding(state.problem.problem_id):
+            units.setdefault(lease.unit.unit_id, lease.unit)
         snapshots.append(
             _ProblemSnapshot(
                 problem=state.problem,
@@ -73,37 +89,48 @@ def save_checkpoint(server: TaskFarmServer, path: str | Path, now: float) -> Non
                 units_completed=state.units_completed,
                 items_completed=state.items_completed,
                 completed_units=set(state.completed_units),
-                requeued_units=list(state.requeue) + leased,
+                requeued_units=list(units.values()),
                 failure_reason=server.failure_reason(state.problem.problem_id),
+                voting=dict(state.voting),
             )
         )
-    blob = CheckpointBlob(version=VERSION, saved_at=now, snapshots=snapshots)
+    blob = CheckpointBlob(
+        version=VERSION,
+        saved_at=now,
+        snapshots=snapshots,
+        reputations=server.reputation.dump(),
+    )
+    return MAGIC + pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def save_checkpoint(server: TaskFarmServer, path: str | Path, now: float) -> None:
+    """Write the server's problem state to *path* atomically."""
     path = Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_bytes(MAGIC + pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL))
+    tmp.write_bytes(dumps_checkpoint(server, now))
     tmp.replace(path)
 
 
-def load_checkpoint(
-    path: str | Path, server: TaskFarmServer, now: float
+def loads_checkpoint(
+    raw: bytes, server: TaskFarmServer, now: float, origin: str = "checkpoint"
 ) -> list[int]:
-    """Restore problems from *path* into a fresh server.
+    """Restore problems from checkpoint bytes into a fresh server.
 
     Returns the restored problem ids.  The target server must not
     already hold any of them.
     """
-    path = Path(path)
-    raw = path.read_bytes()
     if not raw.startswith(MAGIC):
-        raise CheckpointError(f"{path} is not a task-farm checkpoint")
+        raise CheckpointError(f"{origin} is not a task-farm checkpoint")
     try:
         blob: CheckpointBlob = pickle.loads(raw[len(MAGIC):])
     except Exception as exc:
-        raise CheckpointError(f"{path}: cannot decode checkpoint: {exc}") from exc
+        raise CheckpointError(f"{origin}: cannot decode checkpoint: {exc}") from exc
     if blob.version != VERSION:
         raise CheckpointError(
-            f"{path}: checkpoint version {blob.version}, expected {VERSION}"
+            f"{origin}: checkpoint version {blob.version}, expected {VERSION}"
         )
+    server.reputation.restore(blob.reputations)
+    server._g_quarantined.set(len(server.reputation.quarantined_ids()))
     restored = []
     for snap in blob.snapshots:
         pid = snap.problem.problem_id
@@ -118,9 +145,25 @@ def load_checkpoint(
         state.items_completed = snap.items_completed
         state.completed_units = set(snap.completed_units)
         state.requeue.extend(snap.requeued_units)
+        state.voting = dict(snap.voting)
         server._problems[pid] = state
         if snap.failure_reason is not None:
             server._failures[pid] = snap.failure_reason
+        if state.status is ProblemStatus.RUNNING:
+            # Top queued copies up (or trim them down) to each
+            # replicated unit's remaining vote requirement.
+            for unit_id in list(state.voting):
+                unit = server._find_unit(state, unit_id)
+                if unit is not None:
+                    server._ensure_vote_supply(state, unit, now, reason="restore")
         server.log.record(now, "problem.restored", problem_id=pid, name=snap.problem.name)
         restored.append(pid)
     return restored
+
+
+def load_checkpoint(
+    path: str | Path, server: TaskFarmServer, now: float
+) -> list[int]:
+    """Restore problems from a checkpoint file (see :func:`loads_checkpoint`)."""
+    path = Path(path)
+    return loads_checkpoint(path.read_bytes(), server, now, origin=str(path))

@@ -6,6 +6,12 @@ scavenging.  Every issued unit carries a lease; when the lease expires
 (or the donor deregisters) the unit is requeued and reissued to another
 donor.  A result for a unit whose lease moved on is detected and applied
 at most once, so churn can never corrupt the assembled answer.
+
+A unit may be leased to *several* donors at once: the integrity layer
+(:mod:`repro.core.integrity`) issues replicated copies of a unit to
+independent donors and accepts the result on quorum agreement.  The
+table therefore keys leases by ``(problem_id, unit_id, donor_id)``;
+granting the *same* unit to the *same* donor twice is still an error.
 """
 
 from __future__ import annotations
@@ -32,30 +38,81 @@ class LeaseTable:
         if timeout <= 0:
             raise ValueError("lease timeout must be positive")
         self.timeout = timeout
-        self._leases: dict[tuple[int, int], Lease] = {}
+        # (problem_id, unit_id) -> donor_id -> Lease, insertion-ordered.
+        self._leases: dict[tuple[int, int], dict[str, Lease]] = {}
 
     def __len__(self) -> int:
-        return len(self._leases)
+        return sum(len(holders) for holders in self._leases.values())
 
     def grant(self, unit: WorkUnit, donor_id: str, now: float) -> Lease:
         key = (unit.problem_id, unit.unit_id)
-        if key in self._leases:
-            raise ValueError(f"unit {key} already leased")
+        holders = self._leases.setdefault(key, {})
+        if donor_id in holders:
+            raise ValueError(f"unit {key} already leased to {donor_id!r}")
         lease = Lease(unit, donor_id, now, now + self.timeout)
-        self._leases[key] = lease
+        holders[donor_id] = lease
         return lease
 
     def holder(self, problem_id: int, unit_id: int) -> str | None:
-        lease = self._leases.get((problem_id, unit_id))
-        return lease.donor_id if lease else None
+        """The earliest-issued live holder (None when unleased)."""
+        holders = self._leases.get((problem_id, unit_id))
+        if not holders:
+            return None
+        return next(iter(holders.values())).donor_id
 
-    def release(self, problem_id: int, unit_id: int) -> Lease | None:
-        """Remove and return the lease (result arrived), if still live."""
-        return self._leases.pop((problem_id, unit_id), None)
+    def holders(self, problem_id: int, unit_id: int) -> list[str]:
+        """Every donor currently holding a lease on this unit."""
+        return list(self._leases.get((problem_id, unit_id), ()))
 
-    def renew(self, problem_id: int, unit_id: int, now: float) -> bool:
-        """Extend a live lease (donor heartbeat with progress)."""
-        lease = self._leases.get((problem_id, unit_id))
+    def any_lease(self, problem_id: int, unit_id: int) -> Lease | None:
+        """Some live lease on this unit (None when unleased)."""
+        holders = self._leases.get((problem_id, unit_id))
+        if not holders:
+            return None
+        return next(iter(holders.values()))
+
+    def release(
+        self, problem_id: int, unit_id: int, donor_id: str | None = None
+    ) -> Lease | None:
+        """Remove and return a lease (result arrived), if still live.
+
+        With *donor_id* only that donor's lease is released; without it,
+        **every** lease on the unit is dropped and the earliest-issued
+        one is returned (the pre-replication contract).
+        """
+        key = (problem_id, unit_id)
+        holders = self._leases.get(key)
+        if not holders:
+            return None
+        if donor_id is None:
+            del self._leases[key]
+            return next(iter(holders.values()))
+        lease = holders.pop(donor_id, None)
+        if not holders:
+            del self._leases[key]
+        return lease
+
+    def renew(
+        self,
+        problem_id: int,
+        unit_id: int,
+        now: float,
+        donor_id: str | None = None,
+    ) -> bool:
+        """Extend a live lease (donor heartbeat with progress).
+
+        Without *donor_id* every lease on the unit is renewed — callers
+        that know the donor should pass it so a heartbeat cannot keep a
+        *replica* holder's lapsed lease alive.
+        """
+        holders = self._leases.get((problem_id, unit_id))
+        if not holders:
+            return False
+        if donor_id is None:
+            for lease in holders.values():
+                lease.deadline = now + self.timeout
+            return True
+        lease = holders.get(donor_id)
         if lease is None:
             return False
         lease.deadline = now + self.timeout
@@ -63,19 +120,34 @@ class LeaseTable:
 
     def expired(self, now: float) -> list[Lease]:
         """Remove and return every lease whose deadline has passed."""
-        dead = [lease for lease in self._leases.values() if lease.deadline <= now]
-        for lease in dead:
-            del self._leases[(lease.unit.problem_id, lease.unit.unit_id)]
+        dead: list[Lease] = []
+        for key in list(self._leases):
+            holders = self._leases[key]
+            for donor_id in list(holders):
+                if holders[donor_id].deadline <= now:
+                    dead.append(holders.pop(donor_id))
+            if not holders:
+                del self._leases[key]
         return dead
 
     def revoke_donor(self, donor_id: str) -> list[Lease]:
         """Remove and return every lease held by *donor_id* (it left)."""
-        dead = [l for l in self._leases.values() if l.donor_id == donor_id]
-        for lease in dead:
-            del self._leases[(lease.unit.problem_id, lease.unit.unit_id)]
+        dead: list[Lease] = []
+        for key in list(self._leases):
+            holders = self._leases[key]
+            lease = holders.pop(donor_id, None)
+            if lease is not None:
+                dead.append(lease)
+            if not holders:
+                del self._leases[key]
         return dead
 
     def outstanding(self, problem_id: int | None = None) -> list[Lease]:
+        leases = [
+            lease
+            for holders in self._leases.values()
+            for lease in holders.values()
+        ]
         if problem_id is None:
-            return list(self._leases.values())
-        return [l for l in self._leases.values() if l.unit.problem_id == problem_id]
+            return leases
+        return [l for l in leases if l.unit.problem_id == problem_id]

@@ -1,0 +1,304 @@
+"""Result integrity: replication, quorum voting, and donor reputation.
+
+The paper's farm ran for years on donated desktops.  Machines that
+churn are handled by leases (:mod:`repro.core.faults`); machines that
+*lie* — flaky RAM, overclocked CPUs, stale clients, malicious users —
+are not, and a task farm that applies the first result it receives
+will assemble a corrupted answer without ever noticing.  Volunteer
+computing systems (Folding@Home, BOINC-style projects) treat donor
+output as untrusted and verify it by redundant computation; this
+module brings the same defence to the task farm:
+
+* :class:`IntegrityPolicy` — how many independent donors must compute
+  a unit (``replication``), how many matching results accept it
+  (``quorum``), and what fraction of ordinary units get a surprise
+  second opinion (``spot_check_rate``, escalating for donors with a
+  disagreement history).
+* :class:`ReputationLedger` — per-donor counts of agreements,
+  disagreements, lease expiries and reported failures, folded into a
+  suspicion score with quarantine/blacklist thresholds.  Quarantined
+  donors receive no work and their results are refused.
+* :func:`canonical_digest` — the canonical fingerprint used to compare
+  results from independent donors without structural diffing.
+
+The server (:mod:`repro.core.server`) threads these pieces through
+``request_work``/``submit_result``; the ledger is persisted in the
+checkpoint so a restarted server does not forget who lied to it.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import io
+import pickle
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.workunit import WorkResult
+from repro.util.rng import stable_coin
+
+
+def canonical_digest(value: Any) -> bytes:
+    """A 16-byte fingerprint of a result value for vote comparison.
+
+    Digests are always computed *server-side* on the received object,
+    so two honest donors producing equal values yield equal digests
+    regardless of how the values travelled.  Pickle memoization is
+    disabled (``fast``): the memo encodes object-identity *sharing*
+    — a result graph that reuses one ``'q0'`` string object pickles
+    differently from an equal graph with two copies — and identity is
+    an artefact of the code path, not of the value being voted on.
+    Without the memo, equal acyclic values always yield equal digests.
+    Values should avoid ``set``s (whose iteration order is not
+    canonical) and cycles (unpicklable without the memo); every
+    framework and application result type here is built from ints,
+    floats, strings, lists, dicts and dataclasses.
+    """
+    try:
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        pickler.fast = True  # no memo: identical values, identical bytes
+        pickler.dump(value)
+        payload = buffer.getvalue()
+    except Exception:
+        payload = repr(value).encode("utf-8", "replace")
+    return hashlib.blake2b(payload, digest_size=16).digest()
+
+
+@dataclass(slots=True)
+class Vote:
+    """One donor's answer for a unit, awaiting quorum."""
+
+    donor_id: str
+    digest: bytes
+    result: WorkResult
+
+
+class ReputationState(enum.Enum):
+    TRUSTED = "trusted"
+    SUSPECT = "suspect"          # has at least one disagreement on record
+    QUARANTINED = "quarantined"  # gets no work; results refused
+    BLACKLISTED = "blacklisted"  # quarantined, permanently
+
+
+@dataclass(frozen=True)
+class IntegrityPolicy:
+    """Configuration of the replication / spot-check / quorum defence.
+
+    The default policy is *inactive*: ``replication=1`` and
+    ``spot_check_rate=0`` reproduce the historical first-result-wins
+    behaviour exactly, with zero overhead on the accept path.
+
+    Parameters
+    ----------
+    replication:
+        Independent donors every unit is issued to.  ``2`` doubles the
+        work but catches any single byzantine donor.
+    quorum:
+        Matching digests needed to accept a replicated unit (capped at
+        the number of votes the unit requires).
+    spot_check_rate:
+        Probability (deterministic per unit, derived from ``seed``)
+        that a non-replicated unit is nevertheless issued to a second
+        donor for verification.
+    suspect_escalation:
+        Extra spot-check probability per recorded disagreement of the
+        donor a unit is first issued to — low-reputation donors get
+        audited more.
+    quarantine_after / blacklist_after:
+        Suspicion scores at which a donor stops receiving work
+        (quarantine) and is permanently branded (blacklist).
+    failure_weight / expiry_weight:
+        How much reported Algorithm failures and lease expiries
+        contribute to suspicion next to disagreements (weight 1.0).
+    max_votes:
+        Votes gathered for one unit before the server gives up and
+        fails the problem (protects against a value that genuinely
+        differs on every machine — a user-code determinism bug).
+    seed:
+        Root of the deterministic spot-check coin, so a restarted or
+        simulated server makes identical choices.
+    """
+
+    replication: int = 1
+    quorum: int = 2
+    spot_check_rate: float = 0.0
+    suspect_escalation: float = 0.5
+    quarantine_after: float = 3.0
+    blacklist_after: float = 10.0
+    failure_weight: float = 0.25
+    expiry_weight: float = 0.1
+    max_votes: int = 9
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if self.quorum < 2:
+            raise ValueError("quorum must be >= 2 (1 would accept anything)")
+        if not (0.0 <= self.spot_check_rate <= 1.0):
+            raise ValueError("spot_check_rate must be in [0, 1]")
+        if self.suspect_escalation < 0:
+            raise ValueError("suspect_escalation cannot be negative")
+        if self.quarantine_after <= 0 or self.blacklist_after < self.quarantine_after:
+            raise ValueError(
+                "need 0 < quarantine_after <= blacklist_after"
+            )
+        if self.max_votes < self.replication:
+            raise ValueError("max_votes must be >= replication")
+
+    @property
+    def active(self) -> bool:
+        """Is the integrity layer switched on at all?
+
+        Only an explicit ``replication > 1`` or a nonzero base
+        ``spot_check_rate`` activates it; ``suspect_escalation`` alone
+        does not (it scales an active spot-check policy, it cannot
+        start one).  An inactive policy leaves the server's behaviour
+        and accounting byte-for-byte identical to the pre-integrity
+        farm.
+        """
+        return self.replication > 1 or self.spot_check_rate > 0
+
+    def spot_coin(self, problem_id: int, unit_id: int) -> float:
+        """Deterministic uniform [0, 1) coin for one unit's spot check."""
+        return stable_coin(self.seed, "spot", problem_id, unit_id)
+
+    def required_votes(
+        self, problem_id: int, unit_id: int, donor_suspicion: float = 0.0
+    ) -> int:
+        """How many independent votes this unit needs before acceptance.
+
+        Called once, when the unit is first issued; *donor_suspicion*
+        is the issuing donor's current suspicion score, which escalates
+        the spot-check rate for donors with a disagreement history.
+        """
+        if self.replication > 1:
+            return self.replication
+        rate = self.spot_check_rate + donor_suspicion * self.suspect_escalation
+        if rate > 0 and self.spot_coin(problem_id, unit_id) < min(1.0, rate):
+            return 2
+        return 1
+
+
+@dataclass(slots=True)
+class DonorReputation:
+    """What the ledger remembers about one donor."""
+
+    donor_id: str
+    agreements: int = 0
+    disagreements: int = 0
+    expiries: int = 0
+    failures: int = 0
+    state: ReputationState = ReputationState.TRUSTED
+
+    def suspicion(self, policy: IntegrityPolicy) -> float:
+        return (
+            self.disagreements
+            + self.failures * policy.failure_weight
+            + self.expiries * policy.expiry_weight
+        )
+
+    @property
+    def distrusted(self) -> bool:
+        return self.state in (
+            ReputationState.QUARANTINED,
+            ReputationState.BLACKLISTED,
+        )
+
+
+class ReputationLedger:
+    """Per-donor reputation accounting with quarantine transitions."""
+
+    def __init__(self) -> None:
+        self._donors: dict[str, DonorReputation] = {}
+
+    def __len__(self) -> int:
+        return len(self._donors)
+
+    def get(self, donor_id: str) -> DonorReputation | None:
+        return self._donors.get(donor_id)
+
+    def record(self, donor_id: str) -> DonorReputation:
+        rep = self._donors.get(donor_id)
+        if rep is None:
+            rep = DonorReputation(donor_id)
+            self._donors[donor_id] = rep
+        return rep
+
+    def suspicion(self, donor_id: str, policy: IntegrityPolicy) -> float:
+        rep = self._donors.get(donor_id)
+        return rep.suspicion(policy) if rep else 0.0
+
+    def distrusted(self, donor_id: str) -> bool:
+        rep = self._donors.get(donor_id)
+        return rep.distrusted if rep else False
+
+    def update_state(
+        self, donor_id: str, policy: IntegrityPolicy
+    ) -> ReputationState | None:
+        """Re-evaluate a donor's state; returns the new state if it
+        changed (transitions are monotone — trust is never restored
+        within one server lifetime)."""
+        rep = self.record(donor_id)
+        score = rep.suspicion(policy)
+        target = rep.state
+        if score >= policy.blacklist_after:
+            target = ReputationState.BLACKLISTED
+        elif score >= policy.quarantine_after:
+            target = ReputationState.QUARANTINED
+        elif rep.disagreements > 0:
+            target = ReputationState.SUSPECT
+        order = list(ReputationState)
+        if order.index(target) > order.index(rep.state):
+            rep.state = target
+            return target
+        return None
+
+    def quarantined_ids(self) -> list[str]:
+        return sorted(
+            d for d, rep in self._donors.items() if rep.distrusted
+        )
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-able view for status reporting."""
+        return {
+            donor_id: {
+                "agreements": rep.agreements,
+                "disagreements": rep.disagreements,
+                "expiries": rep.expiries,
+                "failures": rep.failures,
+                "state": rep.state.value,
+            }
+            for donor_id, rep in sorted(self._donors.items())
+        }
+
+    # -- checkpoint support -------------------------------------------------
+
+    def dump(self) -> dict[str, DonorReputation]:
+        return dict(self._donors)
+
+    def restore(self, donors: dict[str, DonorReputation]) -> None:
+        self._donors.update(donors)
+
+
+@dataclass(slots=True)
+class _UnitIntegrity:
+    """Per-unit voting state held by the server's problem bookkeeping."""
+
+    required: int = 1
+    votes: list[Vote] = field(default_factory=list)
+
+    def voters(self) -> set[str]:
+        return {v.donor_id for v in self.votes}
+
+    def tally(self) -> tuple[bytes, int] | None:
+        """The leading digest and its count (None with no votes)."""
+        if not self.votes:
+            return None
+        counts: dict[bytes, int] = {}
+        for vote in self.votes:
+            counts[vote.digest] = counts.get(vote.digest, 0) + 1
+        digest = max(counts, key=lambda d: (counts[d], d))
+        return digest, counts[digest]

@@ -22,6 +22,14 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.faults import LeaseTable
+from repro.core.integrity import (
+    IntegrityPolicy,
+    ReputationLedger,
+    ReputationState,
+    Vote,
+    _UnitIntegrity,
+    canonical_digest,
+)
 from repro.core.problem import Algorithm, Problem
 from repro.core.scheduler import (
     AdaptiveGranularity,
@@ -63,6 +71,8 @@ class _ProblemState:
         "submitted_at",
         "completed_at",
         "requeue",
+        "replicas",
+        "voting",
         "next_unit_id",
         "units_issued",
         "units_completed",
@@ -76,6 +86,12 @@ class _ProblemState:
         self.submitted_at = now
         self.completed_at: float | None = None
         self.requeue: deque[WorkUnit] = deque()
+        # Redundant copies awaiting a verifying donor (integrity layer);
+        # kept apart from ``requeue`` so recovery work (lost units) is
+        # always served before extra verification work.
+        self.replicas: deque[WorkUnit] = deque()
+        # unit_id -> voting state for units needing >1 matching result.
+        self.voting: dict[int, _UnitIntegrity] = {}
         self.next_unit_id = 0
         self.units_issued = 0
         self.units_completed = 0
@@ -111,6 +127,7 @@ class TaskFarmServer:
         log: EventLog | None = None,
         max_unit_attempts: int = 5,
         obs: Observability | None = None,
+        integrity: IntegrityPolicy | None = None,
     ):
         if max_unit_attempts < 1:
             raise ValueError("max_unit_attempts must be >= 1")
@@ -119,6 +136,8 @@ class TaskFarmServer:
         self.log = log or EventLog()
         self.max_unit_attempts = max_unit_attempts
         self.obs = obs or Observability()
+        self.integrity = integrity or IntegrityPolicy()
+        self.reputation = ReputationLedger()
         self._problems: dict[int, _ProblemState] = {}
         self._donors: dict[str, DonorState] = {}
         self._rr = ProblemRoundRobin()
@@ -144,6 +163,14 @@ class TaskFarmServer:
         self._g_problems_running = meters.gauge("farm.problems.running")
         self._h_unit_seconds = meters.histogram("farm.unit.seconds", LATENCY_BUCKETS)
         self._h_unit_items = meters.histogram("farm.unit.items", ITEMS_BUCKETS)
+        self._m_redundant_units = meters.counter("farm.integrity.redundant_units")
+        self._m_redundant_items = meters.counter("farm.integrity.redundant_items")
+        self._m_agreements = meters.counter("farm.integrity.agreements")
+        self._m_disagreements = meters.counter("farm.integrity.disagreements")
+        self._m_spot_checks = meters.counter("farm.integrity.spot_checks")
+        self._m_untrusted = meters.counter("farm.integrity.untrusted")
+        self._m_quarantines = meters.counter("farm.integrity.quarantines")
+        self._g_quarantined = meters.gauge("farm.integrity.quarantined")
 
     def _sync_donor_gauges(self) -> None:
         self._g_donors.set(len(self._donors))
@@ -225,7 +252,7 @@ class TaskFarmServer:
         if donor is None:
             return
         for lease in self.leases.revoke_donor(donor_id):
-            self._requeue_unit(lease.unit, now, reason="donor-left")
+            self._recover_unit(lease.unit, now, reason="donor-left")
         self.log.record(now, "donor.deregistered", donor_id=donor_id)
         self._sync_donor_gauges()
 
@@ -238,7 +265,7 @@ class TaskFarmServer:
         if donor.active_unit is not None:
             # active_unit stores (problem_id, unit_id) packed as a tuple.
             pid, uid = donor.active_unit  # type: ignore[misc]
-            self.leases.renew(pid, uid, now)
+            self.leases.renew(pid, uid, now, donor_id=donor_id)
 
     def donor_ids(self) -> list[str]:
         return sorted(self._donors)
@@ -261,6 +288,8 @@ class TaskFarmServer:
         if donor is None:
             raise KeyError(f"unregistered donor {donor_id!r}")
         donor.last_seen = now
+        if self.integrity.active and self.reputation.distrusted(donor_id):
+            return None  # quarantined donors get no work
 
         candidates = [
             (pid, self._problems[pid].problem.priority)
@@ -271,6 +300,28 @@ class TaskFarmServer:
             unit = self._take_unit(state, donor)
             if unit is None:
                 continue
+            if (
+                self.integrity.active
+                and unit.attempts == 0
+                and unit.unit_id not in state.voting
+            ):
+                required = self.integrity.required_votes(
+                    pid,
+                    unit.unit_id,
+                    self.reputation.suspicion(donor_id, self.integrity),
+                )
+                if required > 1:
+                    state.voting[unit.unit_id] = _UnitIntegrity(required=required)
+                    if self.integrity.replication == 1:
+                        self._m_spot_checks.inc()
+            # An issue is redundant when the unit already has a live
+            # lease or a recorded vote — work beyond 1x replication.
+            voting = state.voting.get(unit.unit_id)
+            if len(self.leases.holders(pid, unit.unit_id)) + (
+                len(voting.votes) if voting else 0
+            ) > 0:
+                self._m_redundant_units.inc()
+                self._m_redundant_items.inc(unit.items)
             unit.status = UnitStatus.ISSUED
             unit.attempts += 1
             lease = self.leases.grant(unit, donor_id, now)
@@ -291,16 +342,19 @@ class TaskFarmServer:
             self._m_bytes_in.inc(unit.input_bytes)
             self._h_unit_items.observe(unit.items)
             self._sync_donor_gauges()
-            self._unit_spans[(pid, unit.unit_id)] = self.obs.tracer.start(
-                "unit",
-                now,
-                parent=self._problem_spans.get(pid),
-                problem_id=pid,
-                unit_id=unit.unit_id,
-                donor_id=donor_id,
-                items=unit.items,
-                attempt=unit.attempts,
-            )
+            if voting is not None:
+                self._ensure_vote_supply(state, unit, now, reason="replication")
+            if (pid, unit.unit_id) not in self._unit_spans:
+                self._unit_spans[(pid, unit.unit_id)] = self.obs.tracer.start(
+                    "unit",
+                    now,
+                    parent=self._problem_spans.get(pid),
+                    problem_id=pid,
+                    unit_id=unit.unit_id,
+                    donor_id=donor_id,
+                    items=unit.items,
+                    attempt=unit.attempts,
+                )
             return Assignment(
                 problem_id=pid,
                 unit_id=unit.unit_id,
@@ -312,9 +366,25 @@ class TaskFarmServer:
             )
         return None
 
+    def _eligible(self, state: _ProblemState, unit_id: int, donor_id: str) -> bool:
+        """May *donor_id* be issued (a copy of) this unit?
+
+        A donor never sees the same unit twice: not while it holds a
+        live lease on it, and not after it has voted on it — replicas
+        must come from *independent* donors or quorum proves nothing.
+        """
+        pid = state.problem.problem_id
+        if donor_id in self.leases.holders(pid, unit_id):
+            return False
+        voting = state.voting.get(unit_id)
+        return voting is None or donor_id not in voting.voters()
+
     def _take_unit(self, state: _ProblemState, donor: DonorState) -> WorkUnit | None:
-        if state.requeue:
-            return state.requeue.popleft()
+        for queue in (state.requeue, state.replicas):
+            for idx, unit in enumerate(queue):
+                if self._eligible(state, unit.unit_id, donor.donor_id):
+                    del queue[idx]
+                    return unit
         max_items = self.policy.items_for(donor, state.problem.problem_id)
         payload = state.problem.data_manager.next_unit(max_items)
         if payload is None:
@@ -354,11 +424,33 @@ class TaskFarmServer:
             self._m_units_duplicate.inc()
             return False
 
-        lease = self.leases.release(result.problem_id, result.unit_id)
-        if lease is None:
-            # Lease expired but the unit is waiting in the requeue: the
-            # late result still counts; pull the ghost unit off the queue.
-            self._drop_from_requeue(state, result.unit_id)
+        if self.integrity.active and self.reputation.distrusted(result.donor_id):
+            # A quarantined donor's answer is refused outright — its
+            # leases were revoked at quarantine time, but a result can
+            # still be in flight when the verdict lands.
+            lease = self.leases.release(
+                result.problem_id, result.unit_id, result.donor_id
+            )
+            donor = self._donors.get(result.donor_id)
+            if donor is not None:
+                donor.active_unit = None
+                donor.last_seen = now
+            self.log.record(
+                now,
+                "unit.untrusted",
+                problem_id=result.problem_id,
+                unit_id=result.unit_id,
+                donor_id=result.donor_id,
+            )
+            self._m_untrusted.inc()
+            self._sync_donor_gauges()
+            if lease is not None:
+                self._recover_unit(lease.unit, now, reason="donor-quarantined")
+            return False
+
+        lease = self.leases.release(
+            result.problem_id, result.unit_id, result.donor_id
+        )
 
         donor = self._donors.get(result.donor_id)
         if donor is not None:
@@ -370,6 +462,85 @@ class TaskFarmServer:
             donor.perf_for(result.problem_id).observe(
                 result.items, result.compute_seconds
             )
+
+        voting = state.voting.get(result.unit_id)
+        if voting is None:
+            # First-result-wins: the pre-replication contract, applied
+            # verbatim when the unit needs a single vote.
+            self._accept_result(state, result, now)
+            return True
+
+        if result.donor_id in voting.voters():
+            self.log.record(
+                now,
+                "unit.duplicate",
+                problem_id=result.problem_id,
+                unit_id=result.unit_id,
+                donor_id=result.donor_id,
+            )
+            self._m_units_duplicate.inc()
+            return False
+        digest = canonical_digest(result.value)
+        voting.votes.append(Vote(result.donor_id, digest, result))
+        self.log.record(
+            now,
+            "unit.vote",
+            problem_id=result.problem_id,
+            unit_id=result.unit_id,
+            donor_id=result.donor_id,
+            votes=len(voting.votes),
+            required=voting.required,
+        )
+        self._sync_donor_gauges()
+
+        top_digest, top_count = voting.tally()  # type: ignore[misc]
+        if top_count >= min(voting.required, self.integrity.quorum):
+            winner = next(v for v in voting.votes if v.digest == top_digest)
+            self._settle_votes(state, result.unit_id, voting, top_digest, now)
+            self._accept_result(state, winner.result, now)
+            return True
+
+        if len(voting.votes) >= voting.required:
+            # Every requested vote is in and none agree: someone lied
+            # (or user code is nondeterministic).  Escalate — demand one
+            # more independent opinion — until max_votes gives up.
+            self._m_disagreements.inc()
+            self.log.record(
+                now,
+                "unit.disagreement",
+                problem_id=result.problem_id,
+                unit_id=result.unit_id,
+                votes=len(voting.votes),
+            )
+            if len(voting.votes) >= self.integrity.max_votes:
+                self._fail_problem(
+                    state,
+                    now,
+                    f"unit {result.unit_id}: no quorum after "
+                    f"{len(voting.votes)} votes (nondeterministic or "
+                    f"hostile results)",
+                )
+                return False
+            voting.required = len(voting.votes) + 1
+        unit = lease.unit if lease is not None else self._find_unit(
+            state, result.unit_id
+        )
+        if unit is not None:
+            self._ensure_vote_supply(state, unit, now, reason="await-quorum")
+        return True
+
+    def _accept_result(
+        self, state: _ProblemState, result: WorkResult, now: float
+    ) -> None:
+        """Fold one accepted result into the problem — exactly once.
+
+        Any other in-flight leases or queued copies of the unit are
+        cancelled here; replicas that still arrive later hit the
+        ``completed_units`` duplicate check.
+        """
+        self.leases.release(result.problem_id, result.unit_id)
+        self._drop_queued(state, result.unit_id)
+        state.voting.pop(result.unit_id, None)
 
         unit_span = self._unit_spans.pop(
             (result.problem_id, result.unit_id), None
@@ -409,7 +580,53 @@ class TaskFarmServer:
 
         if state.problem.data_manager.is_complete():
             self._complete_problem(state, now)
-        return True
+
+    def _settle_votes(
+        self,
+        state: _ProblemState,
+        unit_id: int,
+        voting: _UnitIntegrity,
+        winning_digest: bytes,
+        now: float,
+    ) -> None:
+        """Credit/debit every voter's reputation once quorum is reached."""
+        pid = state.problem.problem_id
+        for vote in voting.votes:
+            rep = self.reputation.record(vote.donor_id)
+            if vote.digest == winning_digest:
+                rep.agreements += 1
+                self._m_agreements.inc()
+            else:
+                rep.disagreements += 1
+                self._m_disagreements.inc()
+                self.log.record(
+                    now,
+                    "unit.disagreement",
+                    problem_id=pid,
+                    unit_id=unit_id,
+                    donor_id=vote.donor_id,
+                )
+                self._update_reputation(vote.donor_id, now)
+
+    def _update_reputation(self, donor_id: str, now: float) -> None:
+        """Re-score a donor; on quarantine/blacklist pull its work."""
+        new_state = self.reputation.update_state(donor_id, self.integrity)
+        if new_state not in (
+            ReputationState.QUARANTINED,
+            ReputationState.BLACKLISTED,
+        ):
+            return
+        self.log.record(
+            now, f"donor.{new_state.value}", donor_id=donor_id
+        )
+        self._m_quarantines.inc()
+        self._g_quarantined.set(len(self.reputation.quarantined_ids()))
+        donor = self._donors.get(donor_id)
+        if donor is not None:
+            donor.active_unit = None
+        for lease in self.leases.revoke_donor(donor_id):
+            self._recover_unit(lease.unit, now, reason="donor-quarantined")
+        self._sync_donor_gauges()
 
     def _fold_unit_meters(self, result: WorkResult) -> None:
         """Fold donor-collected per-unit stats into the live counters.
@@ -451,7 +668,7 @@ class TaskFarmServer:
         pool.
         """
         state = self._problems.get(problem_id)
-        lease = self.leases.release(problem_id, unit_id)
+        lease = self.leases.release(problem_id, unit_id, donor_id)
         donor = self._donors.get(donor_id)
         if donor is not None:
             donor.active_unit = None
@@ -472,6 +689,11 @@ class TaskFarmServer:
         )
         self._m_units_failed.inc()
         self._sync_donor_gauges()
+        if self.integrity.active:
+            self.reputation.record(donor_id).failures += 1
+            self._update_reputation(donor_id, now)
+            if state.status is not ProblemStatus.RUNNING:
+                return  # quarantine fallout ended the problem meanwhile
         failed_span = self._unit_spans.pop((problem_id, unit_id), None)
         if failed_span is not None:
             self.obs.tracer.finish(failed_span, now, status="failed", error=error[:100])
@@ -482,7 +704,7 @@ class TaskFarmServer:
                 f"unit {unit_id} failed {unit.attempts} times; last error: {error}",
             )
         else:
-            self._requeue_unit(unit, now, reason="algorithm-error")
+            self._recover_unit(unit, now, reason="algorithm-error")
 
     def failure_reason(self, problem_id: int) -> str | None:
         """Why a FAILED problem failed (None otherwise)."""
@@ -496,6 +718,8 @@ class TaskFarmServer:
             self.leases.release(lease.unit.problem_id, lease.unit.unit_id)
         self._close_unit_spans(state.problem.problem_id, now, "cancelled")
         state.requeue.clear()
+        state.replicas.clear()
+        state.voting.clear()
         self.log.record(
             now,
             "problem.failed",
@@ -519,7 +743,10 @@ class TaskFarmServer:
                 lease.unit.unit_id,
             ):
                 donor.active_unit = None
-            self._requeue_unit(lease.unit, now, reason="lease-expired")
+            if self.integrity.active:
+                self.reputation.record(lease.donor_id).expiries += 1
+                self._update_reputation(lease.donor_id, now)
+            self._recover_unit(lease.unit, now, reason="lease-expired")
         if expired:
             self._m_leases_expired.inc(len(expired))
             self._sync_donor_gauges()
@@ -555,11 +782,90 @@ class TaskFarmServer:
             self.obs.tracer.finish(self._unit_spans.pop(key), now, status=status)
 
     @staticmethod
-    def _drop_from_requeue(state: _ProblemState, unit_id: int) -> None:
-        for queued in state.requeue:
-            if queued.unit_id == unit_id:
-                state.requeue.remove(queued)
-                return
+    def _drop_queued(state: _ProblemState, unit_id: int) -> None:
+        """Purge every queued copy of a unit from both queues."""
+        for queue in (state.requeue, state.replicas):
+            for queued in [u for u in queue if u.unit_id == unit_id]:
+                queue.remove(queued)
+
+    @staticmethod
+    def _queued_copies(state: _ProblemState, unit_id: int) -> int:
+        return sum(
+            1
+            for queue in (state.requeue, state.replicas)
+            for u in queue
+            if u.unit_id == unit_id
+        )
+
+    def _find_unit(self, state: _ProblemState, unit_id: int) -> WorkUnit | None:
+        """Locate a live WorkUnit object for *unit_id* (queued or leased)."""
+        for queue in (state.requeue, state.replicas):
+            for unit in queue:
+                if unit.unit_id == unit_id:
+                    return unit
+        lease = self.leases.any_lease(state.problem.problem_id, unit_id)
+        return lease.unit if lease is not None else None
+
+    def _recover_unit(self, unit: WorkUnit, now: float, reason: str) -> None:
+        """A copy of *unit* was lost (expiry/churn/quarantine): restore
+        exactly as much supply as its vote requirement still needs."""
+        state = self._problems.get(unit.problem_id)
+        if state is None or state.status is not ProblemStatus.RUNNING:
+            return
+        if unit.unit_id in state.completed_units:
+            return
+        if unit.unit_id in state.voting:
+            self._ensure_vote_supply(state, unit, now, reason)
+        else:
+            self._requeue_unit(unit, now, reason)
+
+    def _ensure_vote_supply(
+        self, state: _ProblemState, unit: WorkUnit, now: float, reason: str
+    ) -> None:
+        """Balance queued copies so votes + leases + queue == required.
+
+        A deficit queues more copies (the first through the recovery
+        requeue when the unit has no live supply at all, the rest as
+        replicas); a surplus — e.g. a late vote landing after its
+        expired copy was requeued — trims queued copies back.
+        """
+        voting = state.voting.get(unit.unit_id)
+        if voting is None:
+            return
+        pid = state.problem.problem_id
+        live = len(self.leases.holders(pid, unit.unit_id))
+        votes = len(voting.votes)
+        queued = self._queued_copies(state, unit.unit_id)
+        deficit = voting.required - votes - live - queued
+        while deficit < 0 and queued > 0:
+            # Prefer trimming verification copies over recovery copies.
+            trimmed = False
+            for queue in (state.replicas, state.requeue):
+                for candidate in queue:
+                    if candidate.unit_id == unit.unit_id:
+                        queue.remove(candidate)
+                        deficit += 1
+                        queued -= 1
+                        trimmed = True
+                        break
+                if trimmed:
+                    break
+            if not trimmed:  # pragma: no cover - queued>0 guarantees a hit
+                break
+        for i in range(max(0, deficit)):
+            if live + votes + queued == 0 and i == 0:
+                # The unit vanished entirely: this is recovery, which
+                # keeps the historical requeue path (and its events).
+                self._requeue_unit(unit, now, reason)
+            else:
+                state.replicas.append(unit)
+                self.log.record(
+                    now,
+                    "unit.replica",
+                    problem_id=pid,
+                    unit_id=unit.unit_id,
+                    reason=reason,
+                )
 
     def _complete_problem(self, state: _ProblemState, now: float) -> None:
         state.status = ProblemStatus.COMPLETE
@@ -569,6 +875,8 @@ class TaskFarmServer:
             self.leases.release(lease.unit.problem_id, lease.unit.unit_id)
         self._close_unit_spans(state.problem.problem_id, now, "cancelled")
         state.requeue.clear()
+        state.replicas.clear()
+        state.voting.clear()
         self.log.record(
             now,
             "problem.completed",

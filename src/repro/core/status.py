@@ -146,7 +146,8 @@ def snapshot_dict(server: TaskFarmServer, now: float) -> dict:
     what the benchmarks dump alongside their reports.
     """
     status = snapshot(server, now)
-    return {
+    reputations = server.reputation.snapshot()
+    out: dict = {
         "time": status.time,
         "problems": [
             {
@@ -179,3 +180,14 @@ def snapshot_dict(server: TaskFarmServer, now: float) -> dict:
             "finished_spans": server.obs.tracer.finished_count,
         },
     }
+    if reputations or server.integrity.active:
+        out["integrity"] = {
+            "policy": {
+                "replication": server.integrity.replication,
+                "quorum": server.integrity.quorum,
+                "spot_check_rate": server.integrity.spot_check_rate,
+            },
+            "reputations": reputations,
+            "quarantined": server.reputation.quarantined_ids(),
+        }
+    return out

@@ -3,39 +3,64 @@
 The paper: "Data files, which may be large, are transmitted using
 ordinary sockets, which is more efficient than RMI."  The RMI call path
 must buffer the whole payload to pickle it into one frame; this channel
-instead streams fixed-size chunks straight from/to a byte buffer with an
-adler32 checksum trailer, so large transfers cost O(chunk) memory and
-skip the serialization envelope.
+instead streams fixed-size chunks straight from/to a byte buffer, so
+large transfers cost O(chunk) memory and skip the serialization
+envelope.
+
+Integrity: the header carries a 16-byte blake2b digest of the payload
+(computed by the *sender* before any bytes touch the wire) and the
+stream ends with a fast adler32 trailer.  Corrupted-on-the-wire data
+therefore fails loudly at the receiver with a
+:class:`~repro.rmi.errors.ChecksumError` instead of poisoning a
+DataManager — and, because the digest covers what the sender actually
+computed, a wire fault is distinguishable from a byzantine donor (which
+signs its lie correctly) in the server's reputation ledger.
 
 Protocol (client → server request, then one transfer either direction)::
 
     request  = frame{"op": "get"|"put", "key": str, ["size": int]}
-    transfer = 8-byte big-endian size, raw bytes, 4-byte adler32
+    transfer = 8-byte big-endian size, 16-byte blake2b digest,
+               raw bytes, 4-byte adler32
     reply    = frame{"ok": bool, ["error": str]}
 """
 
 from __future__ import annotations
 
+import hashlib
 import socket
 import struct
 import threading
 import zlib
 
 from repro.obs.meters import BYTES_BUCKETS, MeterRegistry
-from repro.rmi.errors import ProtocolError, RMIError
+from repro.rmi.errors import ChecksumError, ProtocolError, RMIError
 from repro.rmi.transport import FrameSocket, TransportServer, _recv_exact
 
 CHUNK_SIZE = 1 << 16
+DIGEST_SIZE = 16
 _SIZE = struct.Struct(">Q")
 _SUM = struct.Struct(">I")
 
 
-def _send_stream(sock: socket.socket, data: bytes) -> None:
+def _payload_digest(data: bytes) -> bytes:
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE).digest()
+
+
+def _send_stream(sock: socket.socket, data: bytes, chaos=None) -> None:
+    """Stream *data* with its integrity digest.
+
+    *chaos* (a :class:`~repro.cluster.sim.chaos.WireChaos`) damages
+    chunks **after** the digest is computed — simulating corruption in
+    transit, which the receiver must catch.
+    """
     sock.sendall(_SIZE.pack(len(data)))
+    sock.sendall(_payload_digest(data))
     checksum = zlib.adler32(b"")
     view = memoryview(data)
     for start in range(0, len(view), CHUNK_SIZE):
-        chunk = view[start : start + CHUNK_SIZE]
+        chunk = bytes(view[start : start + CHUNK_SIZE])
+        if chaos is not None:
+            chunk = chaos.mangle(chunk)
         checksum = zlib.adler32(chunk, checksum)
         sock.sendall(chunk)
     sock.sendall(_SUM.pack(checksum & 0xFFFFFFFF))
@@ -43,6 +68,7 @@ def _send_stream(sock: socket.socket, data: bytes) -> None:
 
 def _recv_stream(sock: socket.socket) -> bytes:
     (size,) = _SIZE.unpack(_recv_exact(sock, _SIZE.size))
+    expected_digest = _recv_exact(sock, DIGEST_SIZE)
     checksum = zlib.adler32(b"")
     chunks: list[bytes] = []
     remaining = size
@@ -54,9 +80,12 @@ def _recv_stream(sock: socket.socket) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     (expected,) = _SUM.unpack(_recv_exact(sock, _SUM.size))
-    if (checksum & 0xFFFFFFFF) != expected:
-        raise ProtocolError("checksum mismatch on bulk transfer")
-    return b"".join(chunks)
+    data = b"".join(chunks)
+    if (checksum & 0xFFFFFFFF) != expected or _payload_digest(data) != (
+        expected_digest
+    ):
+        raise ChecksumError("checksum mismatch on bulk transfer")
+    return data
 
 
 class DataChannelServer:
@@ -119,7 +148,16 @@ class DataChannelServer:
                 self._meter_transfer("out", len(data))
             elif op == "put":
                 fsock.send_obj({"ok": True})
-                data = _recv_stream(fsock.raw)
+                try:
+                    data = _recv_stream(fsock.raw)
+                except ChecksumError as exc:
+                    # The stream was fully consumed before verification,
+                    # so the connection is still usable: refuse the blob
+                    # loudly and keep serving.
+                    if self.meters is not None:
+                        self.meters.counter("data.checksum.failures").inc()
+                    fsock.send_obj({"ok": False, "error": f"checksum: {exc}"})
+                    continue
                 with self._lock:
                     self._blobs[key] = data
                 fsock.send_obj({"ok": True, "size": len(data)})
@@ -138,7 +176,11 @@ class DataChannelServer:
 
 
 def fetch_data(host: str, port: int, key: str) -> bytes:
-    """Download one blob from a :class:`DataChannelServer`."""
+    """Download one blob from a :class:`DataChannelServer`.
+
+    Raises :class:`~repro.rmi.errors.ChecksumError` when the payload
+    was damaged in transit.
+    """
     with FrameSocket(socket.create_connection((host, port))) as fsock:
         fsock.send_obj({"op": "get", "key": key})
         reply = fsock.recv_obj()
@@ -147,14 +189,24 @@ def fetch_data(host: str, port: int, key: str) -> bytes:
         return _recv_stream(fsock.raw)
 
 
-def push_data(host: str, port: int, key: str, data: bytes) -> None:
-    """Upload one blob to a :class:`DataChannelServer`."""
+def push_data(host: str, port: int, key: str, data: bytes, chaos=None) -> None:
+    """Upload one blob to a :class:`DataChannelServer`.
+
+    *chaos* (tests only) injects wire damage after digest computation;
+    the server then refuses the blob and this raises
+    :class:`~repro.rmi.errors.ChecksumError`.
+    """
     with FrameSocket(socket.create_connection((host, port))) as fsock:
         fsock.send_obj({"op": "put", "key": key})
         reply = fsock.recv_obj()
         if not reply.get("ok"):
             raise RMIError(reply.get("error", "push refused"))
-        _send_stream(fsock.raw, data)
+        _send_stream(fsock.raw, data, chaos=chaos)
         reply = fsock.recv_obj()
-        if not reply.get("ok") or reply.get("size") != len(data):
+        if not reply.get("ok"):
+            error = reply.get("error", "push refused")
+            if "checksum" in str(error):
+                raise ChecksumError(error)
+            raise RMIError(error)
+        if reply.get("size") != len(data):
             raise RMIError("push not acknowledged")

@@ -15,6 +15,15 @@ class ProtocolError(RMIError):
     """A frame violated the wire protocol (bad magic, length, type)."""
 
 
+class ChecksumError(ProtocolError):
+    """Bulk-transfer payload failed its integrity digest.
+
+    Distinct from a byzantine donor: the *donor* computed honestly and
+    the bytes were damaged in transit, so the receiver must discard the
+    transfer and retry rather than debit anyone's reputation.
+    """
+
+
 class SerializationError(RMIError):
     """An object could not be pickled or unpickled."""
 

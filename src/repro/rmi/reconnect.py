@@ -15,6 +15,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.rmi.errors import ConnectionClosed, RMIError
 from repro.rmi.proxy import RemoteProxy, connect
 
@@ -34,10 +36,18 @@ class ReconnectingPort:
         Redials per call before giving up (the donor then exits and a
         service manager may restart it).
     base_backoff, max_backoff:
-        Exponential backoff bounds between redial attempts.
+        Exponential backoff bounds between redial attempts.  The actual
+        delay uses *full jitter*: uniform over ``[0, cap]`` where the
+        cap doubles per attempt up to ``max_backoff``.  After a server
+        restart every donor loses its connection at the same instant;
+        without jitter they would all redial in lockstep and hammer the
+        recovering server in synchronized waves (a thundering herd).
     on_reconnect:
         Callback invoked with the fresh proxy after each successful
         redial — the donor client uses it to re-register itself.
+    rng:
+        Jitter source; defaults to OS entropy so independent donors
+        desynchronize.  Tests inject a seeded generator.
     """
 
     def __init__(
@@ -50,6 +60,7 @@ class ReconnectingPort:
         max_backoff: float = 30.0,
         on_reconnect: Callable[[RemoteProxy], None] | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        rng: np.random.Generator | None = None,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -61,6 +72,7 @@ class ReconnectingPort:
         self._max_backoff = max_backoff
         self._on_reconnect = on_reconnect
         self._sleep = sleep
+        self._rng = rng if rng is not None else np.random.default_rng()
         self._proxy: RemoteProxy | None = None
         self.reconnects = 0
 
@@ -81,8 +93,12 @@ class ReconnectingPort:
                 pass
             self._proxy = None
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """Full-jitter backoff: uniform over [0, min(max, base * 2^n)]."""
+        cap = min(self._max_backoff, self._base_backoff * (2.0**attempt))
+        return float(self._rng.uniform(0.0, cap))
+
     def _call(self, method: str, *args: Any, **kwargs: Any) -> Any:
-        backoff = self._base_backoff
         last_error: Exception | None = None
         for attempt in range(self._max_attempts):
             try:
@@ -92,8 +108,7 @@ class ReconnectingPort:
                 last_error = exc
                 self._drop_proxy()
                 if attempt + 1 < self._max_attempts:
-                    self._sleep(backoff)
-                    backoff = min(self._max_backoff, backoff * 2)
+                    self._sleep(self._backoff_delay(attempt))
                     self.reconnects += 1
         raise RMIError(
             f"gave up on {method!r} after {self._max_attempts} attempts"

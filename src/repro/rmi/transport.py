@@ -34,13 +34,23 @@ class FrameSocket:
     When *meters* is supplied, frame and byte counts are streamed into
     it (``rmi.frames.*`` / ``rmi.bytes.*``) so the status CLI can show
     control-plane traffic live.
+
+    *chaos* (a :class:`~repro.cluster.sim.chaos.WireChaos`, tests only)
+    lets the chaos harness damage or delay outgoing frames to prove the
+    receiving side fails loudly rather than deserializing garbage.
     """
 
-    def __init__(self, sock: socket.socket, meters: MeterRegistry | None = None):
+    def __init__(
+        self,
+        sock: socket.socket,
+        meters: MeterRegistry | None = None,
+        chaos=None,
+    ):
         self._sock = sock
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         self.meters = meters
+        self.chaos = chaos
         # Control-plane messages are small and latency-sensitive.
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -54,6 +64,9 @@ class FrameSocket:
     def send_obj(self, obj: Any) -> int:
         """Serialize and send one object; returns bytes written."""
         frame = serialize.dumps(obj)
+        if self.chaos is not None:
+            self.chaos.maybe_delay()
+            frame = self.chaos.mangle(frame)
         with self._send_lock:
             self._sock.sendall(frame)
         if self.meters is not None:

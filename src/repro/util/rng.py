@@ -25,6 +25,25 @@ def stable_seed(*parts: object) -> int:
     return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
 
 
+_M64 = (1 << 64) - 1
+
+
+def stable_coin(*parts: object) -> float:
+    """A deterministic uniform [0, 1) coin named by arbitrary labels.
+
+    CRC32 (:func:`stable_seed`) is linear, so near-identical labels —
+    ``"pc-000"`` vs ``"pc-001"`` — produce *correlated* values; used
+    raw as a coin it badly skews per-entity Bernoulli draws.  The
+    finalizer here (splitmix64) decorrelates them while staying pure
+    integer math: same labels, same coin, any process.
+    """
+    x = stable_seed(*parts)
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return (x ^ (x >> 31)) / 2.0**64
+
+
 def spawn_rng(seed_or_rng: int | np.random.Generator, *parts: object) -> np.random.Generator:
     """Create an independent child generator named by *parts*.
 

@@ -1,0 +1,310 @@
+"""The deterministic chaos harness.
+
+The headline property: for any seeded fault schedule (donor crashes,
+byzantine corruption, dropped / duplicated / delayed results, one
+mid-run server restart), every problem completes and the assembled
+result is **bit-identical** to the fault-free run — for both target
+applications.  Plus the byte-level wire chaos: corrupted RMI frames
+and datachannel streams must fail loudly without killing the server.
+"""
+
+import os
+import socket
+
+import numpy as np
+import pytest
+
+from repro.apps.dprml import DPRmlConfig
+from repro.apps.dprml import build_problem as build_dprml_problem
+from repro.apps.dsearch import DSearchConfig
+from repro.apps.dsearch import build_problem as build_dsearch_problem
+from repro.bio.phylo.models import JC69
+from repro.bio.phylo.simulate import random_yule_tree, simulate_alignment
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import random_sequence, seeded_database
+from repro.cluster.sim import FaultPlan, SimCluster, WireChaos, heterogeneous_pool
+from repro.core.integrity import IntegrityPolicy, canonical_digest
+from repro.core.scheduler import FixedGranularity
+from repro.rmi import serialize
+from repro.rmi.datachannel import DataChannelServer, fetch_data, push_data
+from repro.rmi.errors import ChecksumError, ConnectionClosed, RMIError
+from repro.rmi.reconnect import ReconnectingPort
+from repro.rmi.transport import FrameSocket, TransportServer, dial
+from repro.obs.meters import MeterRegistry
+from repro.util.rng import spawn_rng
+
+#: The chaos-smoke seed set.  CI adds one rolling seed from the run
+#: number (see .github/workflows/ci.yml) so the schedule space keeps
+#: getting explored; the failing seed is in the test id, so a red run
+#: is replayable verbatim.
+CHAOS_SEEDS = [11, 23, 37, 59, 83]
+_extra = os.environ.get("CHAOS_EXTRA_SEED")
+if _extra and _extra.isdigit():
+    CHAOS_SEEDS.append(int(_extra))
+
+
+def chaos_plan(seed: int, restart_at: float | None) -> FaultPlan:
+    """Every fault type at once, scheduled by *seed*."""
+    return FaultPlan(
+        seed=seed,
+        crash_rate=0.15,
+        crash_downtime=40.0,
+        byzantine_fraction=0.3,
+        corrupt_rate=0.7,
+        drop_rate=0.1,
+        dup_rate=0.15,
+        delay_rate=0.2,
+        max_delay=90.0,  # beyond the lease timeout: late-result paths
+        server_restart_at=restart_at,
+    )
+
+
+def run_sim(build_problem, chaos=None, integrity=None):
+    cluster = SimCluster(
+        heterogeneous_pool(6, seed=2),
+        policy=FixedGranularity(4),
+        lease_timeout=60.0,
+        seed=5,
+        integrity=integrity,
+        chaos=chaos,
+        max_unit_attempts=10,
+    )
+    pid = cluster.submit(build_problem())
+    report = cluster.run()
+    return cluster, pid, report
+
+
+@pytest.fixture(scope="module")
+def dsearch_factory():
+    rng = np.random.default_rng(7)
+    query = random_sequence("q0", 60, DNA, rng)
+    database, _ = seeded_database(
+        query, decoy_count=14, homolog_count=2, seed=11, substitution_rate=0.1
+    )
+
+    def build():
+        return build_dsearch_problem(
+            database, [query], DSearchConfig(top_hits=4)
+        )
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def dprml_factory():
+    true = random_yule_tree(6, seed=33, mean_branch=0.2)
+    alignment = simulate_alignment(true, JC69(), 200, seed=34)
+
+    def build():
+        return build_dprml_problem(alignment, DPRmlConfig(model="jc69"))
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def dsearch_baseline(dsearch_factory):
+    """Fault-free digest + a restart time inside the chaos run."""
+    _cluster, pid, report = run_sim(dsearch_factory)
+    assert report.completed
+    return canonical_digest(report.results[pid]), report.sim_time * 0.4
+
+
+@pytest.fixture(scope="module")
+def dprml_baseline(dprml_factory):
+    _cluster, pid, report = run_sim(dprml_factory)
+    assert report.completed
+    return canonical_digest(report.results[pid]), report.sim_time * 0.4
+
+
+class TestChaosProperty:
+    """Completion + bit-identical results under seeded fault schedules."""
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_dsearch_survives_chaos(self, seed, dsearch_factory, dsearch_baseline):
+        baseline_digest, restart_at = dsearch_baseline
+        _cluster, pid, report = run_sim(
+            dsearch_factory,
+            chaos=chaos_plan(seed, restart_at),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.completed, f"chaos seed {seed}: run did not finish"
+        assert pid in report.results, f"chaos seed {seed}: problem failed"
+        assert canonical_digest(report.results[pid]) == baseline_digest, (
+            f"chaos seed {seed}: assembled result diverged from fault-free run"
+        )
+
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_dprml_survives_chaos(self, seed, dprml_factory, dprml_baseline):
+        baseline_digest, restart_at = dprml_baseline
+        _cluster, pid, report = run_sim(
+            dprml_factory,
+            chaos=chaos_plan(seed, restart_at),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.completed, f"chaos seed {seed}: run did not finish"
+        assert pid in report.results, f"chaos seed {seed}: problem failed"
+        assert canonical_digest(report.results[pid]) == baseline_digest, (
+            f"chaos seed {seed}: assembled result diverged from fault-free run"
+        )
+
+    def test_same_seed_replays_identically(self, dsearch_factory, dsearch_baseline):
+        """The determinism contract: one seed, one fault schedule."""
+        _digest, restart_at = dsearch_baseline
+
+        def trace(seed):
+            cluster, _pid, report = run_sim(
+                dsearch_factory,
+                chaos=chaos_plan(seed, restart_at),
+                integrity=IntegrityPolicy(replication=2),
+            )
+            return [
+                (e.time, e.kind, e.data.get("donor_id"), e.data.get("unit_id"))
+                for e in report.log
+            ]
+
+        assert trace(CHAOS_SEEDS[0]) == trace(CHAOS_SEEDS[0])
+        assert trace(CHAOS_SEEDS[0]) != trace(CHAOS_SEEDS[1])
+
+    def test_faults_really_fire(self, dsearch_factory, dsearch_baseline):
+        """Guard against a harness that silently injects nothing."""
+        _digest, restart_at = dsearch_baseline
+        cluster, _pid, report = run_sim(
+            dsearch_factory,
+            chaos=chaos_plan(CHAOS_SEEDS[0], restart_at),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.log.of_kind("server.restarted")
+        counters = cluster.obs.meters.snapshot()["counters"]
+        assert counters["farm.integrity.redundant_units"] > 0
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestWireChaos:
+    def test_mangle_flips_exactly_one_byte(self):
+        chaos = WireChaos(seed=3, corrupt_rate=1.0)
+        payload = bytes(range(64))
+        damaged = chaos.mangle(payload)
+        assert len(damaged) == len(payload)
+        assert sum(a != b for a, b in zip(payload, damaged)) == 1
+        assert chaos.corrupted == 1
+
+    def test_maybe_delay_uses_injected_sleep(self):
+        slept = []
+        chaos = WireChaos(
+            seed=4, delay_rate=1.0, max_delay=5.0, sleep=slept.append
+        )
+        chaos.maybe_delay()
+        chaos.maybe_delay()
+        assert chaos.delayed == 2
+        assert all(0.0 <= s <= 5.0 for s in slept) and len(slept) == 2
+
+    @staticmethod
+    def _corrupting_seed(obj) -> int:
+        """A seed whose one-byte flip makes the frame undecodable
+        without touching the length field (which would stall the
+        reader instead of failing loudly)."""
+        frame = serialize.dumps(obj)
+        for seed in range(200):
+            mangled = WireChaos(seed=seed, corrupt_rate=1.0).mangle(frame)
+            index = next(
+                i for i, (a, b) in enumerate(zip(frame, mangled)) if a != b
+            )
+            if 3 <= index < 7:  # the big-endian length field
+                continue
+            try:
+                serialize.loads(mangled)
+            except RMIError:
+                return seed
+        raise AssertionError("no corrupting seed found")
+
+    def test_server_survives_corrupt_frame(self):
+        """A mangled frame kills that connection, not the server."""
+        request = {"op": "ping", "payload": list(range(32))}
+
+        def echo(fsock):
+            while True:
+                fsock.send_obj(("echo", fsock.recv_obj()))
+
+        with TransportServer(echo, meters=MeterRegistry()) as server:
+            seed = self._corrupting_seed(request)
+            dirty = dial("127.0.0.1", server.port)
+            dirty.chaos = WireChaos(seed=seed, corrupt_rate=1.0)
+            dirty.send_obj(request)
+            assert dirty.chaos.corrupted == 1
+            with pytest.raises((ConnectionClosed, OSError)):
+                dirty.recv_obj()  # server dropped the poisoned connection
+            dirty.close()
+
+            with dial("127.0.0.1", server.port) as clean:
+                clean.send_obj(request)
+                assert clean.recv_obj() == ("echo", request)
+
+
+class TestDataChannelChecksum:
+    def test_corrupted_push_refused_and_metered(self):
+        meters = MeterRegistry()
+        with DataChannelServer(meters=meters) as server:
+            data = bytes(range(256)) * 64
+            chaos = WireChaos(seed=9, corrupt_rate=1.0)
+            with pytest.raises(ChecksumError):
+                push_data(server.host, server.port, "blob", data, chaos=chaos)
+            assert chaos.corrupted > 0
+            assert (
+                meters.snapshot()["counters"]["data.checksum.failures"] == 1
+            )
+            assert "blob" not in server.keys()
+
+            # The connection-level failure did not poison the server.
+            push_data(server.host, server.port, "blob", data)
+            assert fetch_data(server.host, server.port, "blob") == data
+
+    def test_clean_roundtrip_unchanged(self):
+        with DataChannelServer() as server:
+            payload = b"x" * (1 << 18) + b"tail"
+            push_data(server.host, server.port, "k", payload)
+            assert fetch_data(server.host, server.port, "k") == payload
+
+
+class TestReconnectJitter:
+    def _failing_port(self, **kwargs) -> ReconnectingPort:
+        return ReconnectingPort("127.0.0.1", _free_port(), **kwargs)
+
+    def test_full_jitter_delays_vary_and_respect_caps(self):
+        slept: list[float] = []
+        port = self._failing_port(
+            max_attempts=6,
+            base_backoff=0.5,
+            max_backoff=4.0,
+            sleep=slept.append,
+            rng=spawn_rng(42, "jitter"),
+        )
+        with pytest.raises(RMIError, match="gave up"):
+            port.heartbeat("d0")
+        assert len(slept) == 5  # one sleep between each pair of attempts
+        caps = [min(4.0, 0.5 * 2.0**attempt) for attempt in range(5)]
+        assert all(0.0 <= delay <= cap for delay, cap in zip(slept, caps))
+        # Full jitter: the delays are spread, not a deterministic ladder.
+        assert len({round(d, 6) for d in slept}) > 1
+        assert any(delay < cap * 0.95 for delay, cap in zip(slept, caps))
+
+    def test_jitter_is_seed_deterministic(self):
+        def delays(seed):
+            slept: list[float] = []
+            port = self._failing_port(
+                max_attempts=4,
+                base_backoff=0.25,
+                max_backoff=2.0,
+                sleep=slept.append,
+                rng=spawn_rng(seed, "jitter"),
+            )
+            with pytest.raises(RMIError):
+                port.request_work("d0")
+            return slept
+
+        assert delays(7) == delays(7)
+        assert delays(7) != delays(8)

@@ -7,6 +7,7 @@ from repro.core.checkpoint import (
     load_checkpoint,
     save_checkpoint,
 )
+from repro.core.integrity import IntegrityPolicy
 from repro.core.problem import Problem
 from repro.core.scheduler import FixedGranularity
 from repro.core.server import ProblemStatus, TaskFarmServer
@@ -95,6 +96,87 @@ class TestCheckpointRoundtrip:
         save_checkpoint(server, path, now=1.0)
         assert path.exists()
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCheckpointUnderIntegrity:
+    def test_mid_chaos_checkpoint_preserves_votes_and_quarantine(self, tmp_path):
+        """Save while quorum votes are pending, redundant leases are out
+        and a byzantine donor sits in quarantine; the restored server
+        must finish with the correct result and an intact blacklist."""
+        policy = IntegrityPolicy(replication=2)
+
+        def make_integrity_server():
+            return TaskFarmServer(
+                policy=FixedGranularity(10),
+                lease_timeout=1e6,
+                integrity=policy,
+            )
+
+        server = make_integrity_server()
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(100), RangeSumAlgorithm()), 0.0
+        )
+        donors = ["liar", "d1", "d2"]
+        for donor in donors:
+            server.register_donor(donor, 0.0)
+
+        # Drive until the liar's disagreements quarantine it, then stop
+        # mid-problem so votes and redundant leases are still in flight.
+        t = 1.0
+        for _ in range(10_000):
+            rep = server.reputation.get("liar")
+            if rep is not None and rep.distrusted:
+                break
+            for donor in donors:
+                a = server.request_work(donor, (t := t + 0.1))
+                if a is None:
+                    continue
+                lo, hi = a.payload
+                value = (
+                    ("lie", a.unit_id)
+                    if donor == "liar"
+                    else sum(range(lo, hi))
+                )
+                server.submit_result(
+                    WorkResult(a.problem_id, a.unit_id, value, donor, 1.0, a.items),
+                    (t := t + 0.1),
+                )
+        else:
+            raise AssertionError("liar never quarantined")
+        assert server.status(pid) is ProblemStatus.RUNNING
+
+        # At least one replicated unit stays mid-vote: leased, unresolved.
+        assert server.request_work("d1", (t := t + 0.1)) is not None
+
+        path = tmp_path / "chaos.ckpt"
+        save_checkpoint(server, path, now=t)
+
+        fresh = make_integrity_server()
+        assert load_checkpoint(path, fresh, now=t + 1.0) == [pid]
+
+        # The quarantine survived the restart: the liar gets no work.
+        assert "liar" in fresh.reputation.quarantined_ids()
+        fresh.register_donor("liar", (t := t + 1.0))
+        assert fresh.request_work("liar", (t := t + 1.0)) is None
+
+        for donor in ("d1", "d2"):
+            fresh.register_donor(donor, t)
+        for _ in range(10_000):
+            if fresh.status(pid) is not ProblemStatus.RUNNING:
+                break
+            for donor in ("d1", "d2"):
+                a = fresh.request_work(donor, (t := t + 0.1))
+                if a is None:
+                    continue
+                lo, hi = a.payload
+                fresh.submit_result(
+                    WorkResult(
+                        a.problem_id, a.unit_id, sum(range(lo, hi)), donor, 1.0, a.items
+                    ),
+                    (t := t + 0.1),
+                )
+        assert fresh.status(pid) is ProblemStatus.COMPLETE
+        assert fresh.final_result(pid) == sum(range(100))
 
 
 class TestCheckpointErrors:

@@ -148,3 +148,73 @@ class TestValidation:
         # Late failure report for an already-completed unit: a no-op.
         server.report_failure(pid, a.unit_id, "d0", "too late", clock.advance(1.0))
         assert server.status(pid) is ProblemStatus.COMPLETE
+
+
+class TestQuorumExactlyOnce:
+    """A quorum-accepted unit folds into the DataManager exactly once,
+    no matter how many extra replicas straggle in afterwards."""
+
+    class _CountingDataManager(RangeSumDataManager):
+        def __init__(self, n):
+            super().__init__(n)
+            self.folds: dict[int, int] = {}
+
+        def handle_result(self, result):
+            self.folds[result.unit_id] = self.folds.get(result.unit_id, 0) + 1
+            super().handle_result(result)
+
+    def test_late_third_replica_not_folded_twice(self):
+        from repro.core.integrity import IntegrityPolicy
+        from repro.core.workunit import WorkResult
+
+        clock = ManualClock()
+        dm = self._CountingDataManager(20)
+        server = TaskFarmServer(
+            policy=FixedGranularity(10),
+            lease_timeout=1e6,
+            integrity=IntegrityPolicy(replication=3, quorum=2),
+        )
+        pid = server.submit(Problem("sum", dm, RangeSumAlgorithm()), clock())
+        for donor_id in ("d0", "d1", "d2"):
+            server.register_donor(donor_id, clock())
+        # All three replicas of the first unit go out...
+        assignments = {
+            donor_id: server.request_work(donor_id, clock.advance(1.0))
+            for donor_id in ("d0", "d1", "d2")
+        }
+        assert all(a is not None for a in assignments.values())
+        assert len({a.unit_id for a in assignments.values()}) == 1
+        first_unit = assignments["d0"].unit_id
+
+        def result_from(donor_id, a=None):
+            a = a or assignments[donor_id]
+            return WorkResult(
+                pid, a.unit_id, sum(range(*a.payload)), donor_id, 1.0, a.items
+            )
+
+        # ...two agreeing votes reach quorum and accept the unit...
+        assert server.submit_result(result_from("d0"), clock.advance(1.0))
+        assert server.submit_result(result_from("d1"), clock.advance(1.0))
+        assert dm.folds == {first_unit: 1}
+        # ...and the late third replica is a duplicate, not a re-fold.
+        assert server.submit_result(result_from("d2"), clock.advance(1.0)) is False
+        assert dm.folds == {first_unit: 1}
+        assert len(server.log.of_kind("unit.duplicate")) == 1
+
+        # Finish the second unit through its own quorum.
+        second = {
+            donor_id: server.request_work(donor_id, clock.advance(1.0))
+            for donor_id in ("d0", "d1")
+        }
+        assert server.submit_result(
+            result_from("d0", second["d0"]), clock.advance(1.0)
+        )
+        assert server.submit_result(
+            result_from("d1", second["d1"]), clock.advance(1.0)
+        )
+        assert server.status(pid) is ProblemStatus.COMPLETE
+        assert server.final_result(pid) == sum(range(20))
+        assert dm.folds == {first_unit: 1, second["d0"].unit_id: 1}
+        counters = server.obs.meters.snapshot()["counters"]
+        assert counters["farm.units.duplicate"] == 1
+        assert counters["farm.units.completed"] == 2

@@ -26,11 +26,31 @@ class TestLeaseTableDirect:
         assert table.holder(1, 99) is None
         assert len(table) == 1
 
-    def test_double_grant_rejected(self):
+    def test_double_grant_same_donor_rejected(self):
         table = LeaseTable(timeout=10.0)
         table.grant(self.unit(), "d0", now=0.0)
         with pytest.raises(ValueError, match="already leased"):
-            table.grant(self.unit(), "d1", now=1.0)
+            table.grant(self.unit(), "d0", now=1.0)
+
+    def test_multi_lease_replicas(self):
+        """The integrity layer leases one unit to several donors."""
+        table = LeaseTable(timeout=10.0)
+        table.grant(self.unit(), "d0", now=0.0)
+        table.grant(self.unit(), "d1", now=1.0)
+        assert table.holders(1, 0) == ["d0", "d1"]
+        assert table.holder(1, 0) == "d0"  # earliest issue
+        assert len(table) == 2
+        # Donor-scoped release leaves the replica's lease alone.
+        released = table.release(1, 0, donor_id="d0")
+        assert released is not None and released.donor_id == "d0"
+        assert table.holders(1, 0) == ["d1"]
+        # Donor-scoped renew only extends that donor's deadline.
+        assert table.renew(1, 0, now=5.0, donor_id="d9") is False
+        assert table.renew(1, 0, now=5.0, donor_id="d1") is True
+        # Release-all drops every remaining holder.
+        assert table.release(1, 0).donor_id == "d1"
+        assert table.holders(1, 0) == []
+        assert len(table) == 0
 
     def test_renew_missing_lease(self):
         table = LeaseTable(timeout=10.0)

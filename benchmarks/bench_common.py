@@ -39,6 +39,7 @@ def dsearch_trace(
     mean_subject_length: int = 400,
     min_subject_length: int = 50,
     seed: int = 0,
+    query_bytes: int = 0,
 ) -> WorkloadTrace:
     """The Fig. 1 workload: one long sensitive search.
 
@@ -47,6 +48,12 @@ def dsearch_trace(
     *lengths* are sampled (from the same right-skewed gamma the
     synthetic FASTA generator uses) — the trace replay needs costs, not
     residues, and two million full sequences would be pointless weight.
+
+    ``query_bytes`` models the query set every unit carries: with the
+    default 0 it is ignored (the historical Fig. 1 byte accounting);
+    when positive it becomes the stage's ``shared_bytes``, re-shipped
+    with every unit uncached and shipped once per donor when the trace
+    is replayed with ``share=True``.
     """
     rng = np.random.default_rng(seed)
     shape = 2.0
@@ -55,7 +62,13 @@ def dsearch_trace(
     costs = query_length * lengths / CELLS_PER_SECOND
     mean_bytes = int(lengths.mean()) + 32
     return WorkloadTrace(
-        (TraceStage(tuple(costs.tolist()), bytes_per_item=mean_bytes),),
+        (
+            TraceStage(
+                tuple(costs.tolist()),
+                bytes_per_item=mean_bytes,
+                shared_bytes=query_bytes,
+            ),
+        ),
         name="dsearch-fig1",
     )
 

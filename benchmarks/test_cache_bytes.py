@@ -1,0 +1,135 @@
+"""Payload bytes moved with and without the content-addressed cache.
+
+The paper's DSEARCH "caches data on the client machines": after a
+donor has the database, later units send only slice indices.  This
+benchmark replays the many-short reference search twice through the
+simulated cluster — the second submission models the steady state the
+paper's users lived in, where the community database is already warm
+in every donor's cache — and measures the payload bytes the server
+actually shipped (``farm.bytes.in``) per pass.
+
+Writes ``BENCH_cache_bytes.json`` for trend tracking and **fails if
+the cached warm pass does not move at least 5× fewer payload bytes
+than the uncached one** — the regression gate CI runs.
+"""
+
+import json
+
+from conftest import OUT_DIR, write_report
+from repro.cluster.sim import SimCluster, homogeneous_pool
+from repro.cluster.sim.network import NetworkConfig
+from repro.cluster.sim.trace import trace_problem
+from repro.core.scheduler import FixedGranularity
+
+from bench_common import dsearch_trace
+
+#: The many-short reference search: 50k short subjects plus a query
+#: set every unit needs.  Small enough for CI, large enough that the
+#: bulk data dwarfs the per-unit envelopes.
+DB_SEQUENCES = 50_000
+ITEMS_PER_UNIT = 2_000
+DONORS = 8
+GATE_FACTOR = 5.0
+
+
+def _reference_trace():
+    return dsearch_trace(
+        db_sequences=DB_SEQUENCES,
+        query_length=360,
+        mean_subject_length=120,  # many-short: batching/caching territory
+        min_subject_length=50,
+        query_bytes=2048,
+    )
+
+
+def _run_two_passes(share: bool) -> dict:
+    """Submit the same search twice on one cluster; donor caches (like
+    on-disk caches) stay warm between passes.  Returns per-pass payload
+    bytes (``farm.bytes.in``) and the blob meters."""
+    trace = _reference_trace()
+    cluster = SimCluster(
+        homogeneous_pool(DONORS, speed=1.0, availability=1.0),
+        policy=FixedGranularity(ITEMS_PER_UNIT),
+        lease_timeout=7200.0,
+        seed=3,
+        execute=False,
+        network=NetworkConfig(control_bytes=0),
+    )
+    passes = []
+    for _ in range(2):
+        before = cluster.obs.meters.snapshot()["counters"].get("farm.bytes.in", 0)
+        cluster.submit(trace_problem(trace, share=share))
+        report = cluster.run()
+        assert report.completed, "reference search did not finish"
+        after = cluster.obs.meters.snapshot()["counters"].get("farm.bytes.in", 0)
+        passes.append(int(after - before))
+    counters = cluster.obs.meters.snapshot()["counters"]
+    return {
+        "share": share,
+        "pass_bytes": passes,
+        "blob_deliveries": int(counters.get("net.blob.deliveries", 0)),
+        "blob_bytes": int(counters.get("net.blob.bytes", 0)),
+        "blob_bytes_saved": int(counters.get("net.blob.bytes.saved", 0)),
+        "cache_hits": int(counters.get("farm.cache.hits", 0)),
+        "cache_misses": int(counters.get("farm.cache.misses", 0)),
+    }
+
+
+def test_cached_search_moves_fewer_payload_bytes():
+    plain = _run_two_passes(share=False)
+    cached = _run_two_passes(share=True)
+
+    warm_factor = plain["pass_bytes"][1] / max(1, cached["pass_bytes"][1])
+    total_plain = sum(plain["pass_bytes"])
+    total_cached = sum(cached["pass_bytes"])
+
+    lines = [
+        f"workload: {DB_SEQUENCES} short subjects, {DONORS} donors, "
+        f"{ITEMS_PER_UNIT} items/unit, same search submitted twice",
+        "",
+        f"{'run':<10} {'pass 1 (cold)':>15} {'pass 2 (warm)':>15} {'total':>12}",
+        f"{'uncached':<10} {plain['pass_bytes'][0]:>15,} "
+        f"{plain['pass_bytes'][1]:>15,} {total_plain:>12,}",
+        f"{'cached':<10} {cached['pass_bytes'][0]:>15,} "
+        f"{cached['pass_bytes'][1]:>15,} {total_cached:>12,}",
+        "",
+        f"warm-pass dedup factor: {warm_factor:.1f}x (gate: >= {GATE_FACTOR:.0f}x)",
+        f"blob deliveries: {cached['blob_deliveries']} "
+        f"({cached['blob_bytes']:,} bytes, once per donor); "
+        f"re-ship avoided: {cached['blob_bytes_saved']:,} bytes",
+        f"donor cache: {cached['cache_hits']} hits / "
+        f"{cached['cache_misses']} misses",
+    ]
+    write_report(
+        "cache_bytes", "Content-addressed cache: payload bytes moved", lines
+    )
+
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "workload": {
+            "db_sequences": DB_SEQUENCES,
+            "items_per_unit": ITEMS_PER_UNIT,
+            "donors": DONORS,
+        },
+        "uncached": plain,
+        "cached": cached,
+        "warm_pass_factor": round(warm_factor, 2),
+        "gate_factor": GATE_FACTOR,
+    }
+    (OUT_DIR / "BENCH_cache_bytes.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # Sanity on the model itself: every donor fetched each blob at most
+    # once across BOTH passes (content addressing makes the second
+    # submission free), and the uncached run moved no blobs at all.
+    assert plain["blob_deliveries"] == 0 and plain["cache_misses"] == 0
+    assert cached["blob_deliveries"] <= 2 * DONORS
+    assert cached["cache_misses"] == cached["blob_deliveries"]
+
+    # The gate: with warm donor caches the reference search must move
+    # at least GATE_FACTOR fewer payload bytes than the uncached run.
+    assert warm_factor >= GATE_FACTOR, (
+        f"cached warm pass moved only {warm_factor:.1f}x fewer payload "
+        f"bytes than uncached (gate {GATE_FACTOR:.0f}x)"
+    )

@@ -12,6 +12,7 @@ Recognised keys (the DPRml "straightforward configuration file")::
     order_seed   = 0          # randomised addition order (stochastic runs)
     unit_target_seconds = 30  # adaptive granularity target
     final_nni    = false      # NNI rearrangement pass before final polish
+    share_payloads = true     # donor-cached shared blob for the stage tree
 """
 
 from __future__ import annotations
@@ -41,6 +42,7 @@ class DPRmlConfig:
     order_seed: int = 0
     unit_target_seconds: float = 30.0
     final_nni: bool = False
+    share_payloads: bool = True
 
     def __post_init__(self) -> None:
         if self.model not in MODELS:
@@ -79,6 +81,7 @@ class DPRmlConfig:
             order_seed=cfg.get_int("order_seed", 0),
             unit_target_seconds=cfg.get_float("unit_target_seconds", 30.0),
             final_nni=cfg.get_bool("final_nni", False),
+            share_payloads=cfg.get_bool("share_payloads", True),
         )
 
     @classmethod

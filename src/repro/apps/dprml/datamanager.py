@@ -27,6 +27,7 @@ from repro.bio.phylo.alignment import SiteAlignment
 from repro.bio.phylo.distances import nj_addition_order
 from repro.bio.phylo.stepwise import PlacementScore, apply_placement
 from repro.bio.phylo.tree import Tree, parse_newick
+from repro.core.blobs import payload_nbytes
 from repro.core.problem import DataManager
 from repro.core.workunit import UnitPayload, WorkResult
 from repro.util.rng import spawn_rng
@@ -74,6 +75,7 @@ class DPRmlDataManager(DataManager):
         self._pending: list[int] = []   # edge indices not yet issued
         self._outstanding = 0           # placements issued, awaiting results
         self._stage_newick = ""
+        self._stage_ref = None
         self._best: PlacementScore | None = None
         self._winners: list[PlacementScore] = []
         self._evaluations = 0
@@ -89,6 +91,15 @@ class DPRmlDataManager(DataManager):
 
     def _open_stage(self) -> None:
         self._stage_newick = self.tree.newick()
+        # Every batch of a stage evaluates placements on the *same*
+        # tree; sharing it ships each stage's newick to a donor once
+        # and batches carry only a reference.  (INIT/FINAL polish units
+        # stay inline: one unit per tree, nothing to share.)
+        self._stage_ref = (
+            self.share(self._stage_newick)
+            if self.config.share_payloads
+            else None
+        )
         self._pending = list(range(len(self.tree.edges())))
         self._outstanding = 0
         self._best = None
@@ -129,11 +140,14 @@ class DPRmlDataManager(DataManager):
             batch = tuple(self._pending[:take])
             del self._pending[:take]
             self._outstanding += take
-            payload = ("place", self._stage_newick, self._taxon_for_stage(), batch)
+            tree_part = (
+                self._stage_ref if self._stage_ref is not None else self._stage_newick
+            )
+            payload = ("place", tree_part, self._taxon_for_stage(), batch)
             return UnitPayload(
                 payload=payload,
                 items=take,
-                input_bytes=len(self._stage_newick) + 64 + 8 * take,
+                input_bytes=payload_nbytes(payload),
             )
         if self._state is _State.FINAL:
             if self._unit_out:

@@ -127,8 +127,19 @@ class DSearchAlgorithm(Algorithm):
 
     # -- Algorithm interface ------------------------------------------------
 
-    def compute(self, payload: Any) -> dict[str, list[Hit]]:
+    @staticmethod
+    def _unpack(payload: Any) -> tuple[list[Sequence], list[Sequence]]:
+        """Both payload shapes: inline ``(queries, subjects)`` and the
+        shared form ``(queries, database, (lo, hi))`` where the donor
+        cache has already substituted the blob references."""
+        if len(payload) == 3:
+            queries, database, (lo, hi) = payload
+            return queries, database[lo:hi]
         queries, subjects = payload
+        return queries, subjects
+
+    def compute(self, payload: Any) -> dict[str, list[Hit]]:
+        queries, subjects = self._unpack(payload)
         scheme = self.config.scheme()
         plans: list[BucketPlan] | None = None
         buckets: dict[int, SubjectBucket] = {}
@@ -177,7 +188,7 @@ class DSearchAlgorithm(Algorithm):
         and the donor's actual work in lockstep is what keeps adaptive
         granularity honest.
         """
-        queries, subjects = payload
+        queries, subjects = self._unpack(payload)
         cfg = self.config
         strands = 2.0 if cfg.both_strands else 1.0
         lengths = [len(s) for s in subjects]

@@ -15,6 +15,8 @@ Recognised keys::
     both_strands = false                # DNA: also search the reverse strand
     batch       = true                  # batched multi-subject kernels
     batch_waste_cap = 0.25              # max padding waste per length bucket
+    share_payloads = true               # donor-cached shared blobs for
+                                        # queries + database (refs in units)
 """
 
 from __future__ import annotations
@@ -45,6 +47,7 @@ class DSearchConfig:
     both_strands: bool = False
     batch: bool = True
     batch_waste_cap: float = 0.25
+    share_payloads: bool = True
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -77,6 +80,7 @@ class DSearchConfig:
             both_strands=cfg.get_bool("both_strands", False),
             batch=cfg.get_bool("batch", True),
             batch_waste_cap=cfg.get_float("batch_waste_cap", 0.25),
+            share_payloads=cfg.get_bool("share_payloads", True),
         )
 
     @classmethod

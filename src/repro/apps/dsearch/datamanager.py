@@ -8,6 +8,7 @@ from typing import Any
 from repro.apps.dsearch.config import DSearchConfig
 from repro.bio.align.hits import Hit, merge_topk
 from repro.bio.seq.sequence import Sequence
+from repro.core.blobs import payload_nbytes
 from repro.core.problem import DataManager
 from repro.core.workunit import UnitPayload, WorkResult
 
@@ -32,6 +33,14 @@ class DSearchDataManager(DataManager):
     Units are *items = database sequences*, the granularity currency
     the adaptive scheduler controls.  Each result is a per-query local
     top-k which is merged order-independently into the global top-k.
+
+    With ``share_payloads`` (the default) the query set and the whole
+    database are registered as shared blobs — the paper's design: each
+    donor receives the database once and caches it, and every unit
+    ships only ``(queries_ref, database_ref, (lo, hi))``.  With sharing
+    off, each unit inlines the queries plus its slice, and
+    ``input_bytes`` is the actual serialized payload size (not a
+    per-sequence heuristic).
     """
 
     def __init__(
@@ -53,8 +62,14 @@ class DSearchDataManager(DataManager):
         self._partial_hits: dict[str, list[list[Hit]]] = {
             q.seq_id: [] for q in self.queries
         }
-        query_bytes = sum(len(q) for q in self.queries)
-        self._query_overhead = query_bytes + 64 * len(self.queries)
+        if self.config.share_payloads:
+            self._queries_ref = self.share(self.queries)
+            self._database_ref = self.share(self.database)
+            self._query_bytes = 0
+        else:
+            self._queries_ref = None
+            self._database_ref = None
+            self._query_bytes = payload_nbytes(self.queries)
 
     def total_items(self) -> int:
         return len(self.database)
@@ -65,12 +80,18 @@ class DSearchDataManager(DataManager):
         lo = self._cursor
         hi = min(len(self.database), lo + max_items)
         self._cursor = hi
+        if self._database_ref is not None:
+            payload = (self._queries_ref, self._database_ref, (lo, hi))
+            return UnitPayload(
+                payload=payload,
+                items=hi - lo,
+                input_bytes=payload_nbytes(payload),
+            )
         subjects = self.database[lo:hi]
-        subject_bytes = sum(len(s) for s in subjects)
         return UnitPayload(
             payload=(self.queries, subjects),
             items=hi - lo,
-            input_bytes=self._query_overhead + subject_bytes + 64 * len(subjects),
+            input_bytes=self._query_bytes + payload_nbytes(subjects),
         )
 
     def handle_result(self, result: WorkResult) -> None:

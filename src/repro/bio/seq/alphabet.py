@@ -56,6 +56,12 @@ class Alphabet:
         codes = self.encode(text)
         return bool((codes != self.unknown_code).all())
 
+    def __reduce__(self):
+        # Pickle by constructor args: the 256-entry lookup tables are
+        # derived state, and canonical (memo-free) pickling must not
+        # re-serialize them per referencing Sequence.
+        return (Alphabet, (self.name, self.letters, self.unknown))
+
     def __len__(self) -> int:
         return self.size
 

@@ -7,12 +7,13 @@ import signal
 import sys
 import time
 
-from repro.cluster.local import ServerFacade
+from repro.cluster.local import ServerFacade, make_blob_fetch
 from repro.core.client import DonorClient
 from repro.core.integrity import IntegrityPolicy
 from repro.core.scheduler import AdaptiveGranularity
 from repro.core.server import TaskFarmServer
 from repro.rmi import RMIServer, connect
+from repro.rmi.datachannel import DataChannelServer
 
 
 def server_main(argv: list[str] | None = None) -> int:
@@ -76,12 +77,18 @@ def server_main(argv: list[str] | None = None) -> int:
         lease_timeout=args.lease_timeout,
         integrity=policy,
     )
-    facade = ServerFacade(server)
+    # Shared payload blobs go out over the bulk data channel; donors
+    # learn its address via the facade and cache blobs by digest.
+    data_channel = DataChannelServer(host=args.host, meters=server.obs.meters)
+    facade = ServerFacade(server, data_channel=data_channel)
     # Share the farm's meter registry so RMI dispatch telemetry lands in
     # the same snapshot repro-status reads.
     rmi = RMIServer(host=args.host, port=args.port, obs=server.obs)
     rmi.bind("taskfarm", facade)
     print(f"task-farm server listening on {rmi.host}:{rmi.port}", flush=True)
+    print(
+        f"data channel on {data_channel.host}:{data_channel.port}", flush=True
+    )
 
     stop = {"flag": False}
 
@@ -101,6 +108,7 @@ def server_main(argv: list[str] | None = None) -> int:
                 next_status = time.monotonic() + args.status_interval
     finally:
         rmi.close()
+        data_channel.close()
         print("server stopped", flush=True)
     return 0
 
@@ -142,7 +150,12 @@ def donor_main(argv: list[str] | None = None) -> int:
 
     proxy = connect(host, port, "taskfarm")
     try:
-        client = DonorClient(donor_id, proxy, idle_sleep=args.idle_sleep)
+        client = DonorClient(
+            donor_id,
+            proxy,
+            idle_sleep=args.idle_sleep,
+            blob_fetch=make_blob_fetch(proxy),
+        )
         print(f"donor {donor_id} connected to {host}:{port}", flush=True)
         units = client.run(max_units=args.max_units)
         print(f"donor {donor_id} done after {units} units", flush=True)

@@ -45,6 +45,19 @@ _KEY_COUNTERS = (
     "farm.align.buckets.batched",
     "farm.align.pairs.scalar",
     "farm.align.batch.fallbacks",
+    "farm.cache.hits",
+    "farm.cache.misses",
+    "farm.cache.evictions",
+    "farm.cache.refetches",
+    "farm.cache.bypass",
+    "farm.cache.fetch.bytes",
+    "net.blob.refs",
+    "net.blob.deliveries",
+    "net.blob.bytes",
+    "net.blob.bytes.saved",
+    "net.blob.published",
+    "net.blob.fetches",
+    "net.blob.fetch.bytes",
     "rmi.calls",
     "net.bytes",
 )

@@ -1,6 +1,17 @@
 """Real multi-process cluster on localhost (the live code path)."""
 
-from repro.cluster.local.cluster import LocalCluster, ServerFacade, ThreadCluster
+from repro.cluster.local.cluster import (
+    LocalCluster,
+    ServerFacade,
+    ThreadCluster,
+    make_blob_fetch,
+)
 from repro.cluster.local.submit import RemoteSubmitter
 
-__all__ = ["LocalCluster", "RemoteSubmitter", "ServerFacade", "ThreadCluster"]
+__all__ = [
+    "LocalCluster",
+    "RemoteSubmitter",
+    "ServerFacade",
+    "ThreadCluster",
+    "make_blob_fetch",
+]

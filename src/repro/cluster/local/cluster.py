@@ -17,12 +17,15 @@ import threading
 import time
 from typing import Any
 
+from repro.core.blobs import BlobRef, iter_blob_refs
 from repro.core.client import DonorClient, InProcessServerPort
 from repro.core.problem import Algorithm, Problem
 from repro.core.scheduler import GranularityPolicy
 from repro.core.server import Assignment, ProblemStatus, TaskFarmServer
 from repro.core.workunit import WorkResult
 from repro.rmi import RMIServer, connect
+from repro.rmi.datachannel import DataChannelServer, fetch_data
+from repro.rmi.errors import ChecksumError, RMIError
 
 
 class ServerFacade:
@@ -34,12 +37,48 @@ class ServerFacade:
     needed.
     """
 
-    def __init__(self, server: TaskFarmServer):
+    def __init__(
+        self,
+        server: TaskFarmServer,
+        data_channel: DataChannelServer | None = None,
+    ):
         self._server = server
         self._lock = threading.RLock()
+        self._data_channel = data_channel
+        # problem_id -> blob keys published to the data channel for it.
+        self._published: dict[int, set[str]] = {}
+        self._m_published = server.obs.meters.counter("net.blob.published")
 
     def _now(self) -> float:
         return time.monotonic()
+
+    def _publish_blobs(self, assignment: Assignment) -> None:
+        """Put a unit's shared blobs on the data channel before the
+        assignment leaves the server — a donor can never fetch a blob
+        that is not yet published.  Called under the facade lock."""
+        if self._data_channel is None:
+            return
+        pid = assignment.problem_id
+        published = self._published.setdefault(pid, set())
+        for ref in iter_blob_refs(assignment.payload):
+            if ref.key in published:
+                continue
+            data = self._server.get_shared_blob(pid, ref.key)
+            self._data_channel.retain(ref.key, data)
+            published.add(ref.key)
+            self._m_published.inc()
+
+    def _sweep_finished_blobs(self) -> None:
+        """Release the data-channel blobs of problems that ended.
+        Content-addressed refcounts keep blobs shared by a still-running
+        problem alive.  Called under the facade lock."""
+        if self._data_channel is None or not self._published:
+            return
+        for pid in list(self._published):
+            if self._server.status(pid) is ProblemStatus.RUNNING:
+                continue
+            for key in self._published.pop(pid):
+                self._data_channel.release(key)
 
     def register_donor(self, donor_id: str) -> None:
         with self._lock:
@@ -53,11 +92,16 @@ class ServerFacade:
         with self._lock:
             now = self._now()
             self._server.expire_leases(now)
-            return self._server.request_work(donor_id, now)
+            assignment = self._server.request_work(donor_id, now)
+            if assignment is not None:
+                self._publish_blobs(assignment)
+            return assignment
 
     def submit_result(self, result: WorkResult) -> bool:
         with self._lock:
-            return self._server.submit_result(result, self._now())
+            accepted = self._server.submit_result(result, self._now())
+            self._sweep_finished_blobs()
+            return accepted
 
     def heartbeat(self, donor_id: str) -> None:
         with self._lock:
@@ -70,6 +114,7 @@ class ServerFacade:
             self._server.report_failure(
                 problem_id, unit_id, donor_id, error, self._now()
             )
+            self._sweep_finished_blobs()
 
     def get_algorithm(self, problem_id: int) -> Algorithm:
         with self._lock:
@@ -78,6 +123,17 @@ class ServerFacade:
     def get_blob(self, problem_id: int, key: str) -> bytes:
         with self._lock:
             return self._server.get_blob(problem_id, key)
+
+    def get_shared_blob(self, problem_id: int, key: str) -> bytes:
+        """RMI fallback path for shared blobs (data channel preferred)."""
+        with self._lock:
+            return self._server.get_shared_blob(problem_id, key)
+
+    def data_address(self) -> tuple[str, int] | None:
+        """Where donors fetch shared blobs in bulk (None when not run)."""
+        if self._data_channel is None:
+            return None
+        return self._data_channel.host, self._data_channel.port
 
     def all_complete(self) -> bool:
         with self._lock:
@@ -202,16 +258,51 @@ class _LockedPort(InProcessServerPort):
         with self._lock:
             return super().get_algorithm(problem_id)
 
+    def get_shared_blob(self, problem_id: int, key: str) -> bytes:
+        with self._lock:
+            return super().get_shared_blob(problem_id, key)
+
     def all_complete(self) -> bool:
         with self._lock:
             return super().all_complete()
+
+
+def make_blob_fetch(proxy):
+    """Cache-miss transport for a live donor.
+
+    Prefers the bulk data channel ("ordinary sockets ... more efficient
+    than RMI"); a :class:`ChecksumError` propagates so the donor cache
+    can refetch, while an unreachable or blob-less channel falls back
+    to the RMI ``get_shared_blob`` path.
+    """
+    state: dict[str, Any] = {}
+
+    def fetch(problem_id: int, ref: BlobRef) -> bytes:
+        if "addr" not in state:
+            try:
+                state["addr"] = proxy.data_address()
+            except (RMIError, OSError, AttributeError):
+                state["addr"] = None
+        addr = state["addr"]
+        if addr is not None:
+            try:
+                return fetch_data(addr[0], addr[1], ref.key)
+            except ChecksumError:
+                raise
+            except (RMIError, OSError):
+                pass
+        return proxy.get_shared_blob(problem_id, ref.key)
+
+    return fetch
 
 
 def _worker_main(host: str, port: int, donor_id: str, idle_sleep: float) -> None:
     """Donor process entry point: the real client against RMI."""
     proxy = connect(host, port, "taskfarm")
     try:
-        client = DonorClient(donor_id, proxy, idle_sleep=idle_sleep)
+        client = DonorClient(
+            donor_id, proxy, idle_sleep=idle_sleep, blob_fetch=make_blob_fetch(proxy)
+        )
         client.run()
     finally:
         proxy.close()
@@ -236,7 +327,8 @@ class LocalCluster:
         idle_sleep: float = 0.05,
     ):
         self.server = TaskFarmServer(policy=policy, lease_timeout=lease_timeout)
-        self.facade = ServerFacade(self.server)
+        self.data_channel = DataChannelServer(meters=self.server.obs.meters)
+        self.facade = ServerFacade(self.server, data_channel=self.data_channel)
         # One observability bundle across layers: RMI dispatch meters and
         # farm counters land in the same registry the status CLI reads.
         self.rmi = RMIServer(obs=self.server.obs)
@@ -293,6 +385,7 @@ class LocalCluster:
                 proc.join(timeout=2.0)
         self._processes.clear()
         self.rmi.close()
+        self.data_channel.close()
 
     def __enter__(self) -> "LocalCluster":
         return self

@@ -23,6 +23,7 @@ from repro.cluster.sim.chaos import FaultPlan
 from repro.cluster.sim.engine import Process, Simulator, Timeout
 from repro.cluster.sim.machines import MachineSpec
 from repro.cluster.sim.network import NetworkConfig, NetworkModel
+from repro.core.blobs import DEFAULT_CACHE_BYTES, BlobCache, iter_blob_refs, resolve_payload
 from repro.core.integrity import IntegrityPolicy
 from repro.core.problem import Problem
 from repro.core.scheduler import GranularityPolicy
@@ -86,6 +87,9 @@ class SimCluster:
     chaos:
         A seeded :class:`~repro.cluster.sim.chaos.FaultPlan`; ``None``
         runs fault-free.
+    donor_cache_bytes:
+        Byte budget of each simulated donor's shared-blob cache,
+        mirroring the live :class:`~repro.core.client.DonorClient`.
     """
 
     def __init__(
@@ -101,6 +105,7 @@ class SimCluster:
         integrity: IntegrityPolicy | None = None,
         chaos: FaultPlan | None = None,
         max_unit_attempts: int = 5,
+        donor_cache_bytes: int = DEFAULT_CACHE_BYTES,
     ):
         if not machines:
             raise ValueError("need at least one machine")
@@ -125,6 +130,13 @@ class SimCluster:
         self.idle_poll = idle_poll
         self._machine_units: dict[str, int] = {m.machine_id: 0 for m in machines}
         self._machine_busy: dict[str, float] = {m.machine_id: 0.0 for m in machines}
+        # Donor blob caches, keyed by machine — like an on-disk cache,
+        # they survive sessions, crashes and server restarts.  Cache
+        # traffic is metered straight into the shared registry (a donor
+        # process interleaves with others, so thread-local unit stats
+        # would misattribute it).
+        self.donor_cache_bytes = donor_cache_bytes
+        self._blob_caches: dict[str, BlobCache] = {}
         self._active_session: dict[str, int] = {}
         self._pending_submissions = 0
         self._problem_ids: list[int] = []
@@ -150,11 +162,16 @@ class SimCluster:
     # ------------------------------------------------------------------
 
     def submit(self, problem: Problem, at: float = 0.0) -> int:
-        """Submit now (``at=0``) or at a future simulated time."""
+        """Submit now (``at=0``) or at a future simulated time.
+
+        "Now" is the current virtual time — 0 before the first
+        :meth:`run`, later when submitting between runs (a drained
+        cluster accepts further problems; donor blob caches stay warm).
+        """
         pid = problem.problem_id
         self._problem_ids.append(pid)
         if at <= 0.0:
-            self.server.submit(problem, now=0.0)
+            self.server.submit(problem, now=self.sim.now)
         else:
             # Deferred submission: becomes a simulation event, so the
             # event log stays causal and donors idle until it lands.
@@ -322,6 +339,53 @@ class SimCluster:
                 self.server.deregister_donor(donor_id, sim.now)
                 del self._active_session[donor_id]
 
+    def _donor_cache(self, donor_id: str) -> BlobCache:
+        cache = self._blob_caches.get(donor_id)
+        if cache is None:
+            meters = self.obs.meters
+            cache = BlobCache(
+                self.donor_cache_bytes,
+                sink=lambda name, amount: meters.counter(name).inc(amount),
+            )
+            self._blob_caches[donor_id] = cache
+        return cache
+
+    def _download_unit(self, donor_id: str, assignment: Assignment) -> Process:
+        """Move one unit's input across the link and resolve its blobs.
+
+        Returns the payload the algorithm should see.  The inline part
+        always crosses the wire; each referenced blob is downloaded
+        only on a donor cache miss — the simulated twin of the live
+        donor's fetch-on-miss path.  In trace mode (``execute=False``)
+        references are tracked for cache accounting but never resolved
+        (synthetic trace blobs have no content behind them).
+        """
+        refs = iter_blob_refs(assignment.payload)
+        if not refs:
+            yield from self.network.transmit(assignment.input_bytes)
+            return assignment.payload
+        inline = (
+            assignment.inline_bytes
+            if assignment.inline_bytes >= 0
+            else assignment.input_bytes
+        )
+        yield from self.network.transmit(inline)
+        cache = self._donor_cache(donor_id)
+        fetch = (
+            # Read self.server at call time: a chaos restart swaps it.
+            (lambda ref: self.server.get_shared_blob(assignment.problem_id, ref.key))
+            if self.execute
+            else None
+        )
+        objects = {}
+        for ref in refs:
+            if not cache.contains(ref.key):
+                yield from self.network.transmit_blob(ref.size)
+            objects[ref.key] = cache.ensure(ref, fetch)
+        if not self.execute:
+            return assignment.payload
+        return resolve_payload(assignment.payload, lambda ref: objects[ref.key])
+
     def _execute_assignment(
         self,
         spec: MachineSpec,
@@ -334,10 +398,10 @@ class SimCluster:
         """Download, compute, upload.  Returns False if the machine's
         session ended mid-compute (the unit is abandoned)."""
         sim = self.sim
-        yield from self.network.transmit(assignment.input_bytes)
+        payload = yield from self._download_unit(donor_id, assignment)
 
         algorithm = self.server.get_algorithm(assignment.problem_id)
-        cost = assignment.cost_hint or algorithm.cost(assignment.payload)
+        cost = assignment.cost_hint or algorithm.cost(payload)
         rate = spec.effective_rate(rng)
         duration = cost / rate
 
@@ -356,7 +420,7 @@ class SimCluster:
         extra: dict = {}
         if self.execute:
             with unitstats.collect() as stats:
-                value = algorithm.compute(assignment.payload)
+                value = algorithm.compute(payload)
             if stats:
                 extra = {"meters": stats}
             try:

@@ -95,6 +95,17 @@ class NetworkModel:
             self.meters.counter("net.bytes").inc(nbytes)
             self.meters.histogram("net.transfer.bytes", BYTES_BUCKETS).observe(nbytes)
 
+    def transmit_blob(self, nbytes: int) -> Iterator[Effect]:
+        """Process fragment: a shared-blob download (donor cache miss).
+
+        Same link physics as :meth:`transmit`, metered separately under
+        ``net.blob.*`` so the dedup saving is directly observable.
+        """
+        if self.meters is not None:
+            self.meters.counter("net.blob.fetches").inc()
+            self.meters.counter("net.blob.fetch.bytes").inc(nbytes)
+        yield from self.transmit(nbytes)
+
     def control_roundtrip(self) -> Iterator[Effect]:
         """Process fragment: one request/response control exchange."""
         yield from self.transmit(self.config.control_bytes)

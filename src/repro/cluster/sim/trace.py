@@ -21,22 +21,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.core.blobs import BLOB_REF_WIRE_BYTES, BlobRef, blob_key, canonical_dumps
 from repro.core.problem import Algorithm, DataManager, Problem
 from repro.core.workunit import UnitPayload, WorkResult
 
 
 @dataclass(frozen=True, slots=True)
 class TraceStage:
-    """One barrier-delimited stage: independent items with known costs."""
+    """One barrier-delimited stage: independent items with known costs.
+
+    ``shared_bytes`` models input that is identical for every unit of
+    the stage (DSEARCH's query set): without payload sharing it is
+    re-shipped with every unit; with sharing it travels to each donor
+    once as a blob.
+    """
 
     costs: tuple[float, ...]
     bytes_per_item: int = 1024
+    shared_bytes: int = 0
 
     def __post_init__(self) -> None:
         if not self.costs:
             raise ValueError("a stage must contain at least one item")
         if any(c <= 0 for c in self.costs):
             raise ValueError("item costs must be positive")
+        if self.shared_bytes < 0:
+            raise ValueError("shared_bytes cannot be negative")
 
     @property
     def total_cost(self) -> float:
@@ -82,14 +92,39 @@ class WorkloadTrace:
 
 
 class TraceDataManager(DataManager):
-    """Partitions a :class:`WorkloadTrace`, honouring stage barriers."""
+    """Partitions a :class:`WorkloadTrace`, honouring stage barriers.
 
-    def __init__(self, trace: WorkloadTrace):
+    With ``share=True`` units reference the stage's bulk data through
+    synthetic :class:`~repro.core.blobs.BlobRef`\\ s (sizes are real,
+    content is not materialized) instead of charging it inline — the
+    byte-traffic model of the content-addressed donor cache.  Keys are
+    derived from the trace name and stage, so replaying an identical
+    trace hits warm donor caches exactly as identical real data would.
+    Shared traces are for trace-mode simulation only
+    (``SimCluster(execute=False)``): the refs have no bytes behind them
+    and cannot be resolved.
+    """
+
+    def __init__(self, trace: WorkloadTrace, share: bool = False):
         self.trace = trace
+        self.share = share
         self._stage_index = 0
         self._cursor = 0          # next item within the current stage
         self._outstanding = 0     # items issued but not completed
         self._items_done = 0
+
+    def _stage_refs(self, stage: TraceStage) -> tuple[BlobRef, ...]:
+        """Synthetic blob references for one stage's bulk data."""
+        refs = []
+        data_bytes = len(stage.costs) * stage.bytes_per_item
+        for kind, size in (("data", data_bytes), ("shared", stage.shared_bytes)):
+            if size <= 0:
+                continue
+            key = blob_key(
+                canonical_dumps((self.trace.name, self._stage_index, kind))
+            )
+            refs.append(BlobRef(key=key, size=size))
+        return tuple(refs)
 
     def total_items(self) -> int:
         return self.trace.total_items
@@ -108,12 +143,23 @@ class TraceDataManager(DataManager):
             return None  # barrier: wait for outstanding results
         take = min(max_items, remaining)
         slice_costs = stage.costs[self._cursor : self._cursor + take]
+        lo = self._cursor
         self._cursor += take
         self._outstanding += take
+        if self.share:
+            refs = self._stage_refs(stage)
+            # Inline: the index range plus the reference envelopes —
+            # the bulk data travels (at most once per donor) as blobs.
+            return UnitPayload(
+                payload=(slice_costs, (lo, lo + take)) + refs,
+                items=take,
+                input_bytes=24 + 8 * take + BLOB_REF_WIRE_BYTES * len(refs),
+                cost_hint=float(sum(slice_costs)),
+            )
         return UnitPayload(
             payload=slice_costs,
             items=take,
-            input_bytes=take * stage.bytes_per_item,
+            input_bytes=take * stage.bytes_per_item + stage.shared_bytes,
             cost_hint=float(sum(slice_costs)),
         )
 
@@ -146,14 +192,18 @@ class TraceAlgorithm(Algorithm):
         return None
 
     def cost(self, payload: Any) -> float:
+        if isinstance(payload, tuple) and payload and isinstance(payload[0], tuple):
+            payload = payload[0]  # shared form: (slice_costs, (lo, hi), *refs)
         return float(sum(payload))
 
 
-def trace_problem(trace: WorkloadTrace, priority: int = 0) -> Problem:
+def trace_problem(
+    trace: WorkloadTrace, priority: int = 0, share: bool = False
+) -> Problem:
     """Wrap a trace as a submittable :class:`Problem`."""
     return Problem(
         name=trace.name,
-        data_manager=TraceDataManager(trace),
+        data_manager=TraceDataManager(trace, share=share),
         algorithm=TraceAlgorithm(),
         priority=priority,
     )

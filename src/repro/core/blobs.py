@@ -1,0 +1,264 @@
+"""Content-addressed payload blobs and the donor-side cache.
+
+The paper's DSEARCH "caches data on the client machines" so that after
+the first transfer the server sends only slice indices.  This module is
+that mechanism, generalised: a :class:`~repro.core.problem.DataManager`
+may *share* any payload component (the query set, the whole database,
+a stage's tree) as a blob, and work-unit payloads then carry a tiny
+:class:`BlobRef` in its place.  Donors keep a byte-budgeted LRU
+:class:`BlobCache`; a blob crosses the wire to a given donor once and
+every later unit referencing it ships only the reference.
+
+Content addressing: a blob's key is the hex blake2b-16 of its
+*canonical pickle* (:func:`canonical_dumps` — the same memo-free
+encoding result voting uses, see
+:func:`repro.core.integrity.canonical_digest`).  Keys therefore
+deduplicate across problems: a second search against the same database
+reuses the copy already sitting in every donor's cache, and a fetched
+blob is verified by rehashing the received bytes — a damaged transfer
+can never poison the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs import unitstats
+from repro.rmi.errors import ChecksumError
+
+#: Serialized size of one :class:`BlobRef` inside a payload envelope
+#: (key hex + size + pickle framing), charged by the server's byte
+#: accounting for every reference shipped in a unit.
+BLOB_REF_WIRE_BYTES = 64
+
+#: Default donor cache budget: generous for the paper's workloads
+#: (a whole 2M-sequence database is ~1 GB) without being unbounded.
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+def canonical_dumps(value: Any) -> bytes:
+    """The canonical (memo-free) pickle of *value*.
+
+    Identical values produce identical bytes regardless of how the
+    object graph shares substructure, so hashing the result gives a
+    content address.  Raises whatever the pickler raises for
+    unpicklable values — shared payload data must serialize anyway.
+    """
+    buffer = io.BytesIO()
+    pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    pickler.fast = True  # no memo: identical values, identical bytes
+    pickler.dump(value)
+    return buffer.getvalue()
+
+
+def blob_key(data: bytes) -> str:
+    """Content address of serialized blob bytes (hex blake2b-16)."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def payload_nbytes(value: Any) -> int:
+    """Actual serialized size of *value* — what a wire transfer costs.
+
+    Uses the ordinary (memoized) pickle, matching what the RMI layer
+    ships; returns 0 for unpicklable values (which never leave the
+    process anyway).
+    """
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+@dataclass(frozen=True, slots=True)
+class BlobRef:
+    """A payload placeholder: fetch blob *key*, expect *size* bytes.
+
+    ``size`` is advisory (network modelling and cache budgeting); the
+    authoritative check on fetched bytes is the digest embedded in
+    ``key`` itself.
+    """
+
+    key: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("blob size cannot be negative")
+
+
+def iter_blob_refs(payload: Any) -> list[BlobRef]:
+    """Every :class:`BlobRef` inside *payload*, deduplicated, in
+    deterministic (first-seen) order.  Walks tuples, lists and dict
+    values — the shapes unit payloads are built from."""
+    seen: dict[str, BlobRef] = {}
+
+    def walk(node: Any) -> None:
+        if isinstance(node, BlobRef):
+            seen.setdefault(node.key, node)
+        elif isinstance(node, (tuple, list)):
+            for item in node:
+                walk(item)
+        elif isinstance(node, dict):
+            for item in node.values():
+                walk(item)
+
+    walk(payload)
+    return list(seen.values())
+
+
+def resolve_payload(payload: Any, lookup: Callable[[BlobRef], Any]) -> Any:
+    """Rebuild *payload* with every :class:`BlobRef` replaced by
+    ``lookup(ref)``.  Containers without refs are returned as-is (no
+    copy), so ref-free payloads pass through untouched."""
+    if isinstance(payload, BlobRef):
+        return lookup(payload)
+    if isinstance(payload, tuple):
+        resolved = tuple(resolve_payload(item, lookup) for item in payload)
+        return payload if resolved == payload else resolved
+    if isinstance(payload, list):
+        resolved_list = [resolve_payload(item, lookup) for item in payload]
+        return payload if resolved_list == payload else resolved_list
+    if isinstance(payload, dict):
+        resolved_dict = {
+            k: resolve_payload(v, lookup) for k, v in payload.items()
+        }
+        return payload if resolved_dict == payload else resolved_dict
+    return payload
+
+
+class BlobCache:
+    """Donor-side LRU blob cache with a byte budget.
+
+    Entries are decoded objects keyed by content address; ``size`` is
+    the serialized byte count (what the budget meters).  All traffic is
+    reported through *sink* under ``farm.cache.*`` names — by default
+    :func:`repro.obs.unitstats.record`, which is a no-op outside a
+    collection context, so the cache can report unconditionally.  The
+    simulator passes a meter-backed sink instead.
+
+    Fetch integrity: received bytes are rehashed against the key; a
+    mismatch (or a transport :class:`ChecksumError`) triggers exactly
+    one refetch, and a second failure raises — a persistently corrupt
+    source must fail the unit loudly, not loop.
+    """
+
+    #: Cache entry for a reference tracked without content (trace mode).
+    _PLACEHOLDER = object()
+
+    def __init__(
+        self,
+        budget_bytes: int = DEFAULT_CACHE_BYTES,
+        sink: Callable[[str, float], None] | None = None,
+    ):
+        if budget_bytes <= 0:
+            raise ValueError("cache budget must be positive")
+        self.budget_bytes = budget_bytes
+        self._sink = sink if sink is not None else unitstats.record
+        self._entries: OrderedDict[str, tuple[int, Any]] = OrderedDict()
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.refetches = 0
+        self.bypasses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def contains(self, key: str) -> bool:
+        """Membership test without touching LRU order or counters."""
+        return key in self._entries
+
+    def keys(self) -> list[str]:
+        return list(self._entries)
+
+    def _record(self, name: str, amount: float = 1.0) -> None:
+        self._sink(name, amount)
+
+    def _fetch_verified(self, ref: BlobRef, fetch: Callable[[BlobRef], bytes]) -> bytes:
+        data: bytes | None = None
+        try:
+            data = fetch(ref)
+        except ChecksumError:
+            data = None
+        if data is not None and blob_key(data) == ref.key:
+            return data
+        # One damaged transfer is weather; retry exactly once.
+        self.refetches += 1
+        self._record("farm.cache.refetches")
+        data = fetch(ref)
+        if blob_key(data) != ref.key:
+            raise ChecksumError(
+                f"blob {ref.key!r}: digest mismatch after refetch"
+            )
+        return data
+
+    def _evict_to_budget(self) -> None:
+        while self.bytes_used > self.budget_bytes and self._entries:
+            _key, (size, _obj) = self._entries.popitem(last=False)
+            self.bytes_used -= size
+            self.evictions += 1
+            self._record("farm.cache.evictions")
+
+    def ensure(
+        self, ref: BlobRef, fetch: Callable[[BlobRef], bytes] | None = None
+    ) -> Any:
+        """One counted cache access for *ref*; returns the decoded blob.
+
+        On a miss with *fetch*, downloads, verifies and decodes the
+        blob; without *fetch* (trace replay: sizes matter, content does
+        not) the reference is tracked with a placeholder entry so hit
+        accounting and eviction behave identically.  A blob larger than
+        the whole budget is returned but not cached (``bypass``), so
+        ``bytes_used`` can never exceed the budget.
+        """
+        entry = self._entries.get(ref.key)
+        if entry is not None:
+            self._entries.move_to_end(ref.key)
+            self.hits += 1
+            self._record("farm.cache.hits")
+            return entry[1]
+        self.misses += 1
+        self._record("farm.cache.misses")
+        if fetch is None:
+            obj: Any = self._PLACEHOLDER
+            size = ref.size
+        else:
+            data = self._fetch_verified(ref, fetch)
+            self._record("farm.cache.fetch.bytes", len(data))
+            obj = pickle.loads(data)
+            size = len(data)
+        if size > self.budget_bytes:
+            self.bypasses += 1
+            self._record("farm.cache.bypass")
+            return obj
+        self._entries[ref.key] = (size, obj)
+        self.bytes_used += size
+        self._evict_to_budget()
+        return obj
+
+
+def fetch_and_resolve(
+    payload: Any,
+    cache: BlobCache,
+    fetch: Callable[[BlobRef], bytes],
+) -> Any:
+    """Resolve every reference in *payload* through *cache*.
+
+    Each distinct reference costs exactly one counted cache access;
+    resolution then substitutes from the fetched objects, so a blob
+    evicted mid-unit (tiny budget, several refs) still resolves.
+    """
+    refs = iter_blob_refs(payload)
+    if not refs:
+        return payload
+    objects = {ref.key: cache.ensure(ref, fetch) for ref in refs}
+    return resolve_payload(payload, lambda ref: objects[ref.key])

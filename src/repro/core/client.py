@@ -18,6 +18,7 @@ import pickle
 import time
 from typing import Any, Callable, Protocol
 
+from repro.core.blobs import DEFAULT_CACHE_BYTES, BlobCache, BlobRef, fetch_and_resolve
 from repro.core.problem import Algorithm
 from repro.core.server import Assignment, TaskFarmServer
 from repro.core.workunit import WorkResult
@@ -42,6 +43,8 @@ class ServerPort(Protocol):
     def heartbeat(self, donor_id: str) -> None: ...
 
     def get_algorithm(self, problem_id: int) -> Algorithm: ...
+
+    def get_shared_blob(self, problem_id: int, key: str) -> bytes: ...
 
     def all_complete(self) -> bool: ...
 
@@ -93,6 +96,9 @@ class InProcessServerPort:
     def get_algorithm(self, problem_id: int) -> Algorithm:
         return self._server.get_algorithm(problem_id)
 
+    def get_shared_blob(self, problem_id: int, key: str) -> bytes:
+        return self._server.get_shared_blob(problem_id, key)
+
     def all_complete(self) -> bool:
         return self._server.all_complete()
 
@@ -114,6 +120,12 @@ class DonorClient:
         this-many seconds while a unit computes — so a unit that takes
         longer than the server's lease timeout (slow donor, big unit)
         is not torn away from a donor that is still making progress.
+    cache_bytes:
+        Byte budget of the shared-blob cache (LRU, content-addressed).
+    blob_fetch:
+        Transport for cache misses: ``(problem_id, ref) -> bytes``.
+        Defaults to the server port's ``get_shared_blob``; the live
+        cluster injects a bulk-data-channel fetch instead.
     clock, sleep:
         Injectable for tests.
     """
@@ -124,6 +136,8 @@ class DonorClient:
         port: ServerPort,
         idle_sleep: float = 0.1,
         heartbeat_interval: float | None = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+        blob_fetch: Callable[[int, BlobRef], bytes] | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ):
@@ -136,9 +150,16 @@ class DonorClient:
         self._clock = clock
         self._sleep = sleep
         self._algorithms: dict[int, Algorithm] = {}
+        self.blob_cache = BlobCache(cache_bytes)
+        self._blob_fetch = blob_fetch
         self.units_done = 0
         self.heartbeats_sent = 0
         self.failures = 0
+
+    def _fetch_blob(self, problem_id: int, ref: BlobRef) -> bytes:
+        if self._blob_fetch is not None:
+            return self._blob_fetch(problem_id, ref)
+        return self.port.get_shared_blob(problem_id, ref.key)
 
     def _algorithm(self, problem_id: int) -> Algorithm:
         algo = self._algorithms.get(problem_id)
@@ -155,7 +176,12 @@ class DonorClient:
         start = self._clock()
         try:
             with unitstats.collect() as stats:
-                value = algo.compute(assignment.payload)
+                payload = fetch_and_resolve(
+                    assignment.payload,
+                    self.blob_cache,
+                    lambda ref: self._fetch_blob(assignment.problem_id, ref),
+                )
+                value = algo.compute(payload)
         finally:
             stop_heartbeat()
         elapsed = self._clock() - start

@@ -30,11 +30,10 @@ from __future__ import annotations
 
 import enum
 import hashlib
-import io
-import pickle
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.blobs import canonical_dumps
 from repro.core.workunit import WorkResult
 from repro.util.rng import stable_coin
 
@@ -56,11 +55,7 @@ def canonical_digest(value: Any) -> bytes:
     floats, strings, lists, dicts and dataclasses.
     """
     try:
-        buffer = io.BytesIO()
-        pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
-        pickler.fast = True  # no memo: identical values, identical bytes
-        pickler.dump(value)
-        payload = buffer.getvalue()
+        payload = canonical_dumps(value)
     except Exception:
         payload = repr(value).encode("utf-8", "replace")
     return hashlib.blake2b(payload, digest_size=16).digest()

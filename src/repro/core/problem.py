@@ -17,6 +17,7 @@ import abc
 import itertools
 from typing import Any, Callable
 
+from repro.core.blobs import BlobRef, blob_key, canonical_dumps
 from repro.core.workunit import UnitPayload, WorkResult
 
 
@@ -62,6 +63,41 @@ class DataManager(abc.ABC):
     def progress(self) -> float:
         """Fraction complete in [0, 1]; subclasses may refine."""
         return 1.0 if self.is_complete() else 0.0
+
+    # -- shared payload blobs ------------------------------------------------
+    #
+    # A DataManager may mark a payload component as *shared*: the value
+    # is canonically serialized once, stored under its content address,
+    # and units carry the returned BlobRef instead of the inline data.
+    # The server ships each blob to a donor at most once; donors cache
+    # by content key, so identical data is even deduplicated across
+    # problems (the paper's "database cached on the client machines").
+
+    def share(self, value: Any) -> BlobRef:
+        """Register *value* as a shared blob; returns its reference.
+
+        Idempotent: sharing an equal value again returns an equal
+        reference (content addressing), storing the bytes once.
+        """
+        blobs = getattr(self, "_shared_blobs", None)
+        if blobs is None:
+            blobs = {}
+            self._shared_blobs = blobs
+        data = canonical_dumps(value)
+        key = blob_key(data)
+        blobs.setdefault(key, data)
+        return BlobRef(key=key, size=len(data))
+
+    def shared_blob(self, key: str) -> bytes:
+        """Serialized bytes of a previously shared blob."""
+        blobs = getattr(self, "_shared_blobs", None)
+        if not blobs or key not in blobs:
+            raise KeyError(f"unknown shared blob {key!r}")
+        return blobs[key]
+
+    def shared_blob_keys(self) -> list[str]:
+        """Keys of every shared blob, in declaration order."""
+        return list(getattr(self, "_shared_blobs", None) or ())
 
 
 class Algorithm(abc.ABC):

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.blobs import iter_blob_refs
 from repro.core.faults import LeaseTable
 from repro.core.integrity import (
     IntegrityPolicy,
@@ -51,7 +52,14 @@ class ProblemStatus(enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class Assignment:
-    """One unit as handed to a donor."""
+    """One unit as handed to a donor.
+
+    ``input_bytes`` is the wire cost charged for this delivery: the
+    inline payload plus any shared blobs this donor receives for the
+    first time.  ``inline_bytes`` is the blob-free part alone (equal to
+    ``input_bytes`` for payloads without references); the simulator
+    uses the split to model inline and blob transfers separately.
+    """
 
     problem_id: int
     unit_id: int
@@ -60,6 +68,7 @@ class Assignment:
     input_bytes: int
     cost_hint: float
     lease_deadline: float
+    inline_bytes: int = -1
 
 
 class _ProblemState:
@@ -171,6 +180,16 @@ class TaskFarmServer:
         self._m_untrusted = meters.counter("farm.integrity.untrusted")
         self._m_quarantines = meters.counter("farm.integrity.quarantines")
         self._g_quarantined = meters.gauge("farm.integrity.quarantined")
+        self._m_blob_refs = meters.counter("net.blob.refs")
+        self._m_blob_deliveries = meters.counter("net.blob.deliveries")
+        self._m_blob_bytes = meters.counter("net.blob.bytes")
+        self._m_blob_saved = meters.counter("net.blob.bytes.saved")
+        # Which blob keys each donor has already been charged for.
+        # Keyed by donor, not (donor, problem): content addressing makes
+        # equal data identical across problems, so a donor that cached
+        # the database for one search never pays for it again.  Not
+        # checkpointed — a restarted server conservatively re-charges.
+        self._delivered_blobs: dict[str, set[str]] = {}
 
     def _sync_donor_gauges(self) -> None:
         self._g_donors.set(len(self._donors))
@@ -328,6 +347,7 @@ class TaskFarmServer:
             donor.active_unit = (pid, unit.unit_id)
             state.units_issued += 1
             self._rr.served(pid)
+            inline_bytes, wire_bytes = self._charge_delivery(donor_id, unit)
             self.log.record(
                 now,
                 "unit.issued",
@@ -336,10 +356,10 @@ class TaskFarmServer:
                 donor_id=donor_id,
                 items=unit.items,
                 attempt=unit.attempts,
-                input_bytes=unit.input_bytes,
+                input_bytes=wire_bytes,
             )
             self._m_units_issued.inc()
-            self._m_bytes_in.inc(unit.input_bytes)
+            self._m_bytes_in.inc(wire_bytes)
             self._h_unit_items.observe(unit.items)
             self._sync_donor_gauges()
             if voting is not None:
@@ -360,11 +380,39 @@ class TaskFarmServer:
                 unit_id=unit.unit_id,
                 payload=unit.payload,
                 items=unit.items,
-                input_bytes=unit.input_bytes,
+                input_bytes=wire_bytes,
                 cost_hint=unit.cost_hint,
                 lease_deadline=lease.deadline,
+                inline_bytes=inline_bytes,
             )
         return None
+
+    def _charge_delivery(self, donor_id: str, unit: WorkUnit) -> tuple[int, int]:
+        """Byte accounting for issuing *unit* to *donor_id*.
+
+        Returns ``(inline_bytes, wire_bytes)``.  A payload without
+        shared-blob references costs its declared ``input_bytes``,
+        unchanged.  With references, every ref adds a fixed envelope
+        cost, and each blob's content is charged only the first time
+        this particular donor receives it — the whole point of the
+        cache: ship the database once, then send references.
+        """
+        refs = iter_blob_refs(unit.payload)
+        inline_bytes = unit.input_bytes
+        if not refs:
+            return inline_bytes, inline_bytes
+        wire_bytes = inline_bytes
+        delivered = self._delivered_blobs.setdefault(donor_id, set())
+        for ref in refs:
+            self._m_blob_refs.inc()
+            if ref.key in delivered:
+                self._m_blob_saved.inc(ref.size)
+            else:
+                delivered.add(ref.key)
+                wire_bytes += ref.size
+                self._m_blob_deliveries.inc()
+                self._m_blob_bytes.inc(ref.size)
+        return inline_bytes, wire_bytes
 
     def _eligible(self, state: _ProblemState, unit_id: int, donor_id: str) -> bool:
         """May *donor_id* be issued (a copy of) this unit?
@@ -633,10 +681,11 @@ class TaskFarmServer:
 
         Donors report through ``WorkResult.extra["meters"]`` (see
         :mod:`repro.obs.unitstats`); only whitelisted ``farm.align.*``
-        names with positive finite amounts are accepted, so a buggy or
-        hostile donor cannot inflate the framework's own accounting
-        (``farm.units.*`` etc.).  Called only after the duplicate/stale
-        checks, which makes the folding exactly-once per unit.
+        and ``farm.cache.*`` names with positive finite amounts are
+        accepted, so a buggy or hostile donor cannot inflate the
+        framework's own accounting (``farm.units.*`` etc.).  Called
+        only after the duplicate/stale checks, which makes the folding
+        exactly-once per unit.
         """
         meters = result.extra.get("meters") if result.extra else None
         if not isinstance(meters, dict):
@@ -644,7 +693,8 @@ class TaskFarmServer:
         accepted = sorted(
             name
             for name in meters
-            if isinstance(name, str) and name.startswith("farm.align.")
+            if isinstance(name, str)
+            and name.startswith(("farm.align.", "farm.cache."))
         )
         for name in accepted:
             amount = meters[name]
@@ -912,3 +962,10 @@ class TaskFarmServer:
 
     def blob_keys(self, problem_id: int) -> list[str]:
         return sorted(self._state(problem_id).problem.blobs)
+
+    def get_shared_blob(self, problem_id: int, key: str) -> bytes:
+        """Serialized bytes of a shared payload blob (cache-miss path)."""
+        return self._state(problem_id).problem.data_manager.shared_blob(key)
+
+    def shared_blob_keys(self, problem_id: int) -> list[str]:
+        return self._state(problem_id).problem.data_manager.shared_blob_keys()

@@ -29,8 +29,10 @@ class UnitPayload:
         database sequences for DSEARCH, candidate trees for DPRml).
         The adaptive scheduler sizes future units in these terms.
     input_bytes:
-        Estimated wire size of the payload, used by the network model
-        and for choosing the bulk data channel.
+        Wire size of the payload as handed out — the *inline* bytes
+        only, excluding the content of any shared blobs it references
+        (blob transfers are charged separately, on first delivery per
+        donor).  Used by the network model and the byte meters.
     cost_hint:
         Optional abstract compute cost (work-units); simulated donors
         charge ``cost_hint / speed`` seconds when executing offline.

@@ -102,8 +102,12 @@ class DataChannelServer:
         meters: MeterRegistry | None = None,
     ):
         self._blobs: dict[str, bytes] = {}
+        self._refs: dict[str, int] = {}
         self._lock = threading.Lock()
         self.meters = meters
+        #: Test hook: a WireChaos here damages outgoing get-streams
+        #: after digest computation (corruption in transit).
+        self.chaos = None
         self._transport = TransportServer(self._serve, host=host, port=port)
         self.host = self._transport.host
         self.port = self._transport.port
@@ -127,10 +131,54 @@ class DataChannelServer:
     def delete(self, key: str) -> None:
         with self._lock:
             self._blobs.pop(key, None)
+            self._refs.pop(key, None)
 
     def keys(self) -> list[str]:
         with self._lock:
             return sorted(self._blobs)
+
+    # -- ref-counted blob lifecycle ------------------------------------
+    #
+    # Shared payload blobs are published once per problem that uses
+    # them and deleted when the last using problem finishes.  Content
+    # addressing means two concurrent searches over the same database
+    # share one stored copy; the refcount keeps it alive until both
+    # are done.
+
+    def retain(self, key: str, data: bytes | None = None) -> None:
+        """Publish (or re-reference) *key*, bumping its refcount.
+
+        *data* is stored on first retain; later retains may omit it.
+        """
+        with self._lock:
+            count = self._refs.get(key, 0)
+            if count == 0 and key not in self._blobs:
+                if data is None:
+                    raise KeyError(f"retain of unpublished blob {key!r} without data")
+                self._blobs[key] = data
+            elif data is not None and key not in self._blobs:
+                self._blobs[key] = data
+            self._refs[key] = count + 1
+
+    def release(self, key: str) -> None:
+        """Drop one reference; the blob is deleted on the last release.
+
+        A release of an untracked key is a no-op (a restarted server
+        may release blobs published by its predecessor).
+        """
+        with self._lock:
+            count = self._refs.get(key)
+            if count is None:
+                return
+            if count <= 1:
+                self._refs.pop(key, None)
+                self._blobs.pop(key, None)
+            else:
+                self._refs[key] = count - 1
+
+    def refcount(self, key: str) -> int:
+        with self._lock:
+            return self._refs.get(key, 0)
 
     def _serve(self, fsock: FrameSocket) -> None:
         while True:
@@ -144,7 +192,7 @@ class DataChannelServer:
                     fsock.send_obj({"ok": False, "error": f"no blob {key!r}"})
                     continue
                 fsock.send_obj({"ok": True, "size": len(data)})
-                _send_stream(fsock.raw, data)
+                _send_stream(fsock.raw, data, chaos=self.chaos)
                 self._meter_transfer("out", len(data))
             elif op == "put":
                 fsock.send_obj({"ok": True})

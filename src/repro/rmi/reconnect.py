@@ -142,5 +142,11 @@ class ReconnectingPort:
     def get_algorithm(self, problem_id: int):
         return self._call("get_algorithm", problem_id)
 
+    def get_shared_blob(self, problem_id: int, key: str) -> bytes:
+        return self._call("get_shared_blob", problem_id, key)
+
+    def data_address(self):
+        return self._call("data_address")
+
     def all_complete(self) -> bool:
         return self._call("all_complete")

@@ -43,6 +43,11 @@ if _extra and _extra.isdigit():
     CHAOS_SEEDS.append(int(_extra))
 
 
+#: Chaos seeds exercised by the cached-vs-uncached differential (a
+#: subset: each case runs two full simulations).
+CACHE_CHAOS_SEEDS = CHAOS_SEEDS[:2]
+
+
 def chaos_plan(seed: int, restart_at: float | None) -> FaultPlan:
     """Every fault type at once, scheduled by *seed*."""
     return FaultPlan(
@@ -178,6 +183,81 @@ class TestChaosProperty:
         assert counters["farm.integrity.redundant_units"] > 0
 
 
+class TestCachedChaosEquivalence:
+    """The data cache under fire: a run with shared payload blobs and
+    every fault type active (including a mid-run server restart, which
+    rebuilds the server — and its shared-blob table — from checkpoint
+    bytes while donors keep their warm caches) must assemble the same
+    bits as a fault-free run with the cache off entirely."""
+
+    @pytest.fixture(scope="class")
+    def dsearch_uncached_digest(self, dsearch_factory):
+        rng = np.random.default_rng(7)
+        query = random_sequence("q0", 60, DNA, rng)
+        database, _ = seeded_database(
+            query, decoy_count=14, homolog_count=2, seed=11,
+            substitution_rate=0.1,
+        )
+        _cluster, pid, report = run_sim(
+            lambda: build_dsearch_problem(
+                database,
+                [query],
+                DSearchConfig(top_hits=4, share_payloads=False),
+            )
+        )
+        assert report.completed
+        return canonical_digest(report.results[pid])
+
+    @pytest.fixture(scope="class")
+    def dprml_uncached_digest(self):
+        true = random_yule_tree(6, seed=33, mean_branch=0.2)
+        alignment = simulate_alignment(true, JC69(), 200, seed=34)
+        _cluster, pid, report = run_sim(
+            lambda: build_dprml_problem(
+                alignment, DPRmlConfig(model="jc69", share_payloads=False)
+            )
+        )
+        assert report.completed
+        return canonical_digest(report.results[pid])
+
+    @pytest.mark.parametrize("seed", CACHE_CHAOS_SEEDS)
+    def test_dsearch_cached_chaos_matches_uncached_clean(
+        self, seed, dsearch_factory, dsearch_baseline, dsearch_uncached_digest
+    ):
+        cached_clean_digest, restart_at = dsearch_baseline
+        # Sharing on or off must not change the assembled bits even
+        # before any chaos enters the picture.
+        assert cached_clean_digest == dsearch_uncached_digest
+        cluster, pid, report = run_sim(
+            dsearch_factory,  # default config: share_payloads on
+            chaos=chaos_plan(seed, restart_at),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.completed
+        assert canonical_digest(report.results[pid]) == dsearch_uncached_digest
+        counters = cluster.obs.meters.snapshot()["counters"]
+        # The cache really was in the line of fire.
+        assert counters["farm.cache.misses"] > 0
+        assert counters["net.blob.bytes"] > 0
+        assert report.log.of_kind("server.restarted")
+
+    @pytest.mark.parametrize("seed", CACHE_CHAOS_SEEDS)
+    def test_dprml_cached_chaos_matches_uncached_clean(
+        self, seed, dprml_factory, dprml_baseline, dprml_uncached_digest
+    ):
+        cached_clean_digest, restart_at = dprml_baseline
+        assert cached_clean_digest == dprml_uncached_digest
+        cluster, pid, report = run_sim(
+            dprml_factory,
+            chaos=chaos_plan(seed, restart_at),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.completed
+        assert canonical_digest(report.results[pid]) == dprml_uncached_digest
+        counters = cluster.obs.meters.snapshot()["counters"]
+        assert counters["farm.cache.misses"] > 0
+
+
 def _free_port() -> int:
     with socket.socket() as sock:
         sock.bind(("127.0.0.1", 0))
@@ -268,6 +348,46 @@ class TestDataChannelChecksum:
             payload = b"x" * (1 << 18) + b"tail"
             push_data(server.host, server.port, "k", payload)
             assert fetch_data(server.host, server.port, "k") == payload
+
+    def test_corrupted_get_detected_by_receiver(self):
+        """Byzantine blob corruption on the serving side: the server's
+        chaos hook damages outgoing streams after digest computation,
+        and the fetching donor must catch it — this is the failure the
+        donor cache answers with exactly one refetch."""
+        with DataChannelServer() as server:
+            data = bytes(range(256)) * 32
+            server.store("blob", data)
+            server.chaos = WireChaos(seed=13, corrupt_rate=1.0)
+            with pytest.raises(ChecksumError):
+                fetch_data(server.host, server.port, "blob")
+            assert server.chaos.corrupted > 0
+            # The stored blob itself is unharmed: once the wire clears,
+            # the same key serves the original bytes.
+            server.chaos = None
+            assert fetch_data(server.host, server.port, "blob") == data
+
+    def test_cache_refetches_through_transient_get_corruption(self):
+        """End to end: a BlobCache fetching over a data channel whose
+        first transfer is damaged recovers with one refetch."""
+        from repro.core.blobs import BlobCache, BlobRef, blob_key, canonical_dumps
+
+        value = ("database", bytes(range(128)) * 16)
+        data = canonical_dumps(value)
+        ref = BlobRef(key=blob_key(data), size=len(data))
+        with DataChannelServer() as server:
+            server.store(ref.key, data)
+            server.chaos = WireChaos(seed=21, corrupt_rate=1.0)
+            cache = BlobCache(1 << 20, sink=lambda n, a: None)
+
+            def flaky_fetch(r):
+                try:
+                    return fetch_data(server.host, server.port, r.key)
+                finally:
+                    server.chaos = None  # wire clears after the first try
+
+            assert cache.ensure(ref, flaky_fetch) == value
+            assert cache.refetches == 1
+            assert cache.contains(ref.key)
 
 
 class TestReconnectJitter:

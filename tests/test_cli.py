@@ -133,6 +133,66 @@ class TestFarmCLI:
         finally:
             rmi.close()
 
+    def test_donor_fetches_shared_blobs_over_data_channel(self, capsys):
+        """The deployed cache path: a shared-payload search served over
+        repro-server's facade + bulk data channel, worked by the donor
+        CLI — blobs must cross the data channel, not the RMI fallback."""
+        import numpy as np
+
+        from repro.apps.dsearch import DSearchConfig
+        from repro.apps.dsearch import build_problem as build_dsearch_problem
+        from repro.bio.seq import DNA
+        from repro.bio.seq.generate import random_sequence, seeded_database
+        from repro.cluster.local import ServerFacade
+        from repro.core.integrity import canonical_digest
+        from repro.core.scheduler import FixedGranularity
+        from repro.core.server import TaskFarmServer
+        from repro.rmi import RMIServer
+        from repro.rmi.datachannel import DataChannelServer
+
+        rng = np.random.default_rng(5)
+        query = random_sequence("q0", 48, DNA, rng)
+        database, _ = seeded_database(
+            query, decoy_count=10, homolog_count=2, seed=6,
+            substitution_rate=0.1,
+        )
+
+        def deploy_and_run(share: bool):
+            server = TaskFarmServer(
+                policy=FixedGranularity(3), lease_timeout=60.0
+            )
+            data_channel = DataChannelServer(meters=server.obs.meters)
+            facade = ServerFacade(server, data_channel=data_channel)
+            rmi = RMIServer()
+            rmi.bind("taskfarm", facade)
+            pid = facade.submit(
+                build_dsearch_problem(
+                    database,
+                    [query],
+                    DSearchConfig(top_hits=3, share_payloads=share),
+                )
+            )
+            try:
+                code = donor_main(
+                    [f"{rmi.host}:{rmi.port}", "--name", "blob-donor",
+                     "--idle-sleep", "0.01"]
+                )
+                assert code == 0
+                result = facade.final_result(pid)
+            finally:
+                rmi.close()
+                data_channel.close()
+            return canonical_digest(result), server.obs.meters.snapshot()
+
+        cached_digest, cached_snap = deploy_and_run(share=True)
+        plain_digest, _plain_snap = deploy_and_run(share=False)
+        assert cached_digest == plain_digest
+        counters = cached_snap["counters"]
+        assert counters["net.blob.deliveries"] > 0
+        assert counters["net.blob.published"] > 0
+        # The blobs travelled over the bulk channel, not RMI.
+        assert counters["data.transfers.out"] > 0
+
     def test_donor_bad_address(self):
         with pytest.raises(SystemExit):
             donor_main(["localhost"])  # missing port

@@ -11,7 +11,7 @@ from repro.cluster.local import ServerFacade, make_blob_fetch
 from repro.core.client import DonorClient
 from repro.core.integrity import IntegrityPolicy
 from repro.core.scheduler import AdaptiveGranularity
-from repro.core.server import TaskFarmServer
+from repro.core.server import PipelineConfig, TaskFarmServer
 from repro.rmi import RMIServer, connect
 from repro.rmi.datachannel import DataChannelServer
 
@@ -59,6 +59,26 @@ def server_main(argv: list[str] | None = None) -> int:
         "--quarantine-after", type=float, default=3.0, metavar="SUSPICION",
         help="suspicion score at which a donor stops receiving work",
     )
+    pipe = parser.add_argument_group(
+        "pipelined runtime",
+        "overlap donor communication with computation: multi-lease "
+        "depth for prefetching donors, speculative tail re-issue",
+    )
+    pipe.add_argument(
+        "--lease-depth", type=int, default=0, metavar="DEPTH",
+        help="max units leased to one donor at once "
+             "(0 = unlimited, the historical behaviour; prefetching "
+             "donors want 2)",
+    )
+    pipe.add_argument(
+        "--tail-reissue", action="store_true",
+        help="speculatively duplicate straggler units near problem end "
+             "onto idle donors (exactly-once folding drops the loser)",
+    )
+    pipe.add_argument(
+        "--tail-window", type=int, default=4, metavar="K",
+        help="re-issue only when at most K units remain in flight",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -71,11 +91,20 @@ def server_main(argv: list[str] | None = None) -> int:
         )
     except ValueError as exc:
         parser.error(str(exc))
+    try:
+        pipeline = PipelineConfig(
+            lease_depth=args.lease_depth if args.lease_depth > 0 else None,
+            tail_reissue=args.tail_reissue,
+            tail_window=args.tail_window,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
 
     server = TaskFarmServer(
         policy=AdaptiveGranularity(target_seconds=args.unit_target_seconds),
         lease_timeout=args.lease_timeout,
         integrity=policy,
+        pipeline=pipeline,
     )
     # Shared payload blobs go out over the bulk data channel; donors
     # learn its address via the facade and cache blobs by digest.
@@ -130,6 +159,11 @@ def donor_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-units", type=int, default=None, help="stop after N units"
     )
+    parser.add_argument(
+        "--prefetch", action="store_true",
+        help="pipelined mode: fetch unit N+1 in the background while "
+             "unit N computes (the server should run --lease-depth 2)",
+    )
     args = parser.parse_args(argv)
 
     host, _, port_text = args.server.partition(":")
@@ -155,6 +189,7 @@ def donor_main(argv: list[str] | None = None) -> int:
             proxy,
             idle_sleep=args.idle_sleep,
             blob_fetch=make_blob_fetch(proxy),
+            prefetch=args.prefetch,
         )
         print(f"donor {donor_id} connected to {host}:{port}", flush=True)
         units = client.run(max_units=args.max_units)

@@ -51,6 +51,13 @@ _KEY_COUNTERS = (
     "farm.cache.refetches",
     "farm.cache.bypass",
     "farm.cache.fetch.bytes",
+    "farm.pipeline.prefetch.hits",
+    "farm.pipeline.prefetch.misses",
+    "farm.pipeline.idle.gap.seconds",
+    "farm.pipeline.idle.polls",
+    "farm.pipeline.depth.refusals",
+    "farm.pipeline.tail.reissues",
+    "farm.pipeline.wasted.items",
     "net.blob.refs",
     "net.blob.deliveries",
     "net.blob.bytes",
@@ -141,6 +148,13 @@ def render_snapshot(snap: dict[str, Any]) -> str:
                 )
                 lines.append(
                     f"  {'farm.align.pad.efficiency':<24} {efficiency:.1%}"
+                )
+            elif name == "farm.pipeline.prefetch.misses":
+                # Fraction of unit fetches fully hidden under compute.
+                hits = counters.get("farm.pipeline.prefetch.hits", 0.0)
+                rate = hits / (hits + counters[name])
+                lines.append(
+                    f"  {'farm.pipeline.prefetch.hit.rate':<24} {rate:.1%}"
                 )
     histograms = meters.get("histograms", {})
     interesting = [n for n in sorted(histograms) if histograms[n]["count"]]

@@ -21,7 +21,12 @@ from repro.core.blobs import BlobRef, iter_blob_refs
 from repro.core.client import DonorClient, InProcessServerPort
 from repro.core.problem import Algorithm, Problem
 from repro.core.scheduler import GranularityPolicy
-from repro.core.server import Assignment, ProblemStatus, TaskFarmServer
+from repro.core.server import (
+    Assignment,
+    PipelineConfig,
+    ProblemStatus,
+    TaskFarmServer,
+)
 from repro.core.workunit import WorkResult
 from repro.rmi import RMIServer, connect
 from repro.rmi.datachannel import DataChannelServer, fetch_data
@@ -183,7 +188,13 @@ class ServerFacade:
 
 
 class ThreadCluster:
-    """Donors as threads against an in-process server."""
+    """Donors as threads against an in-process server.
+
+    With ``prefetch=True`` every donor runs the pipelined double-buffer
+    loop; pass a matching ``pipeline``
+    (:meth:`~repro.core.server.PipelineConfig.pipelined` when omitted)
+    so the server leases each donor the extra in-flight unit.
+    """
 
     def __init__(
         self,
@@ -191,11 +202,18 @@ class ThreadCluster:
         policy: GranularityPolicy | None = None,
         lease_timeout: float = 30.0,
         idle_sleep: float = 0.002,
+        prefetch: bool = False,
+        pipeline: PipelineConfig | None = None,
     ):
-        self.server = TaskFarmServer(policy=policy, lease_timeout=lease_timeout)
+        if prefetch and pipeline is None:
+            pipeline = PipelineConfig.pipelined()
+        self.server = TaskFarmServer(
+            policy=policy, lease_timeout=lease_timeout, pipeline=pipeline
+        )
         self._facade_lock = threading.RLock()
         self.workers = workers
         self.idle_sleep = idle_sleep
+        self.prefetch = prefetch
         self._threads: list[threading.Thread] = []
 
     def submit(self, problem: Problem) -> int:
@@ -206,7 +224,12 @@ class ThreadCluster:
         """Run donors until every submitted problem completes."""
         port = _LockedPort(self.server, self._facade_lock)
         clients = [
-            DonorClient(f"thread-{i}", port, idle_sleep=self.idle_sleep)
+            DonorClient(
+                f"thread-{i}",
+                port,
+                idle_sleep=self.idle_sleep,
+                prefetch=self.prefetch,
+            )
             for i in range(self.workers)
         ]
         self._threads = [
@@ -296,12 +319,18 @@ def make_blob_fetch(proxy):
     return fetch
 
 
-def _worker_main(host: str, port: int, donor_id: str, idle_sleep: float) -> None:
+def _worker_main(
+    host: str, port: int, donor_id: str, idle_sleep: float, prefetch: bool = False
+) -> None:
     """Donor process entry point: the real client against RMI."""
     proxy = connect(host, port, "taskfarm")
     try:
         client = DonorClient(
-            donor_id, proxy, idle_sleep=idle_sleep, blob_fetch=make_blob_fetch(proxy)
+            donor_id,
+            proxy,
+            idle_sleep=idle_sleep,
+            blob_fetch=make_blob_fetch(proxy),
+            prefetch=prefetch,
         )
         client.run()
     finally:
@@ -325,8 +354,15 @@ class LocalCluster:
         policy: GranularityPolicy | None = None,
         lease_timeout: float = 30.0,
         idle_sleep: float = 0.05,
+        prefetch: bool = False,
+        pipeline: PipelineConfig | None = None,
     ):
-        self.server = TaskFarmServer(policy=policy, lease_timeout=lease_timeout)
+        if prefetch and pipeline is None:
+            pipeline = PipelineConfig.pipelined()
+        self.server = TaskFarmServer(
+            policy=policy, lease_timeout=lease_timeout, pipeline=pipeline
+        )
+        self.prefetch = prefetch
         self.data_channel = DataChannelServer(meters=self.server.obs.meters)
         self.facade = ServerFacade(self.server, data_channel=self.data_channel)
         # One observability bundle across layers: RMI dispatch meters and
@@ -352,7 +388,13 @@ class LocalCluster:
         for i in range(self.workers):
             proc = ctx.Process(
                 target=_worker_main,
-                args=(self.rmi.host, self.rmi.port, f"proc-{i}", self.idle_sleep),
+                args=(
+                    self.rmi.host,
+                    self.rmi.port,
+                    f"proc-{i}",
+                    self.idle_sleep,
+                    self.prefetch,
+                ),
                 daemon=True,
             )
             proc.start()

@@ -20,14 +20,20 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cluster.sim.chaos import FaultPlan
-from repro.cluster.sim.engine import Process, Simulator, Timeout
+from repro.cluster.sim.engine import (
+    Process,
+    SimEvent,
+    Simulator,
+    Timeout,
+    WaitEvent,
+)
 from repro.cluster.sim.machines import MachineSpec
 from repro.cluster.sim.network import NetworkConfig, NetworkModel
 from repro.core.blobs import DEFAULT_CACHE_BYTES, BlobCache, iter_blob_refs, resolve_payload
 from repro.core.integrity import IntegrityPolicy
 from repro.core.problem import Problem
 from repro.core.scheduler import GranularityPolicy
-from repro.core.server import Assignment, TaskFarmServer
+from repro.core.server import Assignment, PipelineConfig, TaskFarmServer
 from repro.core.workunit import WorkResult
 from repro.obs import Observability, unitstats
 from repro.util.events import EventLog
@@ -90,6 +96,13 @@ class SimCluster:
     donor_cache_bytes:
         Byte budget of each simulated donor's shared-blob cache,
         mirroring the live :class:`~repro.core.client.DonorClient`.
+    pipeline:
+        When set, the embedded server runs this
+        :class:`~repro.core.server.PipelineConfig` and every machine
+        uses the pipelined donor protocol: while unit N computes, a
+        forked process downloads unit N+1, so the simulator reproduces
+        the live prefetch runtime's download/compute overlap.  ``None``
+        (the default) keeps the historical serial protocol.
     """
 
     def __init__(
@@ -106,6 +119,7 @@ class SimCluster:
         chaos: FaultPlan | None = None,
         max_unit_attempts: int = 5,
         donor_cache_bytes: int = DEFAULT_CACHE_BYTES,
+        pipeline: PipelineConfig | None = None,
     ):
         if not machines:
             raise ValueError("need at least one machine")
@@ -123,6 +137,7 @@ class SimCluster:
         self._max_unit_attempts = max_unit_attempts
         self.integrity = integrity
         self.chaos = chaos
+        self.pipeline = pipeline
         self.server = self._make_server()
         self.network = NetworkModel(self.sim, network, meters=self.obs.meters)
         self.seed = seed
@@ -157,6 +172,7 @@ class SimCluster:
             log=log,
             integrity=self.integrity,
             max_unit_attempts=self._max_unit_attempts,
+            pipeline=self.pipeline,
         )
 
     # ------------------------------------------------------------------
@@ -211,7 +227,7 @@ class SimCluster:
             sessions = spec.sessions or ((0.0, float("inf")),)
             for session_index, (start, end) in enumerate(sessions):
                 self.sim.spawn(
-                    self._machine_process(spec, end, session_index), delay=start
+                    self._spawn_session(spec, end, session_index), delay=start
                 )
         # Periodic lease sweep, as the live server's timer thread does.
         self.sim.every(
@@ -266,6 +282,14 @@ class SimCluster:
         fresh = self._make_server(log=log)
         loads_checkpoint(blob, fresh, now)
         self.server = fresh
+
+    def _spawn_session(
+        self, spec: MachineSpec, session_end: float, session_index: int
+    ) -> Process:
+        """The donor protocol for one session: serial or pipelined."""
+        if self.pipeline is not None:
+            return self._machine_process_pipelined(spec, session_end, session_index)
+        return self._machine_process(spec, session_end, session_index)
 
     def _machine_process(
         self, spec: MachineSpec, session_end: float, session_index: int
@@ -323,7 +347,7 @@ class SimCluster:
                     # fresh session.
                     self._chaos_sessions += 1
                     self.sim.spawn(
-                        self._machine_process(
+                        self._spawn_session(
                             spec, session_end, self._chaos_sessions
                         ),
                         delay=self.chaos.crash_downtime,
@@ -397,9 +421,29 @@ class SimCluster:
     ) -> Process:
         """Download, compute, upload.  Returns False if the machine's
         session ended mid-compute (the unit is abandoned)."""
-        sim = self.sim
         payload = yield from self._download_unit(donor_id, assignment)
+        finished = yield from self._compute_and_upload(
+            spec, donor_id, assignment, payload, rng, chaos_rng, session_end
+        )
+        return finished
 
+    def _compute_and_upload(
+        self,
+        spec: MachineSpec,
+        donor_id: str,
+        assignment: Assignment,
+        payload: Any,
+        rng,
+        chaos_rng,
+        session_end: float,
+    ) -> Process:
+        """Compute an already-downloaded unit and upload the result.
+        Returns False if the session ended mid-compute (unit abandoned).
+
+        Split out of :meth:`_execute_assignment` so the pipelined
+        protocol can run it on a payload a forked prefetch process
+        downloaded earlier."""
+        sim = self.sim
         algorithm = self.server.get_algorithm(assignment.problem_id)
         cost = assignment.cost_hint or algorithm.cost(payload)
         rate = spec.effective_rate(rng)
@@ -471,3 +515,147 @@ class SimCluster:
             self.server.submit_result(result, sim.now)
         self._machine_units[donor_id] += 1
         return True
+
+    # -- the pipelined donor protocol -----------------------------------
+
+    def _fetch_assignment(
+        self, donor_id: str, session_index: int
+    ) -> Process:
+        """Control round trip + request + download, as one step.
+
+        Returns ``(assignment, payload)``; ``(None, None)`` when the
+        server was idle or forgot us (a chaos restart — we re-register
+        and let the caller retry).
+        """
+        sim = self.sim
+        yield from self.network.control_roundtrip()
+        try:
+            assignment = self.server.request_work(donor_id, sim.now)
+        except KeyError:
+            self.server.register_donor(donor_id, sim.now)
+            self._active_session[donor_id] = session_index
+            return None, None
+        if assignment is None:
+            return None, None
+        payload = yield from self._download_unit(donor_id, assignment)
+        return assignment, payload
+
+    def _prefetch_process(
+        self,
+        donor_id: str,
+        session_index: int,
+        box: list,
+        event: SimEvent,
+    ) -> Process:
+        """Forked download of the *next* unit, overlapping compute.
+
+        Fills ``box[0]`` with ``(assignment, payload)`` and fires
+        *event* when done.  Aborts (leaving ``(None, None)``) when the
+        session is no longer current — a dead donor's prefetch must not
+        resurrect its registration — or when the server has no work.  A
+        restarted server (KeyError) is also left for the main loop's
+        synchronous path to re-register.
+        """
+        try:
+            if self._active_session.get(donor_id) != session_index:
+                return
+            yield from self.network.control_roundtrip()
+            if self._active_session.get(donor_id) != session_index:
+                return
+            try:
+                assignment = self.server.request_work(donor_id, self.sim.now)
+            except KeyError:
+                return
+            if assignment is None:
+                return
+            payload = yield from self._download_unit(donor_id, assignment)
+            box[0] = (assignment, payload)
+        finally:
+            event.fire()
+
+    def _machine_process_pipelined(
+        self, spec: MachineSpec, session_end: float, session_index: int
+    ) -> Process:
+        """One donor session under the pipelined protocol.
+
+        Identical to :meth:`_machine_process` except that while unit N
+        computes, a forked :meth:`_prefetch_process` downloads unit
+        N+1; joining an already-fired prefetch is a *hit* (compute
+        never stalled), otherwise the wait is metered as donor idle
+        gap.  Leases a consumed-too-late session leaves behind are
+        requeued by deregistration or lease expiry, exactly as for the
+        serial protocol.
+        """
+        sim = self.sim
+        meters = self.obs.meters
+        rng = spawn_rng(self.seed, "machine", spec.machine_id, session_index)
+        chaos_rng = (
+            self.chaos.rng_for(spec.machine_id, session_index)
+            if self.chaos is not None
+            else None
+        )
+        donor_id = spec.machine_id
+
+        self.server.register_donor(donor_id, sim.now)
+        self._active_session[donor_id] = session_index
+        slot: tuple[list, SimEvent] | None = None
+        try:
+            while True:
+                if sim.now >= session_end or self._all_done():
+                    return
+                if slot is not None:
+                    box, event = slot
+                    slot = None
+                    if event.fired:
+                        meters.counter("farm.pipeline.prefetch.hits").inc()
+                    else:
+                        start = sim.now
+                        yield WaitEvent(event)
+                        gap = sim.now - start
+                        meters.counter("farm.pipeline.prefetch.misses").inc()
+                        if gap > 0:
+                            meters.counter(
+                                "farm.pipeline.idle.gap.seconds"
+                            ).inc(gap)
+                    assignment, payload = box[0]
+                else:
+                    # Cold start / post-idle: synchronous fetch.
+                    meters.counter("farm.pipeline.prefetch.misses").inc()
+                    assignment, payload = yield from self._fetch_assignment(
+                        donor_id, session_index
+                    )
+                if assignment is None:
+                    if self._all_done():
+                        return
+                    yield Timeout(self.idle_poll)
+                    continue
+                # Fork the download of the next unit, then compute this
+                # one — the overlap the whole pipeline exists for.
+                box = [(None, None)]
+                event = SimEvent(sim)
+                sim.spawn(
+                    self._prefetch_process(donor_id, session_index, box, event)
+                )
+                slot = (box, event)
+                finished = yield from self._compute_and_upload(
+                    spec, donor_id, assignment, payload, rng, chaos_rng, session_end
+                )
+                if not finished:
+                    return  # left the pool mid-compute
+                if (
+                    self.chaos is not None
+                    and chaos_rng.random() < self.chaos.crash_rate
+                ):
+                    self._chaos_sessions += 1
+                    self.sim.spawn(
+                        self._spawn_session(
+                            spec, session_end, self._chaos_sessions
+                        ),
+                        delay=self.chaos.crash_downtime,
+                    )
+                    self._active_session.pop(donor_id, None)
+                    return
+        finally:
+            if self._active_session.get(donor_id) == session_index:
+                self.server.deregister_donor(donor_id, sim.now)
+                del self._active_session[donor_id]

@@ -5,6 +5,8 @@ Processes are Python generators that ``yield`` effect objects:
 * ``Timeout(dt)`` — resume after *dt* simulated seconds.
 * ``Acquire(resource)`` — resume once the FIFO resource grants a slot;
   the process must later call ``resource.release()``.
+* ``WaitEvent(event)`` — resume once the one-shot :class:`SimEvent` has
+  fired (immediately when it already did).
 
 The engine is deterministic: events at equal times fire in scheduling
 order (a monotone sequence number breaks ties), so a seeded simulation
@@ -43,6 +45,43 @@ class Acquire(Effect):
     """Suspend until the resource grants a slot (FIFO order)."""
 
     resource: "SimResource"
+
+
+@dataclass(frozen=True, slots=True)
+class WaitEvent(Effect):
+    """Suspend until the one-shot :class:`SimEvent` fires."""
+
+    event: "SimEvent"
+
+
+class SimEvent:
+    """A one-shot completion signal between processes.
+
+    The pipelined machine model needs fork/join: a machine forks a
+    download process for unit N+1, computes unit N, then *joins* the
+    download.  Waiters arriving after :meth:`fire` resume immediately,
+    so a join never races the completion.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self.fired = False
+        self._waiters: list[Callable[[], None]] = []
+
+    def fire(self) -> None:
+        """Mark complete and wake every waiter (idempotent)."""
+        if self.fired:
+            return
+        self.fired = True
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            self._sim.call_soon(wake)
+
+    def _wait(self, wake: Callable[[], None]) -> None:
+        if self.fired:
+            self._sim.call_soon(wake)
+        else:
+            self._waiters.append(wake)
 
 
 class SimResource:
@@ -163,9 +202,12 @@ class Simulator:
             self.schedule(effect.delay, lambda: self._step(process, None))
         elif isinstance(effect, Acquire):
             effect.resource._try_acquire(lambda: self._step(process, None))
+        elif isinstance(effect, WaitEvent):
+            effect.event._wait(lambda: self._step(process, None))
         else:
             raise TypeError(
-                f"process yielded {effect!r}; expected Timeout or Acquire"
+                f"process yielded {effect!r}; expected Timeout, Acquire, "
+                f"or WaitEvent"
             )
 
     # -- running -----------------------------------------------------------

@@ -53,6 +53,22 @@ class NetworkConfig:
         if self.server_overhead < 0:
             raise ValueError("server_overhead cannot be negative")
 
+    @classmethod
+    def high_latency(
+        cls,
+        bandwidth: float = 2e6,
+        latency: float = 0.25,
+        **kwargs,
+    ) -> "NetworkConfig":
+        """A WAN-ish link: donors far from the server.
+
+        Every control exchange costs two round trips of a quarter
+        second and payloads crawl through ~16 Mbit/s — the regime where
+        a serial fetch→compute→submit donor idles most of its time on
+        the wire and the pipelined runtime pays off hardest.
+        """
+        return cls(bandwidth=bandwidth, latency=latency, **kwargs)
+
 
 class NetworkModel:
     """The server link as a simulation resource.

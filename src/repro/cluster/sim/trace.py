@@ -90,6 +90,28 @@ class WorkloadTrace:
     ) -> "WorkloadTrace":
         return cls((TraceStage(tuple(float(c) for c in costs), bytes_per_item),), name)
 
+    @classmethod
+    def staged(
+        cls,
+        stage_costs: Sequence[Sequence[float]],
+        bytes_per_item: int = 1024,
+        shared_bytes: int = 0,
+        name: str = "trace",
+    ) -> "WorkloadTrace":
+        """A multi-stage trace from per-stage cost lists (DPRml shape:
+        a full barrier between consecutive stages)."""
+        return cls(
+            tuple(
+                TraceStage(
+                    tuple(float(c) for c in costs),
+                    bytes_per_item,
+                    shared_bytes,
+                )
+                for costs in stage_costs
+            ),
+            name,
+        )
+
 
 class TraceDataManager(DataManager):
     """Partitions a :class:`WorkloadTrace`, honouring stage barriers.

@@ -14,7 +14,10 @@ implementations:
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
+import random
+import threading
 import time
 from typing import Any, Callable, Protocol
 
@@ -113,8 +116,23 @@ class DonorClient:
     port:
         A :class:`ServerPort` implementation.
     idle_sleep:
-        Seconds to sleep when the server has no work (stage barriers in
-        staged computations make this a normal condition, not an error).
+        Base of the idle backoff: when the server has no work (stage
+        barriers in staged computations make this a normal condition,
+        not an error) the donor sleeps a full-jitter exponential
+        backoff starting from this value — uniform over
+        ``[0, min(cap, idle_sleep * 2**attempt)]`` — instead of
+        hammering the server at a fixed period.
+    idle_sleep_max:
+        Cap of the idle backoff.  Defaults to ``heartbeat_interval``
+        when one is set (an idle donor then polls at least as often as
+        a busy one heartbeats), else ``idle_sleep * 16``.
+    prefetch:
+        Enable the pipelined runtime: while unit N computes, a
+        background thread requests unit N+1 and warms its algorithm and
+        shared blobs, so compute never waits on the wire.  Requires a
+        thread-safe port (the RMI proxy and the cluster's locked
+        in-process port both are) and a server with
+        ``PipelineConfig.lease_depth >= 2``.
     heartbeat_interval:
         When set, a background thread renews the donor's lease every
         this-many seconds while a unit computes — so a unit that takes
@@ -126,7 +144,7 @@ class DonorClient:
         Transport for cache misses: ``(problem_id, ref) -> bytes``.
         Defaults to the server port's ``get_shared_blob``; the live
         cluster injects a bulk-data-channel fetch instead.
-    clock, sleep:
+    clock, sleep, rng:
         Injectable for tests.
     """
 
@@ -135,26 +153,44 @@ class DonorClient:
         donor_id: str,
         port: ServerPort,
         idle_sleep: float = 0.1,
+        idle_sleep_max: float | None = None,
+        prefetch: bool = False,
         heartbeat_interval: float | None = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         blob_fetch: Callable[[int, BlobRef], bytes] | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
     ):
         if heartbeat_interval is not None and heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
+        if idle_sleep_max is not None and idle_sleep_max < idle_sleep:
+            raise ValueError("idle_sleep_max must be >= idle_sleep")
         self.donor_id = donor_id
         self.port = port
         self.idle_sleep = idle_sleep
+        self.idle_sleep_max = idle_sleep_max
+        self.prefetch = prefetch
         self.heartbeat_interval = heartbeat_interval
         self._clock = clock
         self._sleep = sleep
+        self._rng = rng or random.Random()
         self._algorithms: dict[int, Algorithm] = {}
         self.blob_cache = BlobCache(cache_bytes)
         self._blob_fetch = blob_fetch
+        # One lock covers the blob cache and algorithm cache: the
+        # prefetch thread warms unit N+1 while the main thread resolves
+        # unit N, and neither cache is internally synchronised.
+        self._cache_lock = threading.Lock()
+        # Pipeline telemetry accumulated donor-side, folded into the
+        # next result's ``extra["meters"]`` so it reaches the server's
+        # whitelisted farm.pipeline.* counters.
+        self._meters_pending: dict[str, float] = {}
         self.units_done = 0
         self.heartbeats_sent = 0
         self.failures = 0
+        self.idle_polls = 0
+        self._idle_attempt = 0
 
     def _fetch_blob(self, problem_id: int, ref: BlobRef) -> bytes:
         if self._blob_fetch is not None:
@@ -162,11 +198,15 @@ class DonorClient:
         return self.port.get_shared_blob(problem_id, ref.key)
 
     def _algorithm(self, problem_id: int) -> Algorithm:
-        algo = self._algorithms.get(problem_id)
+        with self._cache_lock:
+            algo = self._algorithms.get(problem_id)
         if algo is None:
             # Shipped once per problem and cached, as in the paper.
+            # Fetched outside the lock (it may be a slow RMI call); a
+            # rare duplicate fetch from the prefetch thread is benign.
             algo = self.port.get_algorithm(problem_id)
-            self._algorithms[problem_id] = algo
+            with self._cache_lock:
+                self._algorithms[problem_id] = algo
         return algo
 
     def execute(self, assignment: Assignment) -> WorkResult:
@@ -176,11 +216,12 @@ class DonorClient:
         start = self._clock()
         try:
             with unitstats.collect() as stats:
-                payload = fetch_and_resolve(
-                    assignment.payload,
-                    self.blob_cache,
-                    lambda ref: self._fetch_blob(assignment.problem_id, ref),
-                )
+                with self._cache_lock:
+                    payload = fetch_and_resolve(
+                        assignment.payload,
+                        self.blob_cache,
+                        lambda ref: self._fetch_blob(assignment.problem_id, ref),
+                    )
                 value = algo.compute(payload)
         finally:
             stop_heartbeat()
@@ -230,6 +271,43 @@ class DonorClient:
 
         return stop
 
+    def _meter(self, name: str, amount: float) -> None:
+        self._meters_pending[name] = self._meters_pending.get(name, 0.0) + amount
+
+    def _submit(self, result: WorkResult) -> None:
+        """Submit a result, folding pending pipeline meters into it."""
+        if self._meters_pending:
+            extra = dict(result.extra or {})
+            meters = dict(extra.get("meters") or {})
+            for name, amount in self._meters_pending.items():
+                meters[name] = meters.get(name, 0.0) + amount
+            extra["meters"] = meters
+            result = dataclasses.replace(result, extra=extra)
+            self._meters_pending.clear()
+        self.port.submit_result(result)
+        self.units_done += 1
+
+    def _idle_wait(self) -> None:
+        """Full-jitter exponential backoff while the server has no work.
+
+        A stage barrier (DPRml) idles every donor at once; fixed-period
+        polling then hits the server with a synchronised thundering
+        herd.  Jittered geometric backoff — the idiom of
+        :mod:`repro.rmi.reconnect` — decorrelates and thins the polls,
+        capped so a freed barrier is noticed within one heartbeat.
+        """
+        self.idle_polls += 1
+        cap = self.idle_sleep_max
+        if cap is None:
+            cap = (
+                self.heartbeat_interval
+                if self.heartbeat_interval is not None
+                else self.idle_sleep * 16
+            )
+        bound = min(cap, self.idle_sleep * (2.0 ** self._idle_attempt))
+        self._idle_attempt += 1
+        self._sleep(self._rng.uniform(0.0, bound))
+
     def step(self) -> bool:
         """One fetch→compute→submit cycle; False when the server was idle.
 
@@ -240,6 +318,10 @@ class DonorClient:
         assignment = self.port.request_work(self.donor_id)
         if assignment is None:
             return False
+        self._compute_and_submit(assignment)
+        return True
+
+    def _compute_and_submit(self, assignment: Assignment) -> None:
         try:
             result = self.execute(assignment)
         except Exception as exc:
@@ -250,10 +332,43 @@ class DonorClient:
                 self.donor_id,
                 f"{type(exc).__name__}: {exc}",
             )
-            return True
-        self.port.submit_result(result)
-        self.units_done += 1
-        return True
+            return
+        self._submit(result)
+
+    def _spawn_prefetch(self) -> tuple[list[Assignment | None], threading.Event]:
+        """Request the next unit in the background; returns (box, done).
+
+        The thread also warms the algorithm and shared-blob caches for
+        the granted unit, so the wire time of unit N+1 hides entirely
+        under unit N's compute.  A port error leaves ``None`` in the
+        box — the main loop then falls back to a synchronous request.
+        """
+        box: list[Assignment | None] = [None]
+        done = threading.Event()
+
+        def fetch() -> None:
+            try:
+                assignment = self.port.request_work(self.donor_id)
+                box[0] = assignment
+                if assignment is not None:
+                    self._algorithm(assignment.problem_id)
+                    with self._cache_lock:
+                        fetch_and_resolve(
+                            assignment.payload,
+                            self.blob_cache,
+                            lambda ref: self._fetch_blob(
+                                assignment.problem_id, ref
+                            ),
+                        )
+            except Exception:
+                pass  # box holds whatever was granted before the error
+            finally:
+                done.set()
+
+        threading.Thread(
+            target=fetch, name=f"prefetch:{self.donor_id}", daemon=True
+        ).start()
+        return box, done
 
     def run(
         self,
@@ -264,16 +379,10 @@ class DonorClient:
         the number of units computed."""
         self.port.register_donor(self.donor_id)
         try:
-            while True:
-                if should_stop is not None and should_stop():
-                    break
-                if max_units is not None and self.units_done >= max_units:
-                    break
-                worked = self.step()
-                if not worked:
-                    if self.port.all_complete():
-                        break
-                    self._sleep(self.idle_sleep)
+            if self.prefetch:
+                self._run_pipelined(max_units, should_stop)
+            else:
+                self._run_serial(max_units, should_stop)
         finally:
             try:
                 self.port.deregister_donor(self.donor_id)
@@ -283,16 +392,85 @@ class DonorClient:
                 pass
         return self.units_done
 
+    def _run_serial(
+        self,
+        max_units: int | None,
+        should_stop: Callable[[], bool] | None,
+    ) -> None:
+        while True:
+            if should_stop is not None and should_stop():
+                break
+            if max_units is not None and self.units_done >= max_units:
+                break
+            worked = self.step()
+            if worked:
+                self._idle_attempt = 0
+            else:
+                if self.port.all_complete():
+                    break
+                self._idle_wait()
+
+    def _run_pipelined(
+        self,
+        max_units: int | None,
+        should_stop: Callable[[], bool] | None,
+    ) -> None:
+        """Double-buffered donor loop: compute unit N while unit N+1
+        downloads.
+
+        One prefetch slot (not a queue): depth 2 is what hides the
+        wire, and a deeper hoard would just strand leases on this donor
+        at problem end — the server's lease depth enforces the same
+        bound from its side.
+        """
+        slot: tuple[list[Assignment | None], threading.Event] | None = None
+        while True:
+            if should_stop is not None and should_stop():
+                break
+            if max_units is not None and self.units_done >= max_units:
+                break
+            if slot is None:
+                # Cold start (or post-idle): nothing in flight, pay the
+                # round-trip in the open.
+                self._meter("farm.pipeline.prefetch.misses", 1)
+                assignment = self.port.request_work(self.donor_id)
+            else:
+                box, done = slot
+                slot = None
+                if done.is_set():
+                    self._meter("farm.pipeline.prefetch.hits", 1)
+                else:
+                    start = self._clock()
+                    done.wait()
+                    gap = self._clock() - start
+                    self._meter("farm.pipeline.prefetch.misses", 1)
+                    if gap > 0:
+                        self._meter("farm.pipeline.idle.gap.seconds", gap)
+                assignment = box[0]
+            if assignment is None:
+                if self.port.all_complete():
+                    break
+                self._idle_wait()
+                continue
+            self._idle_attempt = 0
+            slot = self._spawn_prefetch()
+            self._compute_and_submit(assignment)
+
 
 def run_to_completion(
     server: TaskFarmServer,
     donors: int = 4,
     clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> None:
     """Drive submitted problems to completion on one thread.
 
     A convenience for unit tests and tiny examples: simulates *donors*
     round-robin donors taking units in turn, all executing inline.
+    When a whole round finds no work (a stage barrier, or every unit
+    leased out), the loop yields through *sleep* instead of spinning
+    hot against the server — under a wall clock that lets leases age
+    toward expiry; tests inject a sleep that advances their ManualClock.
     """
     port = InProcessServerPort(server, clock=clock)
     clients = [DonorClient(f"donor-{i}", port, sleep=lambda _s: None) for i in range(donors)]
@@ -308,5 +486,6 @@ def run_to_completion(
             idle_rounds += 1
             if idle_rounds > 10_000:
                 raise RuntimeError("no progress: a DataManager is stuck")
+            sleep(0.0)
         else:
             idle_rounds = 0

@@ -142,6 +142,23 @@ class LeaseTable:
                 del self._leases[key]
         return dead
 
+    def earliest_per_unit(self, problem_id: int) -> list[Lease]:
+        """One lease per distinct in-flight unit of *problem_id* — the
+        earliest-issued holder of each — ordered oldest first.
+
+        This is the tail re-issue candidate list: when a problem is
+        down to its last few in-flight units, the oldest one is the
+        likeliest straggler and the best unit to duplicate onto an idle
+        donor.
+        """
+        per_unit: list[Lease] = []
+        for (pid, _uid), holders in self._leases.items():
+            if pid != problem_id:
+                continue
+            per_unit.append(min(holders.values(), key=lambda l: l.issued_at))
+        per_unit.sort(key=lambda l: (l.issued_at, l.unit.unit_id))
+        return per_unit
+
     def outstanding(self, problem_id: int | None = None) -> list[Lease]:
         leases = [
             lease

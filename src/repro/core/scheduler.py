@@ -51,7 +51,14 @@ class PerfModel:
 
 @dataclass(slots=True)
 class DonorState:
-    """Everything the server remembers about one donor."""
+    """Everything the server remembers about one donor.
+
+    ``active_units`` lists every ``(problem_id, unit_id)`` the donor
+    currently holds a lease on, in grant order.  The pipelined runtime
+    leases a donor up to ``PipelineConfig.lease_depth`` units at once
+    (one computing, the next prefetching); the historical serial donor
+    holds at most one.
+    """
 
     donor_id: str
     registered_at: float
@@ -60,7 +67,22 @@ class DonorState:
     units_completed: int = 0
     items_completed: int = 0
     busy_seconds: float = 0.0
-    active_unit: int | None = None
+    active_units: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def active_unit(self) -> tuple[int, int] | None:
+        """The earliest-granted unit still held (None when idle)."""
+        return self.active_units[0] if self.active_units else None
+
+    def start_unit(self, problem_id: int, unit_id: int) -> None:
+        self.active_units.append((problem_id, unit_id))
+
+    def end_unit(self, problem_id: int, unit_id: int) -> None:
+        """Forget a held unit; a no-op when it was already cleared."""
+        try:
+            self.active_units.remove((problem_id, unit_id))
+        except ValueError:
+            pass
 
     def perf_for(self, problem_id: int, alpha: float = 0.5) -> PerfModel:
         model = self.perf.get(problem_id)
@@ -74,8 +96,15 @@ class GranularityPolicy(abc.ABC):
     """Decides how many items the next unit for a donor should hold."""
 
     @abc.abstractmethod
-    def items_for(self, donor: DonorState, problem_id: int) -> int:
-        """Number of items (>= 1) for this donor's next unit."""
+    def items_for(
+        self, donor: DonorState, problem_id: int, remaining: int | None = None
+    ) -> int:
+        """Number of items (>= 1) for this donor's next unit.
+
+        ``remaining`` is the server's estimate of items not yet issued
+        or completed (None when the DataManager cannot count).  Policies
+        may use it to taper unit size near the end of a problem.
+        """
 
 
 class FixedGranularity(GranularityPolicy):
@@ -92,7 +121,9 @@ class FixedGranularity(GranularityPolicy):
             raise ValueError("fixed granularity must be >= 1 item")
         self.items = items
 
-    def items_for(self, donor: DonorState, problem_id: int) -> int:
+    def items_for(
+        self, donor: DonorState, problem_id: int, remaining: int | None = None
+    ) -> int:
         return self.items
 
 
@@ -119,6 +150,13 @@ class AdaptiveGranularity(GranularityPolicy):
         different lengths), so a single probe is a noisy rate estimate;
         ramping geometrically prevents one lucky probe from handing a
         donor the entire remaining problem as a single straggler unit.
+    tail_factor:
+        When set (> 1), a unit may never take more than
+        ``remaining / tail_factor`` of the items still uncut — so as a
+        problem (or DPRml stage) drains, units shrink geometrically and
+        the last stretch splits across several donors instead of
+        becoming one straggler unit that stalls the barrier.  ``None``
+        (the default) keeps the historical sizing.
     """
 
     def __init__(
@@ -129,6 +167,7 @@ class AdaptiveGranularity(GranularityPolicy):
         max_items: int = 1_000_000,
         alpha: float = 0.5,
         max_growth: float = 4.0,
+        tail_factor: float | None = None,
     ):
         if target_seconds <= 0:
             raise ValueError("target_seconds must be positive")
@@ -136,24 +175,38 @@ class AdaptiveGranularity(GranularityPolicy):
             raise ValueError("need 1 <= min_items <= max_items")
         if max_growth <= 1.0:
             raise ValueError("max_growth must exceed 1")
+        if tail_factor is not None and tail_factor <= 1.0:
+            raise ValueError("tail_factor must exceed 1")
         self.target_seconds = target_seconds
         self.probe_items = max(min_items, probe_items)
         self.min_items = min_items
         self.max_items = max_items
         self.alpha = alpha
         self.max_growth = max_growth
+        self.tail_factor = tail_factor
 
-    def items_for(self, donor: DonorState, problem_id: int) -> int:
+    def items_for(
+        self, donor: DonorState, problem_id: int, remaining: int | None = None
+    ) -> int:
         model = donor.perf_for(problem_id, alpha=self.alpha)
         if not model.calibrated:
-            return self.probe_items
-        # Clamp before ceil(): an extreme rate estimate must saturate at
-        # max_items, not overflow.
-        ideal = min(float(self.max_items), model.items_per_second * self.target_seconds)
-        ramp_cap = max(self.probe_items, model.last_items) * self.max_growth
-        return int(
-            min(self.max_items, ramp_cap, max(self.min_items, math.ceil(ideal)))
-        )
+            items = self.probe_items
+        else:
+            # Clamp before ceil(): an extreme rate estimate must saturate
+            # at max_items, not overflow.
+            ideal = min(
+                float(self.max_items), model.items_per_second * self.target_seconds
+            )
+            ramp_cap = max(self.probe_items, model.last_items) * self.max_growth
+            items = int(
+                min(self.max_items, ramp_cap, max(self.min_items, math.ceil(ideal)))
+            )
+        if self.tail_factor is not None and remaining is not None and remaining > 0:
+            # Mid-problem the cap is far above any sane unit; it only
+            # binds once the target-time unit would swallow the tail.
+            tail_cap = max(self.min_items, math.ceil(remaining / self.tail_factor))
+            items = min(items, tail_cap)
+        return items
 
 
 class ProblemRoundRobin:

@@ -51,6 +51,52 @@ class ProblemStatus(enum.Enum):
 
 
 @dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """Knobs of the pipelined donor runtime.
+
+    Parameters
+    ----------
+    lease_depth:
+        Maximum units a single donor may hold live leases on at once.
+        ``None`` (the default) keeps the historical unlimited behaviour;
+        a prefetching donor needs 2 (one computing, one in flight).
+        Requests beyond the depth are refused (and metered), so a fast
+        donor cannot hoard the tail of a problem in its prefetch queue.
+    tail_reissue:
+        When True and a donor asks for work but no fresh/requeued unit
+        exists, the server speculatively re-dispatches the oldest
+        in-flight unit of a problem that is down to its last
+        ``tail_window`` units — a straggler on a slow donor no longer
+        stalls the stage barrier.  The existing exactly-once folding
+        accepts whichever copy lands first and drops the rest.
+    tail_window:
+        Re-issue only when at most this many distinct units are in
+        flight for the problem (the "tail" definition).
+    max_holders:
+        Never lease one unit to more than this many donors at once
+        (original + speculative copies), bounding duplicated work.
+    """
+
+    lease_depth: int | None = None
+    tail_reissue: bool = False
+    tail_window: int = 4
+    max_holders: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lease_depth is not None and self.lease_depth < 1:
+            raise ValueError("lease_depth must be >= 1 (or None for unlimited)")
+        if self.tail_window < 1:
+            raise ValueError("tail_window must be >= 1")
+        if self.max_holders < 2:
+            raise ValueError("max_holders must be >= 2")
+
+    @classmethod
+    def pipelined(cls, depth: int = 2) -> "PipelineConfig":
+        """The standard pipelined runtime: prefetch depth + tail re-issue."""
+        return cls(lease_depth=depth, tail_reissue=True)
+
+
+@dataclass(frozen=True, slots=True)
 class Assignment:
     """One unit as handed to a donor.
 
@@ -137,6 +183,7 @@ class TaskFarmServer:
         max_unit_attempts: int = 5,
         obs: Observability | None = None,
         integrity: IntegrityPolicy | None = None,
+        pipeline: PipelineConfig | None = None,
     ):
         if max_unit_attempts < 1:
             raise ValueError("max_unit_attempts must be >= 1")
@@ -146,6 +193,7 @@ class TaskFarmServer:
         self.max_unit_attempts = max_unit_attempts
         self.obs = obs or Observability()
         self.integrity = integrity or IntegrityPolicy()
+        self.pipeline = pipeline or PipelineConfig()
         self.reputation = ReputationLedger()
         self._problems: dict[int, _ProblemState] = {}
         self._donors: dict[str, DonorState] = {}
@@ -180,6 +228,10 @@ class TaskFarmServer:
         self._m_untrusted = meters.counter("farm.integrity.untrusted")
         self._m_quarantines = meters.counter("farm.integrity.quarantines")
         self._g_quarantined = meters.gauge("farm.integrity.quarantined")
+        self._m_tail_reissues = meters.counter("farm.pipeline.tail.reissues")
+        self._m_wasted_items = meters.counter("farm.pipeline.wasted.items")
+        self._m_idle_polls = meters.counter("farm.pipeline.idle.polls")
+        self._m_depth_refusals = meters.counter("farm.pipeline.depth.refusals")
         self._m_blob_refs = meters.counter("net.blob.refs")
         self._m_blob_deliveries = meters.counter("net.blob.deliveries")
         self._m_blob_bytes = meters.counter("net.blob.bytes")
@@ -194,7 +246,7 @@ class TaskFarmServer:
     def _sync_donor_gauges(self) -> None:
         self._g_donors.set(len(self._donors))
         self._g_donors_busy.set(
-            sum(1 for d in self._donors.values() if d.active_unit is not None)
+            sum(1 for d in self._donors.values() if d.active_units)
         )
 
     # ------------------------------------------------------------------
@@ -281,9 +333,9 @@ class TaskFarmServer:
         if donor is None:
             return
         donor.last_seen = now
-        if donor.active_unit is not None:
-            # active_unit stores (problem_id, unit_id) packed as a tuple.
-            pid, uid = donor.active_unit  # type: ignore[misc]
+        # Renew every unit the donor holds: a pipelined donor's
+        # prefetched unit must not be torn away while unit N computes.
+        for pid, uid in donor.active_units:
             self.leases.renew(pid, uid, now, donor_id=donor_id)
 
     def donor_ids(self) -> list[str]:
@@ -301,7 +353,11 @@ class TaskFarmServer:
 
         Requeued units (casualties of churn or expiry) are reissued
         before new units are cut, so no work is ever stranded behind
-        fresh partitioning.
+        fresh partitioning.  With a ``lease_depth`` configured, a donor
+        already holding that many live leases is refused; with
+        ``tail_reissue``, a donor that would otherwise idle may receive
+        a speculative copy of the oldest in-flight unit of a
+        nearly-done problem.
         """
         donor = self._donors.get(donor_id)
         if donor is None:
@@ -310,11 +366,25 @@ class TaskFarmServer:
         if self.integrity.active and self.reputation.distrusted(donor_id):
             return None  # quarantined donors get no work
 
+        # The lease table is authoritative: entries whose lease was
+        # cancelled elsewhere (unit completed by another holder, a
+        # dropped result) must not count against the donor forever.
+        donor.active_units = [
+            key
+            for key in donor.active_units
+            if donor_id in self.leases.holders(*key)
+        ]
+        depth = self.pipeline.lease_depth
+        if depth is not None and len(donor.active_units) >= depth:
+            self._m_depth_refusals.inc()
+            return None
+
         candidates = [
             (pid, self._problems[pid].problem.priority)
             for pid in self.active_problem_ids()
         ]
-        for pid in self._rr.order(candidates):
+        order = self._rr.order(candidates)
+        for pid in order:
             state = self._problems[pid]
             unit = self._take_unit(state, donor)
             if unit is None:
@@ -333,58 +403,114 @@ class TaskFarmServer:
                     state.voting[unit.unit_id] = _UnitIntegrity(required=required)
                     if self.integrity.replication == 1:
                         self._m_spot_checks.inc()
-            # An issue is redundant when the unit already has a live
-            # lease or a recorded vote — work beyond 1x replication.
-            voting = state.voting.get(unit.unit_id)
-            if len(self.leases.holders(pid, unit.unit_id)) + (
-                len(voting.votes) if voting else 0
-            ) > 0:
-                self._m_redundant_units.inc()
-                self._m_redundant_items.inc(unit.items)
-            unit.status = UnitStatus.ISSUED
-            unit.attempts += 1
-            lease = self.leases.grant(unit, donor_id, now)
-            donor.active_unit = (pid, unit.unit_id)
-            state.units_issued += 1
-            self._rr.served(pid)
-            inline_bytes, wire_bytes = self._charge_delivery(donor_id, unit)
-            self.log.record(
+            return self._grant(state, unit, donor, now)
+        assignment = self._tail_reissue(order, donor, now)
+        if assignment is not None:
+            return assignment
+        self._m_idle_polls.inc()
+        return None
+
+    def _grant(
+        self,
+        state: _ProblemState,
+        unit: WorkUnit,
+        donor: DonorState,
+        now: float,
+        reissue: bool = False,
+    ) -> Assignment:
+        """Lease *unit* to *donor* and package the Assignment."""
+        pid = state.problem.problem_id
+        donor_id = donor.donor_id
+        # An issue is redundant when the unit already has a live
+        # lease or a recorded vote — work beyond 1x replication.
+        voting = state.voting.get(unit.unit_id)
+        if len(self.leases.holders(pid, unit.unit_id)) + (
+            len(voting.votes) if voting else 0
+        ) > 0:
+            self._m_redundant_units.inc()
+            self._m_redundant_items.inc(unit.items)
+        unit.status = UnitStatus.ISSUED
+        unit.attempts += 1
+        lease = self.leases.grant(unit, donor_id, now)
+        donor.start_unit(pid, unit.unit_id)
+        state.units_issued += 1
+        self._rr.served(pid)
+        inline_bytes, wire_bytes = self._charge_delivery(donor_id, unit)
+        self.log.record(
+            now,
+            "unit.issued",
+            problem_id=pid,
+            unit_id=unit.unit_id,
+            donor_id=donor_id,
+            items=unit.items,
+            attempt=unit.attempts,
+            input_bytes=wire_bytes,
+            **({"reissue": True} if reissue else {}),
+        )
+        self._m_units_issued.inc()
+        if reissue:
+            self._m_tail_reissues.inc()
+        self._m_bytes_in.inc(wire_bytes)
+        self._h_unit_items.observe(unit.items)
+        self._sync_donor_gauges()
+        if voting is not None:
+            self._ensure_vote_supply(state, unit, now, reason="replication")
+        if (pid, unit.unit_id) not in self._unit_spans:
+            self._unit_spans[(pid, unit.unit_id)] = self.obs.tracer.start(
+                "unit",
                 now,
-                "unit.issued",
+                parent=self._problem_spans.get(pid),
                 problem_id=pid,
                 unit_id=unit.unit_id,
                 donor_id=donor_id,
                 items=unit.items,
                 attempt=unit.attempts,
-                input_bytes=wire_bytes,
             )
-            self._m_units_issued.inc()
-            self._m_bytes_in.inc(wire_bytes)
-            self._h_unit_items.observe(unit.items)
-            self._sync_donor_gauges()
-            if voting is not None:
-                self._ensure_vote_supply(state, unit, now, reason="replication")
-            if (pid, unit.unit_id) not in self._unit_spans:
-                self._unit_spans[(pid, unit.unit_id)] = self.obs.tracer.start(
-                    "unit",
-                    now,
-                    parent=self._problem_spans.get(pid),
-                    problem_id=pid,
-                    unit_id=unit.unit_id,
-                    donor_id=donor_id,
-                    items=unit.items,
-                    attempt=unit.attempts,
-                )
-            return Assignment(
-                problem_id=pid,
-                unit_id=unit.unit_id,
-                payload=unit.payload,
-                items=unit.items,
-                input_bytes=wire_bytes,
-                cost_hint=unit.cost_hint,
-                lease_deadline=lease.deadline,
-                inline_bytes=inline_bytes,
-            )
+        return Assignment(
+            problem_id=pid,
+            unit_id=unit.unit_id,
+            payload=unit.payload,
+            items=unit.items,
+            input_bytes=wire_bytes,
+            cost_hint=unit.cost_hint,
+            lease_deadline=lease.deadline,
+            inline_bytes=inline_bytes,
+        )
+
+    def _tail_reissue(
+        self, order: list[int], donor: DonorState, now: float
+    ) -> Assignment | None:
+        """Speculatively duplicate the oldest in-flight unit of a
+        problem in its tail onto an otherwise idle donor.
+
+        Only fires when no fresh or requeued unit exists anywhere (the
+        caller's loop came up empty) and a problem is down to at most
+        ``tail_window`` distinct in-flight units — a stage barrier held
+        open by stragglers.  Voting units are excluded (their supply is
+        managed by :meth:`_ensure_vote_supply`), as are units the donor
+        already holds or voted on, and units already duplicated to
+        ``max_holders`` donors.  Exactly-once folding makes the extra
+        copy safe: the first result in wins, later ones are dropped.
+        """
+        if not self.pipeline.tail_reissue:
+            return None
+        for pid in order:
+            state = self._problems[pid]
+            stragglers = self.leases.earliest_per_unit(pid)
+            if not stragglers or len(stragglers) > self.pipeline.tail_window:
+                continue
+            for lease in stragglers:
+                unit = lease.unit
+                if unit.unit_id in state.completed_units:
+                    continue
+                if unit.unit_id in state.voting:
+                    continue
+                if not self._eligible(state, unit.unit_id, donor.donor_id):
+                    continue
+                holders = self.leases.holders(pid, unit.unit_id)
+                if len(holders) >= self.pipeline.max_holders:
+                    continue
+                return self._grant(state, unit, donor, now, reissue=True)
         return None
 
     def _charge_delivery(self, donor_id: str, unit: WorkUnit) -> tuple[int, int]:
@@ -414,6 +540,17 @@ class TaskFarmServer:
                 self._m_blob_bytes.inc(ref.size)
         return inline_bytes, wire_bytes
 
+    def _release_donor_hold(self, result: WorkResult, now: float) -> None:
+        """Drop the submitting donor's lease + bookkeeping for a result
+        that will not be applied (stale problem / already-completed
+        unit), so a depth-limited donor gets its slot back."""
+        self.leases.release(result.problem_id, result.unit_id, result.donor_id)
+        donor = self._donors.get(result.donor_id)
+        if donor is not None:
+            donor.end_unit(result.problem_id, result.unit_id)
+            donor.last_seen = now
+            self._sync_donor_gauges()
+
     def _eligible(self, state: _ProblemState, unit_id: int, donor_id: str) -> bool:
         """May *donor_id* be issued (a copy of) this unit?
 
@@ -433,7 +570,9 @@ class TaskFarmServer:
                 if self._eligible(state, unit.unit_id, donor.donor_id):
                     del queue[idx]
                     return unit
-        max_items = self.policy.items_for(donor, state.problem.problem_id)
+        max_items = self.policy.items_for(
+            donor, state.problem.problem_id, remaining=self._remaining_items(state)
+        )
         payload = state.problem.data_manager.next_unit(max_items)
         if payload is None:
             return None
@@ -442,6 +581,29 @@ class TaskFarmServer:
         )
         state.next_unit_id += 1
         return unit
+
+    def _remaining_items(self, state: _ProblemState) -> int | None:
+        """Estimate of items not yet cut into units (None when the
+        DataManager cannot count them).  Completed, in-flight, and
+        queued units are all already cut; the policy's tail taper uses
+        the estimate to shrink units as a problem drains."""
+        total = state.problem.data_manager.total_items()
+        if not total:
+            return None
+        pid = state.problem.problem_id
+        cut = state.items_completed
+        seen: set[int] = set(state.completed_units)
+        for lease in self.leases.outstanding(pid):
+            uid = lease.unit.unit_id
+            if uid not in seen:
+                seen.add(uid)
+                cut += lease.unit.items
+        for queue in (state.requeue, state.replicas):
+            for unit in queue:
+                if unit.unit_id not in seen:
+                    seen.add(unit.unit_id)
+                    cut += unit.items
+        return max(0, total - cut)
 
     def submit_result(self, result: WorkResult, now: float) -> bool:
         """Apply a donor's result; returns False for duplicates/stale.
@@ -452,6 +614,7 @@ class TaskFarmServer:
         """
         state = self._problems.get(result.problem_id)
         if state is None or state.status is not ProblemStatus.RUNNING:
+            self._release_donor_hold(result, now)
             self.log.record(
                 now,
                 "unit.stale",
@@ -462,6 +625,7 @@ class TaskFarmServer:
             self._m_units_stale.inc()
             return False
         if result.unit_id in state.completed_units:
+            self._release_donor_hold(result, now)
             self.log.record(
                 now,
                 "unit.duplicate",
@@ -470,6 +634,9 @@ class TaskFarmServer:
                 donor_id=result.donor_id,
             )
             self._m_units_duplicate.inc()
+            # The whole unit was computed twice and this copy lost the
+            # race: its items are the price of speculation.
+            self._m_wasted_items.inc(result.items)
             return False
 
         if self.integrity.active and self.reputation.distrusted(result.donor_id):
@@ -481,7 +648,7 @@ class TaskFarmServer:
             )
             donor = self._donors.get(result.donor_id)
             if donor is not None:
-                donor.active_unit = None
+                donor.end_unit(result.problem_id, result.unit_id)
                 donor.last_seen = now
             self.log.record(
                 now,
@@ -502,7 +669,7 @@ class TaskFarmServer:
 
         donor = self._donors.get(result.donor_id)
         if donor is not None:
-            donor.active_unit = None
+            donor.end_unit(result.problem_id, result.unit_id)
             donor.last_seen = now
             donor.units_completed += 1
             donor.items_completed += result.items
@@ -671,7 +838,7 @@ class TaskFarmServer:
         self._g_quarantined.set(len(self.reputation.quarantined_ids()))
         donor = self._donors.get(donor_id)
         if donor is not None:
-            donor.active_unit = None
+            donor.active_units.clear()
         for lease in self.leases.revoke_donor(donor_id):
             self._recover_unit(lease.unit, now, reason="donor-quarantined")
         self._sync_donor_gauges()
@@ -680,8 +847,9 @@ class TaskFarmServer:
         """Fold donor-collected per-unit stats into the live counters.
 
         Donors report through ``WorkResult.extra["meters"]`` (see
-        :mod:`repro.obs.unitstats`); only whitelisted ``farm.align.*``
-        and ``farm.cache.*`` names with positive finite amounts are
+        :mod:`repro.obs.unitstats`); only whitelisted ``farm.align.*``,
+        ``farm.cache.*``, and ``farm.pipeline.*`` names with positive
+        finite amounts are
         accepted, so a buggy or hostile donor cannot inflate the
         framework's own accounting (``farm.units.*`` etc.).  Called
         only after the duplicate/stale checks, which makes the folding
@@ -694,7 +862,7 @@ class TaskFarmServer:
             name
             for name in meters
             if isinstance(name, str)
-            and name.startswith(("farm.align.", "farm.cache."))
+            and name.startswith(("farm.align.", "farm.cache.", "farm.pipeline."))
         )
         for name in accepted:
             amount = meters[name]
@@ -721,7 +889,7 @@ class TaskFarmServer:
         lease = self.leases.release(problem_id, unit_id, donor_id)
         donor = self._donors.get(donor_id)
         if donor is not None:
-            donor.active_unit = None
+            donor.end_unit(problem_id, unit_id)
             donor.last_seen = now
         if state is None or state.status is not ProblemStatus.RUNNING:
             return
@@ -788,11 +956,8 @@ class TaskFarmServer:
         expired = self.leases.expired(now)
         for lease in expired:
             donor = self._donors.get(lease.donor_id)
-            if donor is not None and donor.active_unit == (
-                lease.unit.problem_id,
-                lease.unit.unit_id,
-            ):
-                donor.active_unit = None
+            if donor is not None:
+                donor.end_unit(lease.unit.problem_id, lease.unit.unit_id)
             if self.integrity.active:
                 self.reputation.record(lease.donor_id).expiries += 1
                 self._update_reputation(lease.donor_id, now)

@@ -111,7 +111,7 @@ class TestProcesses:
             yield "not-an-effect"
 
         sim.spawn(bad())
-        with pytest.raises(TypeError, match="expected Timeout or Acquire"):
+        with pytest.raises(TypeError, match="expected Timeout, Acquire"):
             sim.run()
 
     def test_two_processes_interleave(self):

@@ -1,0 +1,160 @@
+"""Throughput of multi-core donors vs serial donors, plus live equality.
+
+The worker pool's claim is simple: a donated 4-core box should push
+(nearly) 4x the units of the same box computing serially, because the
+donor now keeps every core busy with its own leased unit.  This
+benchmark replays a compute-heavy trace — per-item costs of seconds
+against ~2 kB payloads, so the wire is negligible and the makespan
+lives in the donors' cores — through the simulated cluster twice: once
+with ``cores=1`` machines, once with the same machines at ``cores=4``.
+
+A second, live assertion runs a real DSEARCH problem through the
+threaded cluster serially and again with donors driving a real
+spawn-process :class:`~repro.core.client.WorkerPool`, and requires the
+assembled results to be bit-identical — the differential gate that the
+pool changes scheduling, never answers.
+
+Writes ``BENCH_multicore.json`` and **fails if the 4-core run is not at
+least 2x faster** — the regression gate CI runs.
+"""
+
+import json
+
+import numpy as np
+
+from conftest import OUT_DIR, write_report
+from repro.apps.dsearch import DSearchConfig, build_problem
+from repro.bio.seq import DNA
+from repro.bio.seq.generate import random_sequence, seeded_database
+from repro.cluster.local import ThreadCluster
+from repro.cluster.sim import MachineSpec, SimCluster
+from repro.cluster.sim.network import NetworkConfig
+from repro.cluster.sim.trace import compute_heavy_trace, trace_problem
+from repro.core.client import WorkerPool
+from repro.core.integrity import canonical_digest
+from repro.core.scheduler import FixedGranularity
+
+ITEMS = 240
+DONORS = 4
+CORES = 4
+ITEMS_PER_UNIT = 3
+GATE_SPEEDUP = 2.0
+SEED = 5
+
+
+def _run(cores: int) -> dict:
+    machines = [
+        MachineSpec(f"pc-{i:03d}", speed=1.0, availability=1.0, cores=cores)
+        for i in range(DONORS)
+    ]
+    cluster = SimCluster(
+        machines,
+        policy=FixedGranularity(ITEMS_PER_UNIT),
+        lease_timeout=600.0,
+        network=NetworkConfig.high_latency(latency=0.2),
+        seed=SEED,
+        execute=False,
+    )
+    pid = cluster.submit(trace_problem(compute_heavy_trace(items=ITEMS)))
+    report = cluster.run()
+    assert report.completed, "trace replay did not finish"
+    makespan = report.makespans[pid]
+    slots = DONORS * cores
+    return {
+        "cores": cores,
+        "makespan": round(makespan, 2),
+        "slot_utilization": round(
+            sum(report.machine_busy.values()) / (slots * makespan), 3
+        ),
+    }
+
+
+def _dsearch_problem(share: bool):
+    rng = np.random.default_rng(17)
+    query = random_sequence("q0", 64, DNA, rng)
+    database, _ = seeded_database(
+        query, decoy_count=12, homolog_count=2, seed=18, substitution_rate=0.1
+    )
+    return build_problem(
+        database, [query], DSearchConfig(top_hits=4, share_payloads=share)
+    )
+
+
+def _live_digests() -> tuple[str, str]:
+    """One real DSEARCH run serially threaded, one with a spawn pool."""
+
+    def run(pool):
+        cluster = ThreadCluster(
+            workers=2,
+            policy=FixedGranularity(3),
+            lease_timeout=30.0,
+            worker_pool=pool,
+        )
+        pid = cluster.submit(_dsearch_problem(share=pool is not None))
+        cluster.run()
+        return canonical_digest(cluster.final_result(pid))
+
+    serial = run(None)
+    pool = WorkerPool(2)
+    try:
+        pooled = run(pool)
+    finally:
+        pool.shutdown()
+    return serial, pooled
+
+
+def test_multicore_donors_beat_serial_throughput():
+    serial = _run(cores=1)
+    pooled = _run(cores=CORES)
+    speedup = serial["makespan"] / pooled["makespan"]
+
+    serial_digest, pooled_digest = _live_digests()
+
+    lines = [
+        f"workload: {ITEMS} compute-heavy items (4-9 s each, 2 kB each), "
+        f"{DONORS} donors, {ITEMS_PER_UNIT} items/unit",
+        "",
+        f"{'run':<10} {'makespan':>10} {'slot util':>10}",
+        f"{'1-core':<10} {serial['makespan']:>9,.1f}s "
+        f"{serial['slot_utilization']:>10.0%}",
+        f"{CORES}-core{'':<4} {pooled['makespan']:>9,.1f}s "
+        f"{pooled['slot_utilization']:>10.0%}",
+        "",
+        f"speedup: {speedup:.2f}x (gate: >= {GATE_SPEEDUP:.1f}x)",
+        f"live threaded differential: pooled digest == serial digest: "
+        f"{pooled_digest == serial_digest}",
+    ]
+    write_report(
+        "multicore", "Multi-core worker pool: makespan vs serial donors", lines
+    )
+
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "workload": {
+            "items": ITEMS,
+            "items_per_unit": ITEMS_PER_UNIT,
+            "donors": DONORS,
+            "cores": CORES,
+            "trace": "compute_heavy_trace",
+        },
+        "serial": serial,
+        "pooled": pooled,
+        "speedup": round(speedup, 3),
+        "gate_speedup": GATE_SPEEDUP,
+        "live_differential_equal": pooled_digest == serial_digest,
+    }
+    (OUT_DIR / "BENCH_multicore.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # The live path must be bit-identical: pooling changes who computes
+    # a unit and when, never what the assembled answer is.
+    assert pooled_digest == serial_digest
+
+    # The gate: four cores must buy at least 2x end-to-end on a
+    # compute-heavy trace (ideal is ~4x; unit-boundary effects and the
+    # shared link cost the rest).
+    assert speedup >= GATE_SPEEDUP, (
+        f"4-core makespan {pooled['makespan']}s is only {speedup:.2f}x "
+        f"faster than serial {serial['makespan']}s (gate {GATE_SPEEDUP}x)"
+    )

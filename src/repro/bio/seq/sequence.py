@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.bio.seq.alphabet import DNA, PROTEIN, Alphabet
+
+#: Guards first publication of the per-sequence icodes cache.  Shared
+#: across all sequences: it is only ever taken on a cold cache miss, so
+#: contention is bounded by the number of distinct sequences, not reads.
+_ICODES_LOCK = threading.Lock()
 
 
 class Sequence:
@@ -48,12 +55,22 @@ class Sequence:
         Alignment kernels index substitution matrices with these; the
         cache means a database slice is encoded once per work unit
         instead of once per ``(query, subject)`` pair.
+
+        Race-safe: the prefetch warm-up thread and the compute thread
+        can both find the cache cold, but each builds a fully frozen
+        array *before* publishing, and publication is first-writer-wins
+        under a lock — every caller sees one immutable array, never a
+        half-initialised one.  The fast path (warm cache) takes no
+        lock.
         """
         cached = self._icodes
         if cached is None:
-            cached = self.codes.astype(np.intp)
-            cached.setflags(write=False)
-            self._icodes = cached
+            fresh = self.codes.astype(np.intp)
+            fresh.setflags(write=False)
+            with _ICODES_LOCK:
+                if self._icodes is None:
+                    self._icodes = fresh
+                cached = self._icodes
         return cached
 
     def __getstate__(self):

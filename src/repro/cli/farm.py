@@ -164,7 +164,26 @@ def donor_main(argv: list[str] | None = None) -> int:
         help="pipelined mode: fetch unit N+1 in the background while "
              "unit N computes (the server should run --lease-depth 2)",
     )
+    parser.add_argument(
+        "--workers", default="1", metavar="N|auto",
+        help="compute N leased units concurrently on a pool of worker "
+             "processes ('auto' = one per CPU core); the donor "
+             "advertises the count so the server scales lease depth "
+             "and unit sizing to it",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers == "auto":
+        import os as _os
+
+        workers = _os.cpu_count() or 1
+    else:
+        try:
+            workers = int(args.workers)
+        except ValueError:
+            parser.error(f"--workers must be an integer or 'auto', got {args.workers!r}")
+        if workers < 1:
+            parser.error("--workers must be >= 1")
 
     host, _, port_text = args.server.partition(":")
     if not port_text:
@@ -190,8 +209,13 @@ def donor_main(argv: list[str] | None = None) -> int:
             idle_sleep=args.idle_sleep,
             blob_fetch=make_blob_fetch(proxy),
             prefetch=args.prefetch,
+            workers=workers,
         )
-        print(f"donor {donor_id} connected to {host}:{port}", flush=True)
+        print(
+            f"donor {donor_id} connected to {host}:{port}"
+            + (f" ({workers} workers)" if workers > 1 else ""),
+            flush=True,
+        )
         units = client.run(max_units=args.max_units)
         print(f"donor {donor_id} done after {units} units", flush=True)
     finally:

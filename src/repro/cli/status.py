@@ -58,6 +58,13 @@ _KEY_COUNTERS = (
     "farm.pipeline.depth.refusals",
     "farm.pipeline.tail.reissues",
     "farm.pipeline.wasted.items",
+    "farm.pool.workers",
+    "farm.pool.units",
+    "farm.pool.busy.seconds",
+    "farm.pool.slot.seconds",
+    "farm.pool.queue.wait.seconds",
+    "farm.pool.carry.bytes",
+    "farm.pool.failures",
     "net.blob.refs",
     "net.blob.deliveries",
     "net.blob.bytes",
@@ -74,6 +81,18 @@ def _fmt_quantity(value: float) -> str:
     if value == int(value):
         return f"{int(value):,}"
     return f"{value:,.2f}"
+
+
+def _ratio_line(label: str, numerator: float, denominator: float) -> str:
+    """One derived-rate line, safe against a zero denominator.
+
+    Snapshots can legitimately carry counters at zero (a donor that
+    registered but never fetched, a pool that never dispatched), so
+    every derived rate shares this guard instead of dividing inline.
+    """
+    if denominator:
+        return f"  {label:<24} {numerator / denominator:.1%}"
+    return f"  {label:<24} -"
 
 
 def _histogram_line(name: str, summary: dict[str, Any]) -> str:
@@ -120,14 +139,15 @@ def render_snapshot(snap: dict[str, Any]) -> str:
         )
     lines.append("")
     lines.append(
-        f"{'donor':<18} {'units':>6} {'items':>8} {'busy(s)':>9} "
-        f"{'items/s':>8} {'util':>6} {'state':<10}"
+        f"{'donor':<18} {'slots':>5} {'units':>6} {'items':>8} "
+        f"{'busy(s)':>9} {'items/s':>8} {'util':>6} {'state':<10}"
     )
     for d in donors:
         state = "busy" if d["active"] else f"idle {d['idle_seconds']:.0f}s"
         rate = f"{d['items_per_second']:.2f}" if d["items_per_second"] else "-"
         lines.append(
-            f"{d['donor_id']:<18.18} {d['units_completed']:>6} "
+            f"{d['donor_id']:<18.18} {d.get('slots', 1):>5} "
+            f"{d['units_completed']:>6} "
             f"{d['items_completed']:>8} {d['busy_seconds']:>9.1f} "
             f"{rate:>8} {d['utilization']:>6.0%} {state:<10}"
         )
@@ -142,19 +162,31 @@ def render_snapshot(snap: dict[str, Any]) -> str:
             if name == "farm.align.cells.padded":
                 # How much of the batched engine's padded DP tensor was
                 # real alignment work (the rest was bucket padding).
-                efficiency = (
-                    counters.get("farm.align.cells.effective", 0.0)
-                    / counters[name]
-                )
                 lines.append(
-                    f"  {'farm.align.pad.efficiency':<24} {efficiency:.1%}"
+                    _ratio_line(
+                        "farm.align.pad.efficiency",
+                        counters.get("farm.align.cells.effective", 0.0),
+                        counters[name],
+                    )
                 )
             elif name == "farm.pipeline.prefetch.misses":
                 # Fraction of unit fetches fully hidden under compute.
                 hits = counters.get("farm.pipeline.prefetch.hits", 0.0)
-                rate = hits / (hits + counters[name])
                 lines.append(
-                    f"  {'farm.pipeline.prefetch.hit.rate':<24} {rate:.1%}"
+                    _ratio_line(
+                        "farm.pipeline.prefetch.hit.rate",
+                        hits,
+                        hits + counters[name],
+                    )
+                )
+            elif name == "farm.pool.busy.seconds":
+                # Fraction of pooled slot-time spent computing units.
+                lines.append(
+                    _ratio_line(
+                        "farm.pool.utilization",
+                        counters[name],
+                        counters.get("farm.pool.slot.seconds", 0.0),
+                    )
                 )
     histograms = meters.get("histograms", {})
     interesting = [n for n in sorted(histograms) if histograms[n]["count"]]

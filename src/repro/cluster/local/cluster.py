@@ -85,9 +85,9 @@ class ServerFacade:
             for key in self._published.pop(pid):
                 self._data_channel.release(key)
 
-    def register_donor(self, donor_id: str) -> None:
+    def register_donor(self, donor_id: str, slots: int = 1) -> None:
         with self._lock:
-            self._server.register_donor(donor_id, self._now())
+            self._server.register_donor(donor_id, self._now(), slots=slots)
 
     def deregister_donor(self, donor_id: str) -> None:
         with self._lock:
@@ -194,6 +194,12 @@ class ThreadCluster:
     loop; pass a matching ``pipeline``
     (:meth:`~repro.core.server.PipelineConfig.pipelined` when omitted)
     so the server leases each donor the extra in-flight unit.
+
+    With ``pool_workers > 1`` every donor drives a multi-core
+    :class:`~repro.core.client.WorkerPool`; pass ``worker_pool`` to
+    share one pre-spawned pool across donors and runs (worker processes
+    are expensive to start, and the pool is protocol-free so sharing is
+    safe).
     """
 
     def __init__(
@@ -204,6 +210,8 @@ class ThreadCluster:
         idle_sleep: float = 0.002,
         prefetch: bool = False,
         pipeline: PipelineConfig | None = None,
+        pool_workers: int = 1,
+        worker_pool: Any = None,
     ):
         if prefetch and pipeline is None:
             pipeline = PipelineConfig.pipelined()
@@ -214,6 +222,8 @@ class ThreadCluster:
         self.workers = workers
         self.idle_sleep = idle_sleep
         self.prefetch = prefetch
+        self.pool_workers = pool_workers
+        self.worker_pool = worker_pool
         self._threads: list[threading.Thread] = []
 
     def submit(self, problem: Problem) -> int:
@@ -229,6 +239,8 @@ class ThreadCluster:
                 port,
                 idle_sleep=self.idle_sleep,
                 prefetch=self.prefetch,
+                workers=self.pool_workers,
+                pool=self.worker_pool,
             )
             for i in range(self.workers)
         ]
@@ -251,9 +263,9 @@ class _LockedPort(InProcessServerPort):
         super().__init__(server)
         self._lock = lock
 
-    def register_donor(self, donor_id: str) -> None:
+    def register_donor(self, donor_id: str, slots: int = 1) -> None:
         with self._lock:
-            super().register_donor(donor_id)
+            super().register_donor(donor_id, slots)
 
     def deregister_donor(self, donor_id: str) -> None:
         with self._lock:
@@ -320,7 +332,12 @@ def make_blob_fetch(proxy):
 
 
 def _worker_main(
-    host: str, port: int, donor_id: str, idle_sleep: float, prefetch: bool = False
+    host: str,
+    port: int,
+    donor_id: str,
+    idle_sleep: float,
+    prefetch: bool = False,
+    pool_workers: int = 1,
 ) -> None:
     """Donor process entry point: the real client against RMI."""
     proxy = connect(host, port, "taskfarm")
@@ -331,6 +348,7 @@ def _worker_main(
             idle_sleep=idle_sleep,
             blob_fetch=make_blob_fetch(proxy),
             prefetch=prefetch,
+            workers=pool_workers,
         )
         client.run()
     finally:
@@ -356,6 +374,7 @@ class LocalCluster:
         idle_sleep: float = 0.05,
         prefetch: bool = False,
         pipeline: PipelineConfig | None = None,
+        pool_workers: int = 1,
     ):
         if prefetch and pipeline is None:
             pipeline = PipelineConfig.pipelined()
@@ -363,6 +382,7 @@ class LocalCluster:
             policy=policy, lease_timeout=lease_timeout, pipeline=pipeline
         )
         self.prefetch = prefetch
+        self.pool_workers = pool_workers
         self.data_channel = DataChannelServer(meters=self.server.obs.meters)
         self.facade = ServerFacade(self.server, data_channel=self.data_channel)
         # One observability bundle across layers: RMI dispatch meters and
@@ -394,8 +414,11 @@ class LocalCluster:
                     f"proc-{i}",
                     self.idle_sleep,
                     self.prefetch,
+                    self.pool_workers,
                 ),
-                daemon=True,
+                # Daemonic processes may not have children: a pooled
+                # donor spawns its own worker processes.
+                daemon=self.pool_workers <= 1,
             )
             proc.start()
             self._processes.append(proc)

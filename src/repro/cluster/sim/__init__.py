@@ -2,7 +2,12 @@
 
 from repro.cluster.sim.chaos import FaultPlan, WireChaos
 from repro.cluster.sim.engine import Acquire, Simulator, SimResource, Timeout
-from repro.cluster.sim.machines import MachineSpec, homogeneous_pool, heterogeneous_pool
+from repro.cluster.sim.machines import (
+    MachineSpec,
+    heterogeneous_pool,
+    homogeneous_pool,
+    multicore_pool,
+)
 from repro.cluster.sim.network import NetworkModel
 from repro.cluster.sim.cluster import SimCluster, SimReport
 
@@ -19,4 +24,5 @@ __all__ = [
     "WireChaos",
     "heterogeneous_pool",
     "homogeneous_pool",
+    "multicore_pool",
 ]

@@ -286,7 +286,10 @@ class SimCluster:
     def _spawn_session(
         self, spec: MachineSpec, session_end: float, session_index: int
     ) -> Process:
-        """The donor protocol for one session: serial or pipelined."""
+        """The donor protocol for one session: serial, pipelined, or
+        (for ``cores > 1``) a pool of parallel lanes."""
+        if spec.cores > 1:
+            return self._machine_process_multicore(spec, session_end, session_index)
         if self.pipeline is not None:
             return self._machine_process_pipelined(spec, session_end, session_index)
         return self._machine_process(spec, session_end, session_index)
@@ -519,7 +522,7 @@ class SimCluster:
     # -- the pipelined donor protocol -----------------------------------
 
     def _fetch_assignment(
-        self, donor_id: str, session_index: int
+        self, donor_id: str, session_index: int, slots: int = 1
     ) -> Process:
         """Control round trip + request + download, as one step.
 
@@ -532,7 +535,7 @@ class SimCluster:
         try:
             assignment = self.server.request_work(donor_id, sim.now)
         except KeyError:
-            self.server.register_donor(donor_id, sim.now)
+            self.server.register_donor(donor_id, sim.now, slots=slots)
             self._active_session[donor_id] = session_index
             return None, None
         if assignment is None:
@@ -659,3 +662,133 @@ class SimCluster:
             if self._active_session.get(donor_id) == session_index:
                 self.server.deregister_donor(donor_id, sim.now)
                 del self._active_session[donor_id]
+
+    # -- the multi-core donor protocol -----------------------------------
+
+    def _machine_process_multicore(
+        self, spec: MachineSpec, session_end: float, session_index: int
+    ) -> Process:
+        """One session of a ``cores > 1`` machine: parallel lanes.
+
+        The virtual-time mirror of the live worker pool: the machine
+        registers *once*, advertising ``slots=cores``, then runs one
+        lane process per core, each independently pulling, downloading
+        and computing units (downloads still serialize through the
+        shared link, like lanes sharing one NIC).  The session
+        deregisters when its last lane returns; a chaos crash in any
+        lane takes the whole machine down, exactly as a host crash
+        kills every pool worker at once.
+        """
+        sim = self.sim
+        donor_id = spec.machine_id
+        self.server.register_donor(donor_id, sim.now, slots=spec.cores)
+        self._active_session[donor_id] = session_index
+        lane_done: list[SimEvent] = []
+        for lane in range(spec.cores):
+            event = SimEvent(sim)
+            lane_done.append(event)
+            sim.spawn(
+                self._lane_process(spec, session_end, session_index, lane, event)
+            )
+        for event in lane_done:
+            yield WaitEvent(event)
+        if self._active_session.get(donor_id) == session_index:
+            self.server.deregister_donor(donor_id, sim.now)
+            del self._active_session[donor_id]
+
+    def _lane_process(
+        self,
+        spec: MachineSpec,
+        session_end: float,
+        session_index: int,
+        lane: int,
+        done_event: SimEvent,
+    ) -> Process:
+        """One compute lane (core) of a multi-core donor session.
+
+        Runs the serial pull protocol — or, when the cluster is
+        pipelined, the double-buffered one — against the *shared*
+        donor registration.  Every lane's leases count against the one
+        donor, whose depth gate the server already scaled by ``slots``
+        (:meth:`~repro.core.server.PipelineConfig.depth_for`).  A lane
+        observing that its session is no longer current (crash or
+        replacement) exits quietly without touching the registration.
+        """
+        sim = self.sim
+        meters = self.obs.meters
+        donor_id = spec.machine_id
+        rng = spawn_rng(
+            self.seed, "machine", spec.machine_id, session_index, "lane", lane
+        )
+        chaos_rng = (
+            self.chaos.rng_for(spec.machine_id, session_index, "lane", lane)
+            if self.chaos is not None
+            else None
+        )
+        pipelined = self.pipeline is not None
+        slot: tuple[list, SimEvent] | None = None
+        try:
+            while True:
+                if sim.now >= session_end or self._all_done():
+                    return
+                if self._active_session.get(donor_id) != session_index:
+                    return  # machine crashed or was replaced
+                if slot is not None:
+                    box, event = slot
+                    slot = None
+                    if event.fired:
+                        meters.counter("farm.pipeline.prefetch.hits").inc()
+                    else:
+                        start = sim.now
+                        yield WaitEvent(event)
+                        gap = sim.now - start
+                        meters.counter("farm.pipeline.prefetch.misses").inc()
+                        if gap > 0:
+                            meters.counter(
+                                "farm.pipeline.idle.gap.seconds"
+                            ).inc(gap)
+                    assignment, payload = box[0]
+                else:
+                    if pipelined:
+                        meters.counter("farm.pipeline.prefetch.misses").inc()
+                    assignment, payload = yield from self._fetch_assignment(
+                        donor_id, session_index, slots=spec.cores
+                    )
+                if assignment is None:
+                    if self._all_done():
+                        return
+                    yield Timeout(self.idle_poll)
+                    continue
+                if pipelined:
+                    box = [(None, None)]
+                    event = SimEvent(sim)
+                    sim.spawn(
+                        self._prefetch_process(
+                            donor_id, session_index, box, event
+                        )
+                    )
+                    slot = (box, event)
+                finished = yield from self._compute_and_upload(
+                    spec, donor_id, assignment, payload, rng, chaos_rng, session_end
+                )
+                if not finished:
+                    return  # left the pool mid-compute
+                if (
+                    self.chaos is not None
+                    and chaos_rng.random() < self.chaos.crash_rate
+                    and self._active_session.get(donor_id) == session_index
+                ):
+                    # Hard host crash: every lane dies with the machine.
+                    # This lane schedules the whole-machine respawn; the
+                    # currency check above stops sibling lanes.
+                    self._chaos_sessions += 1
+                    self.sim.spawn(
+                        self._spawn_session(
+                            spec, session_end, self._chaos_sessions
+                        ),
+                        delay=self.chaos.crash_downtime,
+                    )
+                    self._active_session.pop(donor_id, None)
+                    return
+        finally:
+            done_event.fire()

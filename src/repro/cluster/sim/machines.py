@@ -35,10 +35,16 @@ class MachineSpec:
     availability: float = 1.0
     availability_jitter: float = 0.0
     sessions: tuple[tuple[float, float], ...] = ()
+    #: Parallel compute slots (worker-pool lanes).  ``speed`` is per
+    #: core: a ``cores=4`` machine registers once with ``slots=4`` and
+    #: computes up to four units concurrently under virtual time.
+    cores: int = 1
 
     def __post_init__(self) -> None:
         if self.speed <= 0:
             raise ValueError(f"{self.machine_id}: speed must be positive")
+        if self.cores < 1:
+            raise ValueError(f"{self.machine_id}: cores must be >= 1")
         if not (0 < self.availability <= 1.0):
             raise ValueError(f"{self.machine_id}: availability must be in (0, 1]")
         if not (0 <= self.availability_jitter < 1.0):
@@ -112,6 +118,40 @@ def heterogeneous_pool(
             speed=float(speeds[i]),
             availability=float(avails[i]),
             availability_jitter=availability_jitter,
+        )
+        for i in range(count)
+    ]
+
+
+def multicore_pool(
+    count: int,
+    seed: int = 0,
+    cores_choices: tuple[int, ...] = (1, 2, 4, 8),
+    speed_range: tuple[float, float] = (0.25, 2.0),
+    availability_range: tuple[float, float] = (0.5, 1.0),
+    availability_jitter: float = 0.2,
+    prefix: str = "pc",
+) -> list[MachineSpec]:
+    """A heterogeneous pool whose machines also differ in core count.
+
+    The modern reading of the paper's pool: the spread is no longer
+    just clock speed (PII vs PIV) but width — a donated workstation may
+    bring eight cores while a laptop brings one.  Core counts are drawn
+    uniformly from *cores_choices*; per-core speeds and availabilities
+    as in :func:`heterogeneous_pool`.
+    """
+    rng = spawn_rng(seed, "multicore_pool")
+    lo, hi = speed_range
+    speeds = np.exp(rng.uniform(np.log(lo), np.log(hi), size=count))
+    avails = rng.uniform(*availability_range, size=count)
+    cores = rng.choice(np.asarray(cores_choices, dtype=np.intp), size=count)
+    return [
+        MachineSpec(
+            machine_id=f"{prefix}-{i:03d}",
+            speed=float(speeds[i]),
+            availability=float(avails[i]),
+            availability_jitter=availability_jitter,
+            cores=int(cores[i]),
         )
         for i in range(count)
     ]

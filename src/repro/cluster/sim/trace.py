@@ -24,6 +24,7 @@ from typing import Any, Sequence
 from repro.core.blobs import BLOB_REF_WIRE_BYTES, BlobRef, blob_key, canonical_dumps
 from repro.core.problem import Algorithm, DataManager, Problem
 from repro.core.workunit import UnitPayload, WorkResult
+from repro.util.rng import spawn_rng
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,6 +112,28 @@ class WorkloadTrace:
             ),
             name,
         )
+
+
+def compute_heavy_trace(
+    items: int = 240,
+    seed: int = 7,
+    cost_range: tuple[float, float] = (4.0, 9.0),
+    bytes_per_item: int = 2_000,
+    name: str = "compute-heavy",
+) -> WorkloadTrace:
+    """The multi-core benchmark regime: compute dwarfs the wire.
+
+    Per-item costs of seconds against ~2 kB of input put essentially
+    the whole makespan in the donors' cores — the setting where a
+    4-core worker pool should approach 4x a serial donor, and where the
+    pipelined runtime's download overlap buys almost nothing.  Costs
+    are uniform over *cost_range* from a deterministic stream, so every
+    replay (and both arms of an A/B run) sees the identical workload.
+    """
+    rng = spawn_rng(seed, "compute_heavy_trace")
+    lo, hi = cost_range
+    costs = [float(c) for c in rng.uniform(lo, hi, size=items)]
+    return WorkloadTrace.single_stage(costs, bytes_per_item, name=name)
 
 
 class TraceDataManager(DataManager):

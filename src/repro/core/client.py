@@ -15,13 +15,23 @@ implementations:
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
+import os
 import pickle
+import queue
 import random
 import threading
 import time
 from typing import Any, Callable, Protocol
 
-from repro.core.blobs import DEFAULT_CACHE_BYTES, BlobCache, BlobRef, fetch_and_resolve
+from repro.core.blobs import (
+    DEFAULT_CACHE_BYTES,
+    BlobCache,
+    BlobRef,
+    blob_key,
+    fetch_and_resolve,
+    iter_blob_refs,
+)
 from repro.core.problem import Algorithm
 from repro.core.server import Assignment, TaskFarmServer
 from repro.core.workunit import WorkResult
@@ -31,7 +41,7 @@ from repro.obs import unitstats
 class ServerPort(Protocol):
     """What a donor needs from the server, wherever it lives."""
 
-    def register_donor(self, donor_id: str) -> None: ...
+    def register_donor(self, donor_id: str, slots: int = 1) -> None: ...
 
     def deregister_donor(self, donor_id: str) -> None: ...
 
@@ -76,8 +86,8 @@ class InProcessServerPort:
             self._server.expire_leases(now)
         return now
 
-    def register_donor(self, donor_id: str) -> None:
-        self._server.register_donor(donor_id, self._now())
+    def register_donor(self, donor_id: str, slots: int = 1) -> None:
+        self._server.register_donor(donor_id, self._now(), slots=slots)
 
     def deregister_donor(self, donor_id: str) -> None:
         self._server.deregister_donor(donor_id, self._now())
@@ -104,6 +114,172 @@ class InProcessServerPort:
 
     def all_complete(self) -> bool:
         return self._server.all_complete()
+
+
+# ---------------------------------------------------------------------------
+# worker-pool execution engine
+# ---------------------------------------------------------------------------
+#
+# Everything below the WorkerPool boundary runs in spawn-started child
+# processes: a fresh interpreter that imports this module and calls the
+# module-level functions by name.  Child-side state is therefore kept in
+# module globals (one copy per worker process), seeded once by the pool
+# initializer and topped up by per-task "carry" items for anything the
+# parent discovers after the pool started (a new problem's algorithm, a
+# later stage's shared blob).  Algorithms are content-addressed by the
+# digest of their pickled bytes — worker processes outlive any single
+# server, and two servers can reuse the same small problem ids.
+
+#: Per-worker caches: pickled-algorithm digest -> Algorithm, and a
+#: content-addressed cache of this donor's shared blobs.
+_WORKER_ALGOS: dict[str, Algorithm] = {}
+_WORKER_BLOBS: BlobCache | None = None
+_WORKER_BLOB_BYTES: dict[str, bytes] = {}
+
+
+def _worker_install(kind: str, key: str, data: bytes) -> None:
+    if kind == "algo":
+        if key not in _WORKER_ALGOS:
+            _WORKER_ALGOS[key] = pickle.loads(data)
+    elif kind == "blob":
+        _WORKER_BLOB_BYTES.setdefault(key, data)
+    else:  # pragma: no cover - parent and worker ship the same build
+        raise ValueError(f"unknown pool item kind {kind!r}")
+
+
+def _worker_watchdog(parent_pid: float) -> None:
+    """Exit hard when the parent donor dies.
+
+    A SIGKILLed donor runs no cleanup, and spawn-started pool workers
+    are real processes that would outlive it indefinitely.  Each worker
+    polls its parent and exits the moment the donor is gone, so a donor
+    crash mid-unit leaves no orphans behind.
+    """
+    while True:
+        if os.getppid() != parent_pid:
+            os._exit(1)
+        time.sleep(0.25)
+
+
+def _pool_init(seed_items: list[tuple[str, str, bytes]], parent_pid: int) -> None:
+    """Per-worker initializer: warm caches once per *process*, not per unit."""
+    global _WORKER_BLOBS
+    if _WORKER_BLOBS is None:
+        _WORKER_BLOBS = BlobCache(DEFAULT_CACHE_BYTES)
+    for kind, key, data in seed_items:
+        _worker_install(kind, key, data)
+    threading.Thread(
+        target=_worker_watchdog, args=(parent_pid,), daemon=True
+    ).start()
+
+
+def _missing_blob(ref: BlobRef) -> bytes:
+    data = _WORKER_BLOB_BYTES.get(ref.key)
+    if data is None:
+        raise KeyError(f"blob {ref.key} was never shipped to this worker")
+    return data
+
+
+def _pool_run(
+    task: tuple[str, Any, tuple[tuple[str, str, bytes], ...]],
+) -> tuple[Any, float, float, dict[str, float], int]:
+    """Compute one unit inside a worker process.
+
+    Returns ``(value, elapsed, started_at, unit_meters, output_bytes)``;
+    ``started_at`` is ``time.monotonic()`` (system-wide on Linux), which
+    lets the parent meter how long the task waited in the pool queue.
+    """
+    algo_key, payload, carry = task
+    for kind, key, data in carry:
+        _worker_install(kind, key, data)
+    algo = _WORKER_ALGOS[algo_key]
+    assert _WORKER_BLOBS is not None
+    started = time.monotonic()
+    with unitstats.collect() as stats:
+        resolved = fetch_and_resolve(payload, _WORKER_BLOBS, _missing_blob)
+        value = algo.compute(resolved)
+    elapsed = time.monotonic() - started
+    try:
+        output_bytes = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        # The pool transport will fail loudly on the same pickle; keep
+        # the accounting best-effort so that error is the one reported.
+        output_bytes = 0
+    return value, elapsed, started, dict(stats), output_bytes
+
+
+class WorkerPool:
+    """A donor-side pool of spawn-started worker processes.
+
+    Thin, deliberately: the pool knows nothing about servers or leases —
+    it turns ``(algorithm digest, payload, carry items)`` tasks into
+    computed values on ``workers`` parallel cores.  The
+    :class:`DonorClient` owns all protocol state and funnels every
+    worker result through its existing submit path, so the server's
+    exactly-once folding and integrity quorum see a pooled donor as just
+    a fast donor.
+
+    ``seed_items`` are installed once per worker process by the
+    initializer (algorithm + the first unit's shared blobs); anything
+    discovered later rides along with individual tasks.  The spawn start
+    method is mandatory: donors embed in arbitrary hosts (threads, RMI
+    sockets, numpy state) and a forked child inheriting that mid-flight
+    state is exactly the kind of heisenbug this farm cannot debug
+    remotely.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        seed_items: list[tuple[str, str, bytes]] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        seed = list(seed_items or [])
+        self.workers = workers
+        self.seeded_keys = frozenset((kind, key) for kind, key, _data in seed)
+        self._pool = multiprocessing.get_context("spawn").Pool(
+            processes=workers,
+            initializer=_pool_init,
+            initargs=(seed, os.getpid()),
+        )
+        self._closed = False
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (diagnostics and tests)."""
+        return [p.pid for p in self._pool._pool if p.pid is not None]
+
+    def submit(
+        self,
+        task: tuple[str, Any, tuple[tuple[str, str, bytes], ...]],
+        callback: Callable[[Any], None],
+        error_callback: Callable[[BaseException], None],
+    ) -> None:
+        """Dispatch one task; completion lands in the callbacks.
+
+        ``error_callback`` receives worker exceptions *and* transport
+        failures (e.g. a poisoned, unpicklable result value) — the unit
+        fails loudly while the worker itself survives for the next task.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        self._pool.apply_async(
+            _pool_run,
+            (task,),
+            callback=callback,
+            error_callback=error_callback,
+        )
+
+    def shutdown(self) -> None:
+        """Stop the workers; idempotent, safe to call from ``finally``."""
+        if self._closed:
+            return
+        self._closed = True
+        # terminate(), not close(): outstanding leases are recovered by
+        # the server's expiry sweep, so draining the queue at shutdown
+        # would only delay exit.
+        self._pool.terminate()
+        self._pool.join()
 
 
 class DonorClient:
@@ -133,6 +309,21 @@ class DonorClient:
         thread-safe port (the RMI proxy and the cluster's locked
         in-process port both are) and a server with
         ``PipelineConfig.lease_depth >= 2``.
+    workers:
+        Parallel compute slots.  With ``workers > 1`` the donor runs a
+        :class:`WorkerPool` of spawn-started processes, keeps up to
+        ``workers`` leased units computing concurrently, and registers
+        with ``slots=workers`` so the server scales its lease depth and
+        unit sizing to the donor's real capacity.  The pooled loop
+        requests work while units compute, so it subsumes ``prefetch``.
+        Requires picklable algorithms/payloads/results (anything that
+        can travel RMI already is).
+    pool:
+        Inject a pre-built :class:`WorkerPool` (worker processes cost
+        ~a second each to spawn; tests and embedding hosts can share one
+        across donors and runs).  The client then does *not* shut it
+        down when ``run()`` returns.  Its worker count overrides
+        ``workers``.
     heartbeat_interval:
         When set, a background thread renews the donor's lease every
         this-many seconds while a unit computes — so a unit that takes
@@ -155,6 +346,8 @@ class DonorClient:
         idle_sleep: float = 0.1,
         idle_sleep_max: float | None = None,
         prefetch: bool = False,
+        workers: int = 1,
+        pool: WorkerPool | None = None,
         heartbeat_interval: float | None = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
         blob_fetch: Callable[[int, BlobRef], bytes] | None = None,
@@ -166,11 +359,18 @@ class DonorClient:
             raise ValueError("heartbeat_interval must be positive")
         if idle_sleep_max is not None and idle_sleep_max < idle_sleep:
             raise ValueError("idle_sleep_max must be >= idle_sleep")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.donor_id = donor_id
         self.port = port
         self.idle_sleep = idle_sleep
         self.idle_sleep_max = idle_sleep_max
         self.prefetch = prefetch
+        self.workers = pool.workers if pool is not None else workers
+        self._pool = pool
+        self._pool_owned = False
+        self._carry_cache: dict[tuple[str, str], bytes] = {}
+        self._pool_mark = 0.0
         self.heartbeat_interval = heartbeat_interval
         self._clock = clock
         self._sleep = sleep
@@ -377,13 +577,25 @@ class DonorClient:
     ) -> int:
         """Loop until all problems finish (or a stop condition); returns
         the number of units computed."""
-        self.port.register_donor(self.donor_id)
+        pooled = self.workers > 1 or self._pool is not None
+        if pooled:
+            # Advertise capacity: the server scales this donor's lease
+            # depth (PipelineConfig.depth_for) and unit sizing to it.
+            self.port.register_donor(self.donor_id, self.workers)
+        else:
+            self.port.register_donor(self.donor_id)
         try:
-            if self.prefetch:
+            if pooled:
+                self._run_pooled(max_units, should_stop)
+            elif self.prefetch:
                 self._run_pipelined(max_units, should_stop)
             else:
                 self._run_serial(max_units, should_stop)
         finally:
+            if self._pool_owned and self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+                self._pool_owned = False
             try:
                 self.port.deregister_donor(self.donor_id)
             except Exception:
@@ -455,6 +667,178 @@ class DonorClient:
             self._idle_attempt = 0
             slot = self._spawn_prefetch()
             self._compute_and_submit(assignment)
+
+    # ------------------------------------------------------------------
+    # pooled execution
+    # ------------------------------------------------------------------
+
+    def _algo_key(self, problem_id: int) -> tuple[str, bytes]:
+        """Content address + pickled bytes of one problem's algorithm."""
+        cached = self._carry_cache.get(("problem", str(problem_id)))
+        if cached is not None:
+            key = blob_key(cached)
+            return key, cached
+        algo = self._algorithm(problem_id)
+        data = pickle.dumps(algo, protocol=pickle.HIGHEST_PROTOCOL)
+        self._carry_cache[("problem", str(problem_id))] = data
+        return blob_key(data), data
+
+    def _pool_items(
+        self, assignment: Assignment
+    ) -> list[tuple[str, str, bytes]]:
+        """Everything a worker needs for *assignment*: algo + blobs."""
+        algo_key, algo_bytes = self._algo_key(assignment.problem_id)
+        items = [("algo", algo_key, algo_bytes)]
+        for ref in iter_blob_refs(assignment.payload):
+            data = self._carry_cache.get(("blob", ref.key))
+            if data is None:
+                data = self._fetch_blob(assignment.problem_id, ref)
+                self._carry_cache[("blob", ref.key)] = data
+            items.append(("blob", ref.key, data))
+        return items
+
+    def _ensure_pool(self, assignment: Assignment) -> WorkerPool:
+        """Build the pool lazily, seeded from the first assignment.
+
+        Seeding through the initializer ships the algorithm and the
+        first unit's shared blobs exactly once per worker process;
+        later problems/stages ride along with tasks as carry items.
+        """
+        if self._pool is None:
+            self._pool = WorkerPool(
+                self.workers, seed_items=self._pool_items(assignment)
+            )
+            self._pool_owned = True
+            self._meter("farm.pool.workers", self.workers)
+        self._pool_mark = time.monotonic()
+        return self._pool
+
+    def _dispatch_pooled(
+        self,
+        pool: WorkerPool,
+        assignment: Assignment,
+        completions: "queue.Queue[tuple[Assignment, float, Any, BaseException | None]]",
+    ) -> None:
+        algo_key, _algo_bytes = self._algo_key(assignment.problem_id)
+        carry = tuple(
+            (kind, key, data)
+            for kind, key, data in self._pool_items(assignment)
+            if (kind, key) not in pool.seeded_keys
+        )
+        for _kind, _key, data in carry:
+            self._meter("farm.pool.carry.bytes", len(data))
+        dispatched = time.monotonic()
+        # Callbacks run on the pool's result-handler thread; they only
+        # enqueue, and the donor's main loop does all protocol work.
+        pool.submit(
+            (algo_key, assignment.payload, carry),
+            callback=lambda res, a=assignment, t=dispatched: completions.put(
+                (a, t, res, None)
+            ),
+            error_callback=lambda exc, a=assignment, t=dispatched: completions.put(
+                (a, t, None, exc)
+            ),
+        )
+
+    def _finish_pooled(
+        self, item: tuple[Assignment, float, Any, BaseException | None]
+    ) -> None:
+        assignment, dispatched, res, error = item
+        now = time.monotonic()
+        if self._pool_mark:
+            # Slot-time advances by wall-time x workers between
+            # completions; utilization = busy.seconds / slot.seconds.
+            self._meter(
+                "farm.pool.slot.seconds", (now - self._pool_mark) * self.workers
+            )
+        self._pool_mark = now
+        if error is not None:
+            self.failures += 1
+            self._meter("farm.pool.failures", 1)
+            self.port.report_failure(
+                assignment.problem_id,
+                assignment.unit_id,
+                self.donor_id,
+                f"{type(error).__name__}: {error}",
+            )
+            return
+        value, elapsed, started, stats, output_bytes = res
+        self._meter("farm.pool.units", 1)
+        self._meter("farm.pool.busy.seconds", elapsed)
+        self._meter("farm.pool.queue.wait.seconds", max(0.0, started - dispatched))
+        self._submit(
+            WorkResult(
+                problem_id=assignment.problem_id,
+                unit_id=assignment.unit_id,
+                value=value,
+                donor_id=self.donor_id,
+                compute_seconds=elapsed,
+                items=assignment.items,
+                output_bytes=output_bytes,
+                extra={"meters": stats} if stats else {},
+            )
+        )
+
+    def _run_pooled(
+        self,
+        max_units: int | None,
+        should_stop: Callable[[], bool] | None,
+    ) -> None:
+        """Keep up to ``workers`` leased units computing concurrently.
+
+        The protocol conversation (request, submit, report) stays
+        single-threaded in this loop — workers only compute — so the
+        server-facing behaviour is that of one very fast serial donor
+        and the exactly-once/integrity machinery is untouched.
+        """
+        completions: queue.Queue[
+            tuple[Assignment, float, Any, BaseException | None]
+        ] = queue.Queue()
+        in_flight = 0
+        stop_heartbeat = self._start_heartbeat()
+        try:
+            while True:
+                if should_stop is not None and should_stop():
+                    break
+                while True:
+                    try:
+                        item = completions.get_nowait()
+                    except queue.Empty:
+                        break
+                    in_flight -= 1
+                    self._finish_pooled(item)
+                if max_units is not None and self.units_done >= max_units:
+                    break
+                granted = False
+                while in_flight < self.workers and (
+                    max_units is None
+                    or self.units_done + in_flight < max_units
+                ):
+                    assignment = self.port.request_work(self.donor_id)
+                    if assignment is None:
+                        break
+                    pool = self._ensure_pool(assignment)
+                    self._dispatch_pooled(pool, assignment, completions)
+                    in_flight += 1
+                    granted = True
+                if granted:
+                    self._idle_attempt = 0
+                    continue
+                if in_flight > 0:
+                    # Saturated (or refused at depth): wait for a
+                    # completion, staying responsive to should_stop.
+                    try:
+                        item = completions.get(timeout=0.05)
+                    except queue.Empty:
+                        continue
+                    in_flight -= 1
+                    self._finish_pooled(item)
+                    continue
+                if self.port.all_complete():
+                    break
+                self._idle_wait()
+        finally:
+            stop_heartbeat()
 
 
 def run_to_completion(

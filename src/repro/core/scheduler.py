@@ -58,6 +58,12 @@ class DonorState:
     leases a donor up to ``PipelineConfig.lease_depth`` units at once
     (one computing, the next prefetching); the historical serial donor
     holds at most one.
+
+    ``slots`` is the donor's advertised parallel capacity: how many
+    units its worker pool can compute concurrently.  A plain serial
+    donor advertises 1.  The lease-depth gate scales with it (see
+    :meth:`PipelineConfig.depth_for`), so an 8-core donor may hold
+    eight times the leases of a laptop.
     """
 
     donor_id: str
@@ -68,6 +74,7 @@ class DonorState:
     items_completed: int = 0
     busy_seconds: float = 0.0
     active_units: list[tuple[int, int]] = field(default_factory=list)
+    slots: int = 1
 
     @property
     def active_unit(self) -> tuple[int, int] | None:
@@ -90,6 +97,20 @@ class DonorState:
             model = PerfModel(alpha=alpha)
             self.perf[problem_id] = model
         return model
+
+    def capacity_rate(self) -> float:
+        """Per-slot items/sec across every problem this donor has run.
+
+        Pooled units are each timed on their own core, so every
+        per-problem EWMA is already a *per-slot* rate; the mean over
+        calibrated models is the donor-level capacity estimate used to
+        warm-start sizing on problems the donor has not touched yet.
+        Returns 0.0 while the donor is entirely uncalibrated.
+        """
+        rates = [m.items_per_second for m in self.perf.values() if m.calibrated]
+        if not rates:
+            return 0.0
+        return sum(rates) / len(rates)
 
 
 class GranularityPolicy(abc.ABC):
@@ -157,6 +178,14 @@ class AdaptiveGranularity(GranularityPolicy):
         the last stretch splits across several donors instead of
         becoming one straggler unit that stalls the barrier.  ``None``
         (the default) keeps the historical sizing.
+    warm_start:
+        When True, a donor uncalibrated on *this* problem but calibrated
+        on others seeds its first unit from its donor-level per-slot
+        capacity EWMA (:meth:`DonorState.capacity_rate`) instead of the
+        blind ``probe_items`` — a fast 8-core box starts near its real
+        capacity while an unknown laptop still gets the cautious probe.
+        The warm first unit is capped at ``probe_items * max_growth``,
+        the same ramp bound a lucky probe would have earned.
     """
 
     def __init__(
@@ -168,6 +197,7 @@ class AdaptiveGranularity(GranularityPolicy):
         alpha: float = 0.5,
         max_growth: float = 4.0,
         tail_factor: float | None = None,
+        warm_start: bool = True,
     ):
         if target_seconds <= 0:
             raise ValueError("target_seconds must be positive")
@@ -184,6 +214,7 @@ class AdaptiveGranularity(GranularityPolicy):
         self.alpha = alpha
         self.max_growth = max_growth
         self.tail_factor = tail_factor
+        self.warm_start = warm_start
 
     def items_for(
         self, donor: DonorState, problem_id: int, remaining: int | None = None
@@ -191,6 +222,17 @@ class AdaptiveGranularity(GranularityPolicy):
         model = donor.perf_for(problem_id, alpha=self.alpha)
         if not model.calibrated:
             items = self.probe_items
+            capacity = donor.capacity_rate() if self.warm_start else 0.0
+            if capacity > 0.0:
+                ideal = min(float(self.max_items), capacity * self.target_seconds)
+                ramp_cap = self.probe_items * self.max_growth
+                items = int(
+                    min(
+                        self.max_items,
+                        ramp_cap,
+                        max(float(items), math.ceil(ideal)),
+                    )
+                )
         else:
             # Clamp before ceil(): an extreme rate estimate must saturate
             # at max_items, not overflow.

@@ -95,6 +95,19 @@ class PipelineConfig:
         """The standard pipelined runtime: prefetch depth + tail re-issue."""
         return cls(lease_depth=depth, tail_reissue=True)
 
+    def depth_for(self, slots: int) -> int | None:
+        """Lease-depth gate for a donor advertising ``slots`` cores.
+
+        ``lease_depth`` is *per slot*: a depth-2 pipeline on a 4-core
+        pooled donor allows 8 concurrent leases (four computing, four
+        prefetching), so capacity scheduling falls out of the existing
+        depth machinery instead of a second code path.  ``None`` stays
+        unlimited.
+        """
+        if self.lease_depth is None:
+            return None
+        return self.lease_depth * max(1, slots)
+
 
 @dataclass(frozen=True, slots=True)
 class Assignment:
@@ -309,12 +322,23 @@ class TaskFarmServer:
     # donor lifecycle
     # ------------------------------------------------------------------
 
-    def register_donor(self, donor_id: str, now: float = 0.0) -> None:
+    def register_donor(
+        self, donor_id: str, now: float = 0.0, slots: int = 1
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
         if donor_id in self._donors:
             # A rebooted donor re-registering is normal churn, not an error.
             self.deregister_donor(donor_id, now)
-        self._donors[donor_id] = DonorState(donor_id, now, now)
-        self.log.record(now, "donor.registered", donor_id=donor_id)
+        self._donors[donor_id] = DonorState(donor_id, now, now, slots=slots)
+        if slots > 1:
+            # Serial donors keep the historical event shape (replay
+            # determinism tests compare logs field-for-field).
+            self.log.record(
+                now, "donor.registered", donor_id=donor_id, slots=slots
+            )
+        else:
+            self.log.record(now, "donor.registered", donor_id=donor_id)
         self._sync_donor_gauges()
 
     def deregister_donor(self, donor_id: str, now: float = 0.0) -> None:
@@ -374,7 +398,7 @@ class TaskFarmServer:
             for key in donor.active_units
             if donor_id in self.leases.holders(*key)
         ]
-        depth = self.pipeline.lease_depth
+        depth = self.pipeline.depth_for(donor.slots)
         if depth is not None and len(donor.active_units) >= depth:
             self._m_depth_refusals.inc()
             return None
@@ -848,7 +872,8 @@ class TaskFarmServer:
 
         Donors report through ``WorkResult.extra["meters"]`` (see
         :mod:`repro.obs.unitstats`); only whitelisted ``farm.align.*``,
-        ``farm.cache.*``, and ``farm.pipeline.*`` names with positive
+        ``farm.cache.*``, ``farm.pipeline.*``, and ``farm.pool.*``
+        names with positive
         finite amounts are
         accepted, so a buggy or hostile donor cannot inflate the
         framework's own accounting (``farm.units.*`` etc.).  Called
@@ -862,7 +887,9 @@ class TaskFarmServer:
             name
             for name in meters
             if isinstance(name, str)
-            and name.startswith(("farm.align.", "farm.cache.", "farm.pipeline."))
+            and name.startswith(
+                ("farm.align.", "farm.cache.", "farm.pipeline.", "farm.pool.")
+            )
         )
         for name in accepted:
             amount = meters[name]

@@ -36,6 +36,7 @@ class DonorStatusLine:
     idle_seconds: float
     items_per_second: float = 0.0
     utilization: float = 0.0
+    slots: int = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -72,14 +73,14 @@ class FarmStatus:
             )
         lines.append("")
         lines.append(
-            f"{'donor':<18} {'units':>6} {'items':>8} {'busy(s)':>9} "
-            f"{'items/s':>8} {'util':>6} {'state':<6}"
+            f"{'donor':<18} {'slots':>5} {'units':>6} {'items':>8} "
+            f"{'busy(s)':>9} {'items/s':>8} {'util':>6} {'state':<6}"
         )
         for d in self.donors:
             state = "busy" if d.active else f"idle {d.idle_seconds:.0f}s"
             rate = f"{d.items_per_second:.2f}" if d.items_per_second else "-"
             lines.append(
-                f"{d.donor_id:<18.18} {d.units_completed:>6} "
+                f"{d.donor_id:<18.18} {d.slots:>5} {d.units_completed:>6} "
                 f"{d.items_completed:>8} {d.busy_seconds:>9.1f} "
                 f"{rate:>8} {d.utilization:>6.0%} {state:<6}"
             )
@@ -128,6 +129,7 @@ def snapshot(server: TaskFarmServer, now: float) -> FarmStatus:
                 idle_seconds=max(0.0, now - donor.last_seen),
                 items_per_second=sum(rates) / len(rates) if rates else 0.0,
                 utilization=utilization,
+                slots=donor.slots,
             )
         )
     return FarmStatus(time=now, problems=problems, donors=donors)
@@ -171,6 +173,7 @@ def snapshot_dict(server: TaskFarmServer, now: float) -> dict:
                 "idle_seconds": d.idle_seconds,
                 "items_per_second": d.items_per_second,
                 "utilization": d.utilization,
+                "slots": d.slots,
             }
             for d in status.donors
         ],

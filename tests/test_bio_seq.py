@@ -99,6 +99,38 @@ class TestSequence:
         seq = dna("s", text)
         assert str(seq.reverse_complement().reverse_complement()) == text
 
+    def test_icodes_cached_frozen_and_correct(self):
+        seq = dna("s", "ACGTN")
+        codes = seq.icodes
+        assert codes.dtype == np.intp
+        assert not codes.flags.writeable
+        assert np.array_equal(codes, seq.codes.astype(np.intp))
+        assert seq.icodes is codes  # memoised, one array forever
+
+    def test_icodes_race_publishes_one_array(self):
+        """Regression: concurrent cold reads (prefetch warmup + compute
+        thread) must all see the *same* frozen array, never clobber the
+        cache with a second copy mid-read."""
+        import threading
+
+        for _trial in range(20):
+            seq = dna("s", "ACGT" * 500)
+            start = threading.Barrier(8)
+            seen: list = []
+
+            def read() -> None:
+                start.wait()
+                seen.append(seq.icodes)
+
+            threads = [threading.Thread(target=read) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            first = seen[0]
+            assert all(arr is first for arr in seen)
+            assert not first.flags.writeable
+
 
 class TestFasta:
     SAMPLE = """>seq1 first sequence

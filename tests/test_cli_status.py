@@ -159,6 +159,95 @@ class TestLiveStatus:
             rmi.close()
 
 
+def _meters_only_snapshot(counters: dict[str, float]) -> dict[str, Any]:
+    return {
+        "time": 0.0,
+        "problems": [],
+        "donors": [],
+        "meters": {"counters": counters, "histograms": {}},
+    }
+
+
+def _donor_line(**overrides: Any) -> dict[str, Any]:
+    donor = {
+        "donor_id": "d0",
+        "active": False,
+        "idle_seconds": 1.0,
+        "units_completed": 3,
+        "items_completed": 30,
+        "busy_seconds": 2.0,
+        "items_per_second": 0.0,
+        "utilization": 0.5,
+    }
+    donor.update(overrides)
+    return donor
+
+
+class TestDerivedRates:
+    """The shared zero-denominator guard for every derived-rate line."""
+
+    def test_pool_utilization_renders_ratio(self):
+        text = render_snapshot(
+            _meters_only_snapshot(
+                {"farm.pool.busy.seconds": 2.0, "farm.pool.slot.seconds": 8.0}
+            )
+        )
+        assert "farm.pool.utilization" in text
+        assert "25.0%" in text
+
+    def test_pool_utilization_zero_denominator_renders_dash(self):
+        # busy seconds recorded but slot seconds absent/zero (e.g. a
+        # truncated or hand-edited --from-json snapshot): no crash, a
+        # dash instead of a rate.
+        text = render_snapshot(
+            _meters_only_snapshot({"farm.pool.busy.seconds": 2.0})
+        )
+        lines = [l for l in text.splitlines() if "farm.pool.utilization" in l]
+        assert lines and lines[0].rstrip().endswith("-")
+
+    def test_prefetch_hit_rate_guarded(self):
+        text = render_snapshot(
+            _meters_only_snapshot(
+                {
+                    "farm.pipeline.prefetch.hits": 3.0,
+                    "farm.pipeline.prefetch.misses": 1.0,
+                }
+            )
+        )
+        assert "farm.pipeline.prefetch.hit.rate" in text
+        assert "75.0%" in text
+
+    def test_pad_efficiency_guarded(self):
+        text = render_snapshot(
+            _meters_only_snapshot(
+                {
+                    "farm.align.cells.effective": 50.0,
+                    "farm.align.cells.padded": 200.0,
+                }
+            )
+        )
+        assert "farm.align.pad.efficiency" in text
+        assert "25.0%" in text
+
+
+class TestSlotsColumn:
+    def test_donor_slots_rendered(self):
+        snap = _meters_only_snapshot({})
+        snap["donors"] = [_donor_line(donor_id="octo", slots=8)]
+        text = render_snapshot(snap)
+        assert "slots" in text
+        row = [l for l in text.splitlines() if "octo" in l][0]
+        assert " 8 " in row or row.split()[1] == "8"
+
+    def test_old_snapshot_without_slots_defaults_to_one(self):
+        # Snapshots dumped before the worker pool existed carry no
+        # "slots" key; rendering must not KeyError.
+        snap = _meters_only_snapshot({})
+        snap["donors"] = [_donor_line(donor_id="legacy")]
+        row = [l for l in render_snapshot(snap).splitlines() if "legacy" in l][0]
+        assert row.split()[1] == "1"
+
+
 class TestArgumentHandling:
     def test_requires_exactly_one_source(self, tmp_path):
         with pytest.raises(SystemExit):

@@ -104,12 +104,24 @@ class TestAdaptiveGranularity:
         assert policy.items_for(glacial, 1) == 5
 
     def test_per_problem_calibration_is_independent(self):
-        policy = AdaptiveGranularity(target_seconds=10, probe_items=3, max_growth=100.0)
+        policy = AdaptiveGranularity(
+            target_seconds=10, probe_items=3, max_growth=100.0, warm_start=False
+        )
         d = donor()
         d.perf_for(1).observe(100, 1.0)
         # Problem 2 has no samples: back to probing.
         assert policy.items_for(d, 1) == 1000
         assert policy.items_for(d, 2) == 3
+
+    def test_warm_start_seeds_new_problem_from_capacity(self):
+        # The default: a calibrated donor's first unit on a *new* problem
+        # is sized from its cross-problem rate, capped at the ramp bound.
+        policy = AdaptiveGranularity(target_seconds=10, probe_items=3, max_growth=100.0)
+        d = donor()
+        d.perf_for(1).observe(100, 1.0)
+        assert policy.items_for(d, 1) == 1000
+        # 100 items/s * 10 s = 1000, capped at probe_items * max_growth.
+        assert policy.items_for(d, 2) == 300
 
     def test_recalibrates_when_donor_slows(self):
         """A donor whose owner starts using the machine gets smaller units."""

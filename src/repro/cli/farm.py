@@ -6,14 +6,16 @@ import argparse
 import signal
 import sys
 import time
+from pathlib import Path
 
 from repro.cluster.local import ServerFacade, make_blob_fetch
 from repro.core.client import DonorClient
 from repro.core.integrity import IntegrityPolicy
 from repro.core.scheduler import AdaptiveGranularity
 from repro.core.server import PipelineConfig, TaskFarmServer
-from repro.rmi import RMIServer, connect
+from repro.rmi import RMIServer
 from repro.rmi.datachannel import DataChannelServer
+from repro.rmi.reconnect import ReconnectingPort
 
 
 def server_main(argv: list[str] | None = None) -> int:
@@ -36,6 +38,23 @@ def server_main(argv: list[str] | None = None) -> int:
         "--status-interval", type=float, default=0.0, metavar="SECONDS",
         help="print a live status table every SECONDS "
              "(0 disables; repro-status can also pull it remotely)",
+    )
+    durability = parser.add_argument_group(
+        "durability",
+        "write-ahead journal + periodic checkpoints: a kill -9'd "
+        "server restarted with the same --journal DIR recovers to the "
+        "exact state it died with",
+    )
+    durability.add_argument(
+        "--journal", type=Path, default=None, metavar="DIR",
+        help="journal every state mutation into DIR (fsync per record) "
+             "and auto-recover from it on startup",
+    )
+    durability.add_argument(
+        "--checkpoint-interval", type=float, default=60.0, metavar="SECONDS",
+        help="with --journal: seconds between checkpoints that compact "
+             "the journal (0 disables compaction; recovery then "
+             "replays from genesis)",
     )
     integrity = parser.add_argument_group(
         "result integrity",
@@ -106,10 +125,35 @@ def server_main(argv: list[str] | None = None) -> int:
         integrity=policy,
         pipeline=pipeline,
     )
+    checkpoint_path = None
+    if args.journal is not None:
+        from repro.core.journal import DirStore, recover
+
+        store = DirStore(args.journal)
+        checkpoint_path = args.journal / "checkpoint.tfck"
+        checkpoint = (
+            checkpoint_path.read_bytes() if checkpoint_path.exists() else None
+        )
+        report = recover(
+            server, store, checkpoint=checkpoint, now=time.monotonic()
+        )
+        if report.restored_problems or report.replayed:
+            print(
+                f"recovered {len(report.restored_problems)} checkpointed "
+                f"problem(s) + {report.replayed} journal record(s)"
+                + (
+                    f"; torn tail truncated ({report.torn_bytes} bytes)"
+                    if report.torn_bytes
+                    else ""
+                ),
+                flush=True,
+            )
     # Shared payload blobs go out over the bulk data channel; donors
     # learn its address via the facade and cache blobs by digest.
     data_channel = DataChannelServer(host=args.host, meters=server.obs.meters)
     facade = ServerFacade(server, data_channel=data_channel)
+    # Reclaim leases even when every donor has vanished.
+    facade.start_lease_sweeper()
     # Share the farm's meter registry so RMI dispatch telemetry lands in
     # the same snapshot repro-status reads.
     rmi = RMIServer(host=args.host, port=args.port, obs=server.obs)
@@ -129,13 +173,22 @@ def server_main(argv: list[str] | None = None) -> int:
     next_status = (
         time.monotonic() + args.status_interval if args.status_interval > 0 else None
     )
+    next_checkpoint = (
+        time.monotonic() + args.checkpoint_interval
+        if checkpoint_path is not None and args.checkpoint_interval > 0
+        else None
+    )
     try:
         while not stop["flag"]:
             time.sleep(0.5)
             if next_status is not None and time.monotonic() >= next_status:
                 print(facade.status_report(), flush=True)
                 next_status = time.monotonic() + args.status_interval
+            if next_checkpoint is not None and time.monotonic() >= next_checkpoint:
+                facade.checkpoint_to(checkpoint_path)
+                next_checkpoint = time.monotonic() + args.checkpoint_interval
     finally:
+        facade.stop_lease_sweeper()
         rmi.close()
         data_channel.close()
         print("server stopped", flush=True)
@@ -201,7 +254,19 @@ def donor_main(argv: list[str] | None = None) -> int:
 
         donor_id = f"{socketlib.gethostname()}-{os.getpid()}"
 
-    proxy = connect(host, port, "taskfarm")
+    # Donors outlive server restarts: on a connection-level failure the
+    # port redials with jittered backoff and re-registers this donor
+    # before retrying the call, so a recovered server knows us again.
+    proxy = ReconnectingPort(
+        host,
+        port,
+        "taskfarm",
+        # A journaled server may be down for minutes while an operator
+        # restarts it; a volunteer donor should outwait that, not give
+        # up after the default ~20s of backoff.
+        max_attempts=60,
+        on_reconnect=lambda p: p.register_donor(donor_id, workers),
+    )
     try:
         client = DonorClient(
             donor_id,

@@ -33,6 +33,12 @@ _KEY_COUNTERS = (
     "farm.bytes.in",
     "farm.bytes.out",
     "farm.leases.expired",
+    "farm.journal.records",
+    "farm.journal.bytes",
+    "farm.journal.fsyncs",
+    "farm.journal.torn.truncated",
+    "farm.recovery.replayed",
+    "farm.recovery.seconds",
     "farm.integrity.redundant_units",
     "farm.integrity.redundant_items",
     "farm.integrity.spot_checks",
@@ -166,6 +172,17 @@ def render_snapshot(snap: dict[str, Any]) -> str:
                     _ratio_line(
                         "farm.align.pad.efficiency",
                         counters.get("farm.align.cells.effective", 0.0),
+                        counters[name],
+                    )
+                )
+            elif name == "farm.journal.records":
+                # Fraction of journal appends lost to torn tails; a
+                # non-dash value here means a crash landed mid-write
+                # and recovery truncated the damage loudly.
+                lines.append(
+                    _ratio_line(
+                        "farm.journal.torn.rate",
+                        counters.get("farm.journal.torn.truncated", 0.0),
                         counters[name],
                     )
                 )

@@ -37,9 +37,11 @@ class ServerFacade:
     """Thread-safe, clock-injecting wrapper exported over RMI.
 
     The pure state machine takes ``now`` everywhere and is not
-    thread-safe; this facade adds both (wall-clock time, one lock), and
-    sweeps expired leases on every interaction so no timer thread is
-    needed.
+    thread-safe; this facade adds both (wall-clock time, one lock).
+    Expired leases are swept on every ``request_work``, and
+    :meth:`start_lease_sweeper` adds a timer-driven sweep so a farm
+    whose donors all vanished still reclaims their leases without
+    waiting for inbound traffic.
     """
 
     def __init__(
@@ -53,9 +55,69 @@ class ServerFacade:
         # problem_id -> blob keys published to the data channel for it.
         self._published: dict[int, set[str]] = {}
         self._m_published = server.obs.meters.counter("net.blob.published")
+        self._sweep_stop: threading.Event | None = None
+        self._sweep_thread: threading.Thread | None = None
 
     def _now(self) -> float:
         return time.monotonic()
+
+    def start_lease_sweeper(self, interval: float | None = None) -> None:
+        """Reclaim expired leases on a timer (idempotent).
+
+        Defaults to a quarter of the lease timeout, mirroring the
+        simulated cluster's periodic sweep.  Metered through the
+        existing ``farm.leases.expired`` counter.
+        """
+        if self._sweep_thread is not None:
+            return
+        if interval is None:
+            interval = max(1.0, self._server.leases.timeout / 4)
+        stop = threading.Event()
+
+        def sweep() -> None:
+            while not stop.wait(interval):
+                with self._lock:
+                    self._server.expire_leases(self._now())
+
+        self._sweep_stop = stop
+        self._sweep_thread = threading.Thread(
+            target=sweep, name="lease-sweeper", daemon=True
+        )
+        self._sweep_thread.start()
+
+    def stop_lease_sweeper(self) -> None:
+        if self._sweep_thread is None:
+            return
+        self._sweep_stop.set()
+        self._sweep_thread.join(timeout=5.0)
+        self._sweep_stop = None
+        self._sweep_thread = None
+
+    def checkpoint_to(self, path) -> int:
+        """Write an atomic v3 checkpoint covering the journal so far.
+
+        Holds the facade lock across dump + LSN capture so the snapshot
+        and the LSN it records describe the same quiescent state, then
+        rotates and compacts the journal segments the checkpoint
+        covers.  Returns the covered LSN.
+        """
+        from pathlib import Path
+
+        from repro.core.checkpoint import dumps_checkpoint
+        from repro.core.journal import compact
+
+        with self._lock:
+            writer = self._server.journal
+            lsn = writer.last_lsn if writer is not None else 0
+            data = dumps_checkpoint(self._server, self._now(), journal_lsn=lsn)
+            path = Path(path)
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            tmp.write_bytes(data)
+            tmp.replace(path)
+            if writer is not None:
+                writer.rotate()
+                compact(writer.store, lsn)
+        return lsn
 
     def _publish_blobs(self, assignment: Assignment) -> None:
         """Put a unit's shared blobs on the data channel before the

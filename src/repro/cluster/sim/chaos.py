@@ -67,9 +67,28 @@ class FaultPlan:
         seconds before landing; with ``max_delay`` beyond the lease
         timeout this exercises the late-result paths.
     server_restart_at:
-        Simulated time at which the server is torn down and rebuilt
-        from an in-memory checkpoint (donors must re-register and
-        in-flight work must survive).  ``None`` disables it.
+        Simulated time at which the server is torn down and rebuilt.
+        With journaling (the default whenever chaos is active) the
+        rebuild is a real ``checkpoint + journal-replay`` recovery on
+        real bytes; in-flight work must survive.  ``None`` disables it.
+    journal_recovery:
+        When True (default) the simulated server journals every
+        mutation to an in-memory segment store and every restart —
+        scheduled or ack-crash — recovers from those bytes.  False
+        keeps the legacy in-memory checkpoint handoff.
+    checkpoint_every:
+        Simulated seconds between periodic v3 checkpoints (with
+        journal compaction); ``None`` leaves recovery replaying the
+        journal from genesis.
+    torn_tail_bytes:
+        Bytes chopped off the newest journal segment at each restart,
+        simulating a torn write at the moment of death.  Recovery must
+        truncate to the last valid frame and ride on.
+    ack_crash_rate:
+        Per accepted result: the server dies *after* journaling the
+        fold but *before* the donor sees the ack; the donor retries
+        against the recovered server, which must drop the retry as a
+        duplicate (exactly-once across the crash).
     """
 
     seed: int = 0
@@ -82,6 +101,10 @@ class FaultPlan:
     delay_rate: float = 0.0
     max_delay: float = 30.0
     server_restart_at: float | None = None
+    journal_recovery: bool = True
+    checkpoint_every: float | None = None
+    torn_tail_bytes: int = 0
+    ack_crash_rate: float = 0.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -91,6 +114,7 @@ class FaultPlan:
             "drop_rate",
             "dup_rate",
             "delay_rate",
+            "ack_crash_rate",
         ):
             rate = getattr(self, name)
             if not (0.0 <= rate <= 1.0):
@@ -101,6 +125,17 @@ class FaultPlan:
             raise ValueError("max_delay cannot be negative")
         if self.server_restart_at is not None and self.server_restart_at <= 0:
             raise ValueError("server_restart_at must be positive")
+        if self.checkpoint_every is not None and self.checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if self.torn_tail_bytes < 0:
+            raise ValueError("torn_tail_bytes cannot be negative")
+        if (
+            self.torn_tail_bytes or self.checkpoint_every or self.ack_crash_rate
+        ) and not self.journal_recovery:
+            raise ValueError(
+                "torn_tail_bytes / checkpoint_every / ack_crash_rate "
+                "need journal_recovery=True"
+            )
 
     def rng_for(self, *parts: Any) -> np.random.Generator:
         """A dedicated RNG stream for one (donor, session) context."""

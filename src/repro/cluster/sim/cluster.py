@@ -30,6 +30,7 @@ from repro.cluster.sim.engine import (
 from repro.cluster.sim.machines import MachineSpec
 from repro.cluster.sim.network import NetworkConfig, NetworkModel
 from repro.core.blobs import DEFAULT_CACHE_BYTES, BlobCache, iter_blob_refs, resolve_payload
+from repro.core.journal import JournalWriter, MemoryStore, compact, recover, torn_tail
 from repro.core.integrity import IntegrityPolicy
 from repro.core.problem import Problem
 from repro.core.scheduler import GranularityPolicy
@@ -139,6 +140,16 @@ class SimCluster:
         self.chaos = chaos
         self.pipeline = pipeline
         self.server = self._make_server()
+        # Under chaos the server journals every mutation to an
+        # in-memory segment store, so every restart is a genuine
+        # bytes-level recovery drill (same framing code as DirStore).
+        self._journal_enabled = chaos is not None and chaos.journal_recovery
+        self.journal_store = MemoryStore() if self._journal_enabled else None
+        self._checkpoint_bytes: bytes | None = None
+        if self._journal_enabled:
+            self.server.journal = JournalWriter(
+                self.journal_store, meters=self.obs.meters
+            )
         self.network = NetworkModel(self.sim, network, meters=self.obs.meters)
         self.seed = seed
         self.execute = execute
@@ -235,6 +246,12 @@ class SimCluster:
             lambda: self.server.expire_leases(self.sim.now),
             until=self._all_done,
         )
+        if self._journal_enabled and self.chaos.checkpoint_every is not None:
+            self.sim.every(
+                self.chaos.checkpoint_every,
+                self._checkpoint_server,
+                until=self._all_done,
+            )
         if self.chaos is not None and self.chaos.server_restart_at is not None:
             self.sim.schedule(self.chaos.server_restart_at, self._restart_server)
         sim_time = self.sim.run(until=until)
@@ -261,26 +278,60 @@ class SimCluster:
 
     # ------------------------------------------------------------------
 
-    def _restart_server(self) -> None:
-        """Chaos event: kill the server, rebuild it from a checkpoint.
+    def _checkpoint_server(self) -> None:
+        """Periodic v3 checkpoint: snapshot at the journal boundary,
+        then rotate and compact the segments it covers.
 
-        Everything a live restart would do happens in virtual time: the
-        problem state (with its quorum votes and reputation ledger)
-        round-trips through real checkpoint bytes, donor registrations
-        and leases are lost, and donors re-register when their next
-        request is refused — exercising the same paths the live
-        cluster's :class:`~repro.rmi.reconnect.ReconnectingPort` drives.
+        Synchronous in virtual time, so the snapshot and its recorded
+        LSN describe exactly the same state — the sim twin of the live
+        facade checkpointing under its lock.
+        """
+        from repro.core.checkpoint import dumps_checkpoint
+
+        writer = self.server.journal
+        lsn = writer.last_lsn
+        self._checkpoint_bytes = dumps_checkpoint(
+            self.server, self.sim.now, journal_lsn=lsn
+        )
+        writer.rotate()
+        compact(self.journal_store, lsn)
+
+    def _restart_server(self) -> None:
+        """Chaos event: kill the server, recover it from real bytes.
+
+        With journaling (the default under chaos) this is a full
+        recovery drill: the dying server's in-memory state is simply
+        dropped, a torn tail is optionally chopped off the journal, and
+        a fresh server rebuilds itself from ``last checkpoint bytes +
+        journal replay`` — the very path a live ``kill -9`` exercises.
+        Leases die with the server; its donors' retries and the lease
+        sweep pick up the pieces, as the live
+        :class:`~repro.rmi.reconnect.ReconnectingPort` drives.
+        ``journal_recovery=False`` keeps the legacy in-memory
+        checkpoint handoff.
         """
         if self._all_done():
             return
-        from repro.core.checkpoint import dumps_checkpoint, loads_checkpoint
-
         now = self.sim.now
-        blob = dumps_checkpoint(self.server, now)
         log = self.server.log  # event-log continuity across the restart
         log.record(now, "server.restarted")
+        if not self._journal_enabled:
+            from repro.core.checkpoint import dumps_checkpoint, loads_checkpoint
+
+            blob = dumps_checkpoint(self.server, now)
+            fresh = self._make_server(log=log)
+            loads_checkpoint(blob, fresh, now)
+            self.server = fresh
+            return
+        if self.chaos.torn_tail_bytes:
+            torn_tail(self.journal_store, self.chaos.torn_tail_bytes)
         fresh = self._make_server(log=log)
-        loads_checkpoint(blob, fresh, now)
+        recover(
+            fresh,
+            self.journal_store,
+            checkpoint=self._checkpoint_bytes,
+            now=now,
+        )
         self.server = fresh
 
     def _spawn_session(
@@ -516,6 +567,21 @@ class SimCluster:
         )
         for _ in range(deliveries):
             self.server.submit_result(result, sim.now)
+            if (
+                plan is not None
+                and plan.ack_crash_rate > 0
+                and self._journal_enabled
+                and chaos_rng.random() < plan.ack_crash_rate
+            ):
+                # Crash point *between* the journal append and the
+                # donor's ack: the fold is durable but the donor never
+                # heard so.  It retries against the recovered server,
+                # which must shed the retry as a duplicate —
+                # exactly-once folding across the crash.  (The rate
+                # guard keeps the rng stream untouched for plans that
+                # never ack-crash, preserving their fault schedules.)
+                self._restart_server()
+                self.server.submit_result(result, sim.now)
         self._machine_units[donor_id] += 1
         return True
 

@@ -14,6 +14,11 @@ and each problem's in-flight quorum votes, so replicated units resume
 collecting the votes they still need instead of recomputing from
 scratch.
 
+Version 3 records ``journal_lsn``: the last write-ahead journal record
+(:mod:`repro.core.journal`) this snapshot covers.  Recovery restores
+the checkpoint, then replays only journal records past that LSN, and
+compaction may delete any segment the checkpoint fully covers.
+
 Format: one pickled :class:`CheckpointBlob` per file, with a magic
 header and version so a stale or foreign file fails loudly.
 """
@@ -30,7 +35,7 @@ from repro.core.server import ProblemStatus, TaskFarmServer, _ProblemState
 from repro.core.workunit import WorkUnit
 
 MAGIC = b"TFCK"
-VERSION = 2
+VERSION = 3
 
 
 @dataclass
@@ -56,14 +61,24 @@ class CheckpointBlob:
     saved_at: float
     snapshots: list[_ProblemSnapshot]
     reputations: dict[str, DonorReputation] = field(default_factory=dict)
+    # Last journal LSN this snapshot covers (0 = no journal in use).
+    journal_lsn: int = 0
 
 
 class CheckpointError(RuntimeError):
     """A checkpoint file is missing, foreign, or from another version."""
 
 
-def dumps_checkpoint(server: TaskFarmServer, now: float) -> bytes:
-    """Serialize the server's problem state to checkpoint bytes."""
+def dumps_checkpoint(
+    server: TaskFarmServer, now: float, journal_lsn: int = 0
+) -> bytes:
+    """Serialize the server's problem state to checkpoint bytes.
+
+    When the server journals, pass the writer's ``last_lsn`` taken at
+    the same quiescent point this dump runs (the sim checkpoints
+    synchronously; the live facade holds its lock), so the snapshot and
+    the LSN describe the same state.
+    """
     snapshots = []
     for state in server._problems.values():
         # Units currently leased (or queued as verification replicas)
@@ -99,6 +114,7 @@ def dumps_checkpoint(server: TaskFarmServer, now: float) -> bytes:
         saved_at=now,
         snapshots=snapshots,
         reputations=server.reputation.dump(),
+        journal_lsn=journal_lsn,
     )
     return MAGIC + pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
 
@@ -111,14 +127,8 @@ def save_checkpoint(server: TaskFarmServer, path: str | Path, now: float) -> Non
     tmp.replace(path)
 
 
-def loads_checkpoint(
-    raw: bytes, server: TaskFarmServer, now: float, origin: str = "checkpoint"
-) -> list[int]:
-    """Restore problems from checkpoint bytes into a fresh server.
-
-    Returns the restored problem ids.  The target server must not
-    already hold any of them.
-    """
+def parse_checkpoint(raw: bytes, origin: str = "checkpoint") -> CheckpointBlob:
+    """Decode checkpoint bytes; fail loudly on foreign or stale files."""
     if not raw.startswith(MAGIC):
         raise CheckpointError(f"{origin} is not a task-farm checkpoint")
     try:
@@ -129,6 +139,24 @@ def loads_checkpoint(
         raise CheckpointError(
             f"{origin}: checkpoint version {blob.version}, expected {VERSION}"
         )
+    return blob
+
+
+def loads_checkpoint(
+    raw: bytes, server: TaskFarmServer, now: float, origin: str = "checkpoint"
+) -> list[int]:
+    """Restore problems from checkpoint bytes into a fresh server.
+
+    Returns the restored problem ids.  The target server must not
+    already hold any of them.
+    """
+    return restore_checkpoint(parse_checkpoint(raw, origin), server, now)
+
+
+def restore_checkpoint(
+    blob: CheckpointBlob, server: TaskFarmServer, now: float
+) -> list[int]:
+    """Apply an already-parsed :class:`CheckpointBlob` to *server*."""
     server.reputation.restore(blob.reputations)
     server._g_quarantined.set(len(server.reputation.quarantined_ids()))
     restored = []

@@ -197,10 +197,15 @@ class TaskFarmServer:
         obs: Observability | None = None,
         integrity: IntegrityPolicy | None = None,
         pipeline: PipelineConfig | None = None,
+        journal=None,
     ):
         if max_unit_attempts < 1:
             raise ValueError("max_unit_attempts must be >= 1")
         self.policy = policy or AdaptiveGranularity()
+        # Pluggable write-ahead sink (repro.core.journal.JournalWriter):
+        # every durable mutation is appended before the caller is
+        # acknowledged; None runs the historical in-memory-only mode.
+        self.journal = journal
         self.leases = LeaseTable(lease_timeout)
         self.log = log or EventLog()
         self.max_unit_attempts = max_unit_attempts
@@ -256,6 +261,16 @@ class TaskFarmServer:
         # checkpointed — a restarted server conservatively re-charges.
         self._delivered_blobs: dict[str, set[str]] = {}
 
+    def _journal(self, kind: str, now: float, **fields: Any) -> None:
+        """Append one durable-mutation record to the journal sink.
+
+        Placed at exactly the program points that irreversibly change
+        recoverable state; replay (:mod:`repro.core.journal`) applies
+        these records — and nothing else — to rebuild the server.
+        """
+        if self.journal is not None:
+            self.journal.append(kind, now, **fields)
+
     def _sync_donor_gauges(self) -> None:
         self._g_donors.set(len(self._donors))
         self._g_donors_busy.set(
@@ -270,6 +285,9 @@ class TaskFarmServer:
         """Accept a problem; returns its id."""
         if problem.problem_id in self._problems:
             raise ValueError(f"problem {problem.problem_id} already submitted")
+        # Journaled before any unit is cut, so the pickled DataManager
+        # is pristine and replay re-cuts from the same starting state.
+        self._journal("problem.submit", now, problem=problem)
         self._problems[problem.problem_id] = _ProblemState(problem, now)
         self.log.record(
             now, "problem.submitted", problem_id=problem.problem_id, name=problem.name
@@ -330,6 +348,7 @@ class TaskFarmServer:
         if donor_id in self._donors:
             # A rebooted donor re-registering is normal churn, not an error.
             self.deregister_donor(donor_id, now)
+        self._journal("donor.register", now, donor=donor_id, slots=slots)
         self._donors[donor_id] = DonorState(donor_id, now, now, slots=slots)
         if slots > 1:
             # Serial donors keep the historical event shape (replay
@@ -346,6 +365,7 @@ class TaskFarmServer:
         donor = self._donors.pop(donor_id, None)
         if donor is None:
             return
+        self._journal("donor.deregister", now, donor=donor_id)
         for lease in self.leases.revoke_donor(donor_id):
             self._recover_unit(lease.unit, now, reason="donor-left")
         self.log.record(now, "donor.deregistered", donor_id=donor_id)
@@ -410,7 +430,7 @@ class TaskFarmServer:
         order = self._rr.order(candidates)
         for pid in order:
             state = self._problems[pid]
-            unit = self._take_unit(state, donor)
+            unit = self._take_unit(state, donor, now)
             if unit is None:
                 continue
             if (
@@ -424,6 +444,13 @@ class TaskFarmServer:
                     self.reputation.suspicion(donor_id, self.integrity),
                 )
                 if required > 1:
+                    self._journal(
+                        "unit.voting.open",
+                        now,
+                        pid=pid,
+                        uid=unit.unit_id,
+                        required=required,
+                    )
                     state.voting[unit.unit_id] = _UnitIntegrity(required=required)
                     if self.integrity.replication == 1:
                         self._m_spot_checks.inc()
@@ -588,7 +615,9 @@ class TaskFarmServer:
         voting = state.voting.get(unit_id)
         return voting is None or donor_id not in voting.voters()
 
-    def _take_unit(self, state: _ProblemState, donor: DonorState) -> WorkUnit | None:
+    def _take_unit(
+        self, state: _ProblemState, donor: DonorState, now: float
+    ) -> WorkUnit | None:
         for queue in (state.requeue, state.replicas):
             for idx, unit in enumerate(queue):
                 if self._eligible(state, unit.unit_id, donor.donor_id):
@@ -600,6 +629,17 @@ class TaskFarmServer:
         payload = state.problem.data_manager.next_unit(max_items)
         if payload is None:
             return None
+        # Fresh cuts are journaled so the unit-id ↔ payload binding
+        # survives a crash: replay calls next_unit(items) in journal
+        # order, which the DataManager contract makes yield the very
+        # same slice, and asserts the lockstep unit id matches.
+        self._journal(
+            "unit.cut",
+            now,
+            pid=state.problem.problem_id,
+            uid=state.next_unit_id,
+            items=payload.items,
+        )
         unit = WorkUnit.from_payload(
             state.problem.problem_id, state.next_unit_id, payload
         )
@@ -638,6 +678,21 @@ class TaskFarmServer:
         """
         state = self._problems.get(result.problem_id)
         if state is None or state.status is not ProblemStatus.RUNNING:
+            self._release_donor_hold(result, now)
+            self.log.record(
+                now,
+                "unit.stale",
+                problem_id=result.problem_id,
+                unit_id=result.unit_id,
+                donor_id=result.donor_id,
+            )
+            self._m_units_stale.inc()
+            return False
+        if result.unit_id >= state.next_unit_id:
+            # A unit id this server never cut: a torn-tail recovery
+            # rolled history back past the cut while the result was in
+            # flight.  Refuse it — the slice will be re-cut and earn a
+            # fresh quorum; folding now would bypass verification.
             self._release_donor_hold(result, now)
             self.log.record(
                 now,
@@ -720,6 +775,7 @@ class TaskFarmServer:
             self._m_units_duplicate.inc()
             return False
         digest = canonical_digest(result.value)
+        self._journal("unit.vote", now, result=result)
         voting.votes.append(Vote(result.donor_id, digest, result))
         self.log.record(
             now,
@@ -761,6 +817,13 @@ class TaskFarmServer:
                 )
                 return False
             voting.required = len(voting.votes) + 1
+            self._journal(
+                "unit.voting.require",
+                now,
+                pid=result.problem_id,
+                uid=result.unit_id,
+                required=voting.required,
+            )
         unit = lease.unit if lease is not None else self._find_unit(
             state, result.unit_id
         )
@@ -777,6 +840,9 @@ class TaskFarmServer:
         cancelled here; replicas that still arrive later hit the
         ``completed_units`` duplicate check.
         """
+        # The fold is the journal's reason to exist: once appended (and
+        # fsync'd) the result survives any crash after this line.
+        self._journal("unit.fold", now, result=result)
         self.leases.release(result.problem_id, result.unit_id)
         self._drop_queued(state, result.unit_id)
         state.voting.pop(result.unit_id, None)
@@ -833,9 +899,13 @@ class TaskFarmServer:
         for vote in voting.votes:
             rep = self.reputation.record(vote.donor_id)
             if vote.digest == winning_digest:
+                self._journal("rep", now, donor=vote.donor_id, field="agreements")
                 rep.agreements += 1
                 self._m_agreements.inc()
             else:
+                self._journal(
+                    "rep", now, donor=vote.donor_id, field="disagreements"
+                )
                 rep.disagreements += 1
                 self._m_disagreements.inc()
                 self.log.record(
@@ -935,6 +1005,7 @@ class TaskFarmServer:
         self._m_units_failed.inc()
         self._sync_donor_gauges()
         if self.integrity.active:
+            self._journal("rep", now, donor=donor_id, field="failures")
             self.reputation.record(donor_id).failures += 1
             self._update_reputation(donor_id, now)
             if state.status is not ProblemStatus.RUNNING:
@@ -956,6 +1027,9 @@ class TaskFarmServer:
         return self._failures.get(problem_id)
 
     def _fail_problem(self, state: _ProblemState, now: float, reason: str) -> None:
+        self._journal(
+            "problem.failed", now, pid=state.problem.problem_id, reason=reason
+        )
         state.status = ProblemStatus.FAILED
         state.completed_at = now
         self._failures[state.problem.problem_id] = reason
@@ -986,6 +1060,7 @@ class TaskFarmServer:
             if donor is not None:
                 donor.end_unit(lease.unit.problem_id, lease.unit.unit_id)
             if self.integrity.active:
+                self._journal("rep", now, donor=lease.donor_id, field="expiries")
                 self.reputation.record(lease.donor_id).expiries += 1
                 self._update_reputation(lease.donor_id, now)
             self._recover_unit(lease.unit, now, reason="lease-expired")
@@ -1110,6 +1185,9 @@ class TaskFarmServer:
                 )
 
     def _complete_problem(self, state: _ProblemState, now: float) -> None:
+        # A verification record: replaying the preceding unit.fold must
+        # already have completed the problem, and recovery checks so.
+        self._journal("problem.completed", now, pid=state.problem.problem_id)
         state.status = ProblemStatus.COMPLETE
         state.completed_at = now
         # Cancel anything still in flight for this problem.

@@ -119,8 +119,8 @@ class ReconnectingPort:
 
     # -- the ServerPort surface -------------------------------------------
 
-    def register_donor(self, donor_id: str) -> None:
-        self._call("register_donor", donor_id)
+    def register_donor(self, donor_id: str, slots: int = 1) -> None:
+        self._call("register_donor", donor_id, slots)
 
     def deregister_donor(self, donor_id: str) -> None:
         self._call("deregister_donor", donor_id)

@@ -71,6 +71,20 @@ class RangeSumAlgorithm(Algorithm):
         return float(hi - lo)
 
 
+class SlowRangeSumAlgorithm(RangeSumAlgorithm):
+    """RangeSum with a real per-unit wall-clock cost, so live crash
+    tests can kill a server while units are genuinely in flight."""
+
+    def __init__(self, delay: float = 0.05):
+        self.delay = delay
+
+    def compute(self, payload: Any) -> int:
+        import time
+
+        time.sleep(self.delay)
+        return super().compute(payload)
+
+
 class StagedDataManager(DataManager):
     """A two-phase computation exercising stage barriers.
 

@@ -258,6 +258,115 @@ class TestCachedChaosEquivalence:
         assert counters["farm.cache.misses"] > 0
 
 
+def recovery_plan(
+    seed: int,
+    restart_at: float,
+    torn: int = 0,
+    ack_crash: float = 0.0,
+) -> FaultPlan:
+    """Every fault type plus the durability drills: periodic journal
+    checkpoints, crashes in the journal-append-to-ack window, and
+    optional byte-level tail corruption at each restart."""
+    return FaultPlan(
+        seed=seed,
+        crash_rate=0.15,
+        crash_downtime=40.0,
+        byzantine_fraction=0.3,
+        corrupt_rate=0.7,
+        drop_rate=0.1,
+        dup_rate=0.15,
+        delay_rate=0.2,
+        max_delay=90.0,
+        server_restart_at=restart_at,
+        checkpoint_every=restart_at * 0.45,
+        torn_tail_bytes=torn,
+        ack_crash_rate=ack_crash,
+    )
+
+
+#: The crash/recover differentials run two full sims per case.
+RECOVERY_SEEDS = CHAOS_SEEDS[:3]
+
+
+class TestRecoveryDrills:
+    """Crash/recover vs. never-crashed, bit-identical.
+
+    Every restart here is a genuine recovery: the dying server's memory
+    is dropped and a fresh one rebuilds itself from checkpoint bytes +
+    journal replay (plus an optional torn tail chopped off first).  The
+    assembled results must match the fault-free baselines exactly.
+    """
+
+    @pytest.mark.parametrize("seed", RECOVERY_SEEDS)
+    def test_dsearch_journal_recovery_differential(
+        self, seed, dsearch_factory, dsearch_baseline
+    ):
+        baseline_digest, restart_at = dsearch_baseline
+        cluster, pid, report = run_sim(
+            dsearch_factory,
+            chaos=recovery_plan(seed, restart_at, ack_crash=0.02),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.completed, f"seed {seed}: run did not finish"
+        assert canonical_digest(report.results[pid]) == baseline_digest, (
+            f"seed {seed}: recovered run diverged from never-crashed run"
+        )
+        counters = cluster.obs.meters.snapshot()["counters"]
+        assert counters["farm.journal.records"] > 0
+        assert counters["farm.journal.fsyncs"] > 0
+        # A restart can land right after a checkpoint and replay zero
+        # records; the recovery pass itself must still have run.
+        assert counters["farm.recovery.seconds"] > 0
+        assert report.log.of_kind("server.recovered")
+
+    @pytest.mark.parametrize("seed", RECOVERY_SEEDS)
+    def test_dprml_journal_recovery_differential(
+        self, seed, dprml_factory, dprml_baseline
+    ):
+        baseline_digest, restart_at = dprml_baseline
+        cluster, pid, report = run_sim(
+            dprml_factory,
+            chaos=recovery_plan(seed, restart_at, ack_crash=0.02),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.completed, f"seed {seed}: run did not finish"
+        assert canonical_digest(report.results[pid]) == baseline_digest, (
+            f"seed {seed}: recovered run diverged from never-crashed run"
+        )
+        counters = cluster.obs.meters.snapshot()["counters"]
+        assert counters["farm.journal.records"] > 0
+        assert counters["farm.recovery.seconds"] > 0
+        assert report.log.of_kind("server.recovered")
+
+    def test_dsearch_torn_tail_recovers_after_loud_truncation(
+        self, dsearch_factory, dsearch_baseline
+    ):
+        baseline_digest, restart_at = dsearch_baseline
+        cluster, pid, report = run_sim(
+            dsearch_factory,
+            chaos=recovery_plan(RECOVERY_SEEDS[0], restart_at, torn=200),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.completed
+        assert canonical_digest(report.results[pid]) == baseline_digest
+        counters = cluster.obs.meters.snapshot()["counters"]
+        assert counters["farm.journal.torn.truncated"] > 0
+
+    def test_dprml_torn_tail_recovers_after_loud_truncation(
+        self, dprml_factory, dprml_baseline
+    ):
+        baseline_digest, restart_at = dprml_baseline
+        cluster, pid, report = run_sim(
+            dprml_factory,
+            chaos=recovery_plan(RECOVERY_SEEDS[0], restart_at, torn=200),
+            integrity=IntegrityPolicy(replication=2),
+        )
+        assert report.completed
+        assert canonical_digest(report.results[pid]) == baseline_digest
+        counters = cluster.obs.meters.snapshot()["counters"]
+        assert counters["farm.journal.torn.truncated"] > 0
+
+
 def _free_port() -> int:
     with socket.socket() as sock:
         sock.bind(("127.0.0.1", 0))

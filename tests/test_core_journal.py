@@ -1,0 +1,587 @@
+"""The write-ahead journal: framing, rotation, compaction, torn tails,
+and deterministic crash recovery.
+
+The headline property (hypothesis-driven): chopping *any* number of
+bytes off the tail of a valid journal and recovering yields a loadable,
+internally consistent server that can still be driven to the correct
+final result — a torn tail is always a valid shorter history.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import (
+    MAGIC as CKPT_MAGIC,
+    CheckpointBlob,
+    CheckpointError,
+    dumps_checkpoint,
+    loads_checkpoint,
+    parse_checkpoint,
+)
+from repro.core.integrity import IntegrityPolicy
+from repro.core.journal import (
+    DirStore,
+    JournalError,
+    JournalWriter,
+    MemoryStore,
+    compact,
+    read_journal,
+    recover,
+    torn_tail,
+)
+from repro.core.problem import Problem
+from repro.core.scheduler import FixedGranularity
+from repro.core.server import ProblemStatus, TaskFarmServer
+from repro.core.workunit import WorkResult
+from tests.helpers import (
+    RangeSumAlgorithm,
+    RangeSumDataManager,
+    StagedAlgorithm,
+    StagedDataManager,
+)
+
+
+def make_server(store=None, integrity=None, unit_items=10):
+    journal = JournalWriter(store) if store is not None else None
+    server = TaskFarmServer(
+        policy=FixedGranularity(unit_items),
+        lease_timeout=100.0,
+        integrity=integrity,
+        journal=journal,
+    )
+    return server
+
+
+def compute(a, donor="d0"):
+    lo, hi = a.payload
+    return WorkResult(a.problem_id, a.unit_id, sum(range(lo, hi)), donor, 1.0, a.items)
+
+
+def drive_to_completion(server, pid, donor="driver", t=1000.0, compute_fn=compute):
+    """Pull and fold units with one fresh donor until the problem ends."""
+    server.register_donor(donor, t)
+    for _ in range(10_000):
+        if server.status(pid) is not ProblemStatus.RUNNING:
+            return t
+        a = server.request_work(donor, (t := t + 0.1))
+        if a is None:
+            server.expire_leases((t := t + server.leases.timeout))
+            continue
+        server.submit_result(compute_fn(a, donor), (t := t + 0.1))
+    raise AssertionError("problem did not complete")
+
+
+def chop_tail(store, nbytes: int) -> int:
+    """Chop *nbytes* off the journal's end, crossing segments."""
+    removed = 0
+    while removed < nbytes:
+        got = torn_tail(store, nbytes - removed)
+        if got == 0:
+            break
+        removed += got
+    return removed
+
+
+class TestFraming:
+    def test_roundtrip_records_and_lsns(self):
+        store = MemoryStore()
+        writer = JournalWriter(store)
+        for i in range(5):
+            assert writer.append("k", float(i), value=i) == i + 1
+        assert writer.last_lsn == 5
+        records, next_lsn, torn = read_journal(store)
+        assert [r["lsn"] for r in records] == [1, 2, 3, 4, 5]
+        assert [r["value"] for r in records] == list(range(5))
+        assert next_lsn == 6 and torn == 0
+
+    def test_rotation_spills_segments(self):
+        store = MemoryStore()
+        writer = JournalWriter(store, segment_bytes=64)
+        for i in range(20):
+            writer.append("k", 0.0, value=i)
+        assert len(store.names()) > 1
+        records, next_lsn, _ = read_journal(store)
+        assert len(records) == 20 and next_lsn == 21
+        # Segment names encode their first LSN.
+        assert store.names()[0] == "wal-000000000001.log"
+
+    def test_explicit_rotate_seals_segment(self):
+        store = MemoryStore()
+        writer = JournalWriter(store)
+        writer.append("a", 0.0)
+        writer.rotate()
+        writer.append("b", 0.0)
+        assert store.names() == ["wal-000000000001.log", "wal-000000000002.log"]
+
+    def test_torn_partial_frame_truncated_once(self):
+        store = MemoryStore()
+        writer = JournalWriter(store)
+        for i in range(3):
+            writer.append("k", 0.0, value=i)
+        name = store.names()[0]
+        whole = len(store.read(name))
+        store.truncate(name, whole - 5)  # rip into the last frame
+        records, next_lsn, torn = read_journal(store)
+        assert [r["value"] for r in records] == [0, 1]
+        assert next_lsn == 3 and torn > 0
+        # The truncation was physical: a second read is clean.
+        records2, _, torn2 = read_journal(store)
+        assert len(records2) == 2 and torn2 == 0
+
+    def test_crc_flip_in_tail_truncates_loudly(self):
+        from repro.obs.meters import MeterRegistry
+
+        store = MemoryStore()
+        writer = JournalWriter(store)
+        for i in range(4):
+            writer.append("k", 0.0, value=i)
+        name = store.names()[0]
+        data = bytearray(store.read(name))
+        data[-2] ^= 0xFF  # damage the last record's payload
+        store._segments[name] = data
+        meters = MeterRegistry()
+        records, next_lsn, torn = read_journal(store, meters=meters)
+        assert [r["value"] for r in records] == [0, 1, 2]
+        assert next_lsn == 4 and torn > 0
+        counters = meters.snapshot()["counters"]
+        assert counters["farm.journal.torn.truncated"] == 1
+
+    def test_corruption_before_tail_raises(self):
+        store = MemoryStore()
+        writer = JournalWriter(store)
+        writer.append("a", 0.0)
+        writer.rotate()
+        writer.append("b", 0.0)
+        first = store.names()[0]
+        store.truncate(first, len(store.read(first)) - 3)
+        with pytest.raises(JournalError, match="before the journal tail"):
+            read_journal(store)
+
+    def test_fully_torn_segment_deleted(self):
+        store = MemoryStore()
+        writer = JournalWriter(store)
+        writer.append("a", 0.0)
+        writer.rotate()
+        writer.append("b", 0.0)
+        last = store.names()[-1]
+        # Leave only a ripped header: no frame survives.
+        store.truncate(last, 6)
+        records, next_lsn, torn = read_journal(store)
+        assert [r["kind"] for r in records] == ["a"]
+        assert next_lsn == 2 and torn > 0
+        assert store.names() == ["wal-000000000001.log"]
+
+    def test_compact_removes_covered_segments(self):
+        store = MemoryStore()
+        writer = JournalWriter(store, segment_bytes=1)  # one record per segment
+        for i in range(4):
+            writer.append("k", 0.0, value=i)
+        assert len(store.names()) == 4
+        removed = compact(store, upto_lsn=2)
+        assert removed == 2
+        records, next_lsn, _ = read_journal(store)
+        assert [r["lsn"] for r in records] == [3, 4] and next_lsn == 5
+
+    def test_compact_never_deletes_uncovered_or_active(self):
+        store = MemoryStore()
+        writer = JournalWriter(store, segment_bytes=1)
+        for i in range(3):
+            writer.append("k", 0.0, value=i)
+        assert compact(store, upto_lsn=0) == 0
+        assert len(store.names()) == 3
+        # Even a checkpoint past the end keeps the newest segment.
+        assert compact(store, upto_lsn=99) == 2
+        assert len(store.names()) == 1
+
+    def test_dir_store_matches_memory_store(self, tmp_path):
+        mem, disk = MemoryStore(), DirStore(tmp_path / "wal")
+        for store in (mem, disk):
+            writer = JournalWriter(store, segment_bytes=64)
+            for i in range(10):
+                writer.append("k", float(i), value=i)
+        assert disk.names() == mem.names()
+        assert [disk.read(n) for n in disk.names()] == [
+            mem.read(n) for n in mem.names()
+        ]
+        chop_tail(mem, 9)
+        disk.close()
+        chop_tail(disk, 9)
+        mem_records, mem_next, mem_torn = read_journal(mem)
+        disk_records, disk_next, disk_torn = read_journal(disk)
+        assert mem_records == disk_records
+        assert (mem_next, mem_torn) == (disk_next, disk_torn)
+
+
+class TestCheckpointV3:
+    def test_older_version_rejected_loudly(self):
+        stale = CheckpointBlob(version=2, saved_at=0.0, snapshots=[])
+        raw = CKPT_MAGIC + pickle.dumps(stale)
+        with pytest.raises(CheckpointError, match="version 2, expected 3"):
+            parse_checkpoint(raw)
+
+    def test_journal_lsn_roundtrip(self):
+        server = make_server()
+        raw = dumps_checkpoint(server, now=1.0, journal_lsn=17)
+        assert parse_checkpoint(raw).journal_lsn == 17
+        # The default (no journal) stays 0 for compatibility.
+        assert parse_checkpoint(dumps_checkpoint(server, 1.0)).journal_lsn == 0
+
+
+class TestRecovery:
+    def test_crash_mid_run_recovers_and_completes(self):
+        store = MemoryStore()
+        server = make_server(store)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(100), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        t = 0.0
+        for _ in range(4):
+            a = server.request_work("d0", (t := t + 0.1))
+            server.submit_result(compute(a), (t := t + 0.1))
+        leased = server.request_work("d0", (t := t + 0.1))
+        assert leased is not None
+
+        # kill -9: the server object is simply dropped.
+        fresh = make_server()
+        report = recover(fresh, store, now=t + 1.0)
+        assert report.replayed > 0 and report.torn_bytes == 0
+        assert report.restored_problems == []  # no checkpoint in play
+        assert fresh.status(pid) is ProblemStatus.RUNNING
+        assert fresh.log.of_kind("server.recovered")
+        # The in-flight lease died with the server; its unit is back on
+        # the requeue, not lost and not double-counted.
+        state = fresh._problems[pid]
+        assert leased.unit_id in {u.unit_id for u in state.requeue}
+        assert state.units_completed == 4
+        drive_to_completion(fresh, pid)
+        assert fresh.final_result(pid) == sum(range(100))
+
+    def test_recovered_server_journals_onward(self):
+        """Recovery composes: crash again after recovering, recover again."""
+        store = MemoryStore()
+        server = make_server(store)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(60), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        a = server.request_work("d0", 0.1)
+        server.submit_result(compute(a), 0.2)
+
+        second = make_server()
+        recover(second, store, now=1.0)
+        second.register_donor("d1", 1.1)
+        b = second.request_work("d1", 1.2)
+        second.submit_result(compute(b, "d1"), 1.3)
+
+        third = make_server()
+        report = recover(third, store, now=2.0)
+        assert third._problems[pid].units_completed == 2
+        assert report.next_lsn > 1
+        drive_to_completion(third, pid)
+        assert third.final_result(pid) == sum(range(60))
+
+    def test_duplicate_result_rejected_across_crash(self):
+        """The ack-crash window: a fold that was journaled but never
+        acknowledged is retried by its donor against the recovered
+        server, which must shed it as a duplicate."""
+        store = MemoryStore()
+        server = make_server(store)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(50), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        a = server.request_work("d0", 0.1)
+        result = compute(a)
+        assert server.submit_result(result, 0.2) is True
+
+        fresh = make_server()
+        recover(fresh, store, now=1.0)
+        fresh.register_donor("d0", 1.1)
+        assert fresh.submit_result(result, 1.2) is False  # retry shed
+        assert fresh._problems[pid].units_completed == 1
+
+    def test_checkpoint_plus_tail_replay(self):
+        store = MemoryStore()
+        server = make_server(store)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(100), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        t = 0.0
+        for _ in range(3):
+            a = server.request_work("d0", (t := t + 0.1))
+            server.submit_result(compute(a), (t := t + 0.1))
+        # Checkpoint at a quiescent journal boundary, then compact.
+        lsn = server.journal.last_lsn
+        checkpoint = dumps_checkpoint(server, t, journal_lsn=lsn)
+        server.journal.rotate()
+        compact(store, lsn)
+        # Two more folds land after the checkpoint.
+        for _ in range(2):
+            a = server.request_work("d0", (t := t + 0.1))
+            server.submit_result(compute(a), (t := t + 0.1))
+
+        fresh = make_server()
+        report = recover(fresh, store, checkpoint=checkpoint, now=t + 1.0)
+        assert report.checkpoint_lsn == lsn
+        assert report.restored_problems == [pid]
+        assert 0 < report.replayed  # only the tail, not the whole history
+        assert fresh._problems[pid].units_completed == 5
+        drive_to_completion(fresh, pid)
+        assert fresh.final_result(pid) == sum(range(100))
+
+    def test_torn_tail_truncated_then_recovers(self):
+        store = MemoryStore()
+        server = make_server(store)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(80), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        t = 0.0
+        for _ in range(4):
+            a = server.request_work("d0", (t := t + 0.1))
+            server.submit_result(compute(a), (t := t + 0.1))
+        torn_tail(store, 7)  # crash mid-write: a ripped final frame
+
+        fresh = make_server()
+        report = recover(fresh, store, now=t + 1.0)
+        # The whole ripped frame is truncated, not just the chopped bytes.
+        assert report.torn_bytes >= 7
+        counters = fresh.obs.meters.snapshot()["counters"]
+        assert counters["farm.journal.torn.truncated"] == 1
+        assert counters["farm.recovery.replayed"] == report.replayed
+        drive_to_completion(fresh, pid)
+        assert fresh.final_result(pid) == sum(range(80))
+
+    def test_voting_state_survives_crash(self):
+        policy = IntegrityPolicy(replication=2)
+        store = MemoryStore()
+        server = make_server(store, integrity=policy)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(40), RangeSumAlgorithm()), 0.0
+        )
+        for donor in ("d0", "d1"):
+            server.register_donor(donor, 0.0)
+        a = server.request_work("d0", 0.1)
+        server.submit_result(compute(a, "d0"), 0.2)  # 1 of 2 votes: pending
+
+        fresh = make_server(integrity=policy)
+        recover(fresh, store, now=1.0)
+        state = fresh._problems[pid]
+        assert len(state.voting[a.unit_id].votes) == 1
+        # Two honest donors settle every quorum post-crash (replication
+        # needs votes from distinct donors, so one driver cannot finish).
+        t = 1.0
+        for donor in ("d1", "d2"):
+            fresh.register_donor(donor, t)
+        for _ in range(10_000):
+            if fresh.status(pid) is not ProblemStatus.RUNNING:
+                break
+            for donor in ("d1", "d2"):
+                work = fresh.request_work(donor, (t := t + 0.1))
+                if work is not None:
+                    fresh.submit_result(compute(work, donor), (t := t + 0.1))
+        assert fresh.final_result(pid) == sum(range(40))
+        rep = fresh.reputation.get("d0")
+        assert rep is not None and rep.agreements > 0
+
+    def test_reputation_transitions_survive_crash(self):
+        policy = IntegrityPolicy(replication=2)
+        store = MemoryStore()
+        server = make_server(store, integrity=policy)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(100), RangeSumAlgorithm()), 0.0
+        )
+        donors = ["liar", "d1", "d2"]
+        for donor in donors:
+            server.register_donor(donor, 0.0)
+        t = 1.0
+        for _ in range(10_000):
+            rep = server.reputation.get("liar")
+            if rep is not None and rep.distrusted:
+                break
+            for donor in donors:
+                a = server.request_work(donor, (t := t + 0.1))
+                if a is None:
+                    continue
+                lo, hi = a.payload
+                value = ("lie", a.unit_id) if donor == "liar" else sum(range(lo, hi))
+                server.submit_result(
+                    WorkResult(a.problem_id, a.unit_id, value, donor, 1.0, a.items),
+                    (t := t + 0.1),
+                )
+        else:
+            raise AssertionError("liar never quarantined")
+
+        fresh = make_server(integrity=policy)
+        recover(fresh, store, now=t + 1.0)
+        assert "liar" in fresh.reputation.quarantined_ids()
+        fresh.register_donor("liar", (t := t + 1.0))
+        assert fresh.request_work("liar", (t := t + 0.1)) is None
+        for donor in ("d1", "d2"):
+            fresh.register_donor(donor, t)
+        for _ in range(10_000):
+            if fresh.status(pid) is not ProblemStatus.RUNNING:
+                break
+            for donor in ("d1", "d2"):
+                a = fresh.request_work(donor, (t := t + 0.1))
+                if a is None:
+                    continue
+                fresh.submit_result(compute(a, donor), (t := t + 0.1))
+        assert fresh.final_result(pid) == sum(range(100))
+
+    def test_staged_problem_recuts_deterministically(self):
+        """Replay re-cuts via DataManager.next_unit in journal order —
+        including across a stage barrier whose pending list pops from
+        the end (order-sensitive, like DPRml's edge batches)."""
+
+        def staged_compute(a, donor="d0"):
+            return WorkResult(
+                a.problem_id,
+                a.unit_id,
+                StagedAlgorithm().compute(a.payload),
+                donor,
+                1.0,
+                a.items,
+            )
+
+        store = MemoryStore()
+        server = make_server(store, unit_items=1)
+        n = 8
+        pid = server.submit(
+            Problem("staged", StagedDataManager(n), StagedAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        t = 0.0
+        for _ in range(5):  # crash mid-stage-1
+            a = server.request_work("d0", (t := t + 0.1))
+            server.submit_result(staged_compute(a), (t := t + 0.1))
+
+        fresh = make_server(unit_items=1)
+        recover(fresh, store, now=t + 1.0)
+        drive_to_completion(fresh, pid, compute_fn=staged_compute)
+        assert fresh.final_result(pid) == sum(i * i for i in range(n))
+
+    def test_result_for_uncut_unit_refused_after_rollback(self):
+        """A torn tail can roll next_unit_id back past a unit a donor
+        still holds; its result must be refused as stale, not folded
+        into a history that never cut it."""
+        store = MemoryStore()
+        server = make_server(store)
+        pid = server.submit(
+            Problem("sum", RangeSumDataManager(50), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        a1 = server.request_work("d0", 0.1)
+        name = store.names()[0]
+        before_a2 = len(store.read(name))
+        a2 = server.request_work("d0", 0.2)
+        # Rip the journal back to just before a2's cut record.
+        torn_tail(store, len(store.read(name)) - before_a2)
+
+        fresh = make_server()
+        recover(fresh, store, now=1.0)
+        assert fresh._problems[pid].next_unit_id == a2.unit_id
+        fresh.register_donor("d0", 1.0)
+        assert fresh.submit_result(compute(a2), 1.1) is False
+        counters = fresh.obs.meters.snapshot()["counters"]
+        assert counters["farm.units.stale"] == 1
+        assert fresh.submit_result(compute(a1), 1.2) is True
+        drive_to_completion(fresh, pid)
+        assert fresh.final_result(pid) == sum(range(50))
+
+    def test_replay_divergence_fails_loudly(self):
+        """A journal whose re-cut does not reproduce the recorded slice
+        must raise, not fold results into the wrong data."""
+        store = MemoryStore()
+        server = make_server(store)
+        server.submit(
+            Problem("sum", RangeSumDataManager(30), RangeSumAlgorithm()), 0.0
+        )
+        server.register_donor("d0", 0.0)
+        server.request_work("d0", 0.1)
+        # Doctor the cut record: claim a unit id replay cannot reach.
+        records, _, _ = read_journal(store)
+        doctored = MemoryStore()
+        writer = JournalWriter(doctored)
+        for record in records:
+            fields = {
+                k: v for k, v in record.items() if k not in ("lsn", "kind", "now")
+            }
+            if record["kind"] == "unit.cut":
+                fields["uid"] = fields["uid"] + 1
+            writer.append(record["kind"], record["now"], **fields)
+        with pytest.raises(JournalError, match="replay divergence"):
+            recover(make_server(), doctored, now=1.0)
+
+
+# -- the hypothesis property ---------------------------------------------
+
+EXPECTED_TOTAL = sum(range(60))
+
+
+@pytest.fixture(scope="module")
+def full_journal():
+    """One complete journaled run; tests recover from chopped copies."""
+    store = MemoryStore()
+    server = TaskFarmServer(
+        policy=FixedGranularity(7),
+        lease_timeout=100.0,
+        journal=JournalWriter(store, segment_bytes=512),
+    )
+    pid = server.submit(
+        Problem("sum", RangeSumDataManager(60), RangeSumAlgorithm()), 0.0
+    )
+    drive_to_completion(server, pid, donor="d0", t=0.0)
+    assert server.final_result(pid) == EXPECTED_TOTAL
+    total_bytes = sum(len(store.read(n)) for n in store.names())
+    return store, pid, total_bytes
+
+
+def copy_store(store: MemoryStore) -> MemoryStore:
+    dup = MemoryStore()
+    for name in store.names():
+        dup._segments[name] = bytearray(store.read(name))
+    return dup
+
+
+class TestPrefixTruncationProperty:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(chop=st.integers(min_value=0, max_value=1 << 16))
+    def test_any_tail_chop_recovers_consistently(self, chop, full_journal):
+        store, pid, total_bytes = full_journal
+        chopped = copy_store(store)
+        chop_tail(chopped, chop % (total_bytes + 1))
+
+        fresh = make_server(unit_items=7)
+        recover(fresh, chopped, now=5000.0)
+
+        if pid not in fresh._problems:
+            # The chop consumed the submission itself: an empty but
+            # valid history (the submitter would simply resubmit).
+            assert fresh.all_complete()
+            return
+        state = fresh._problems[pid]
+        # Internal consistency: counters agree with the fold set, and
+        # no unit is simultaneously folded and queued.
+        assert state.units_completed == len(state.completed_units)
+        assert not (
+            state.completed_units & {u.unit_id for u in state.requeue}
+        )
+        # Loadable: the recovered state checkpoints and restores.
+        raw = dumps_checkpoint(fresh, 5001.0, journal_lsn=fresh.journal.last_lsn)
+        reloaded = make_server(unit_items=7)
+        assert loads_checkpoint(raw, reloaded, now=5002.0) == [pid]
+        # Drivable: both servers still reach the correct total.
+        for server in (fresh, reloaded):
+            if server.status(pid) is ProblemStatus.RUNNING:
+                drive_to_completion(server, pid, t=6000.0)
+            assert server.final_result(pid) == EXPECTED_TOTAL

@@ -98,6 +98,17 @@ def server_main(argv: list[str] | None = None) -> int:
         "--tail-window", type=int, default=4, metavar="K",
         help="re-issue only when at most K units remain in flight",
     )
+    gw = parser.add_argument_group(
+        "job gateway",
+        "multi-tenant front door: weighted fair-share dispatch, "
+        "bounded admission queues, and a durable job lifecycle "
+        "(submit jobs with repro-jobs)",
+    )
+    gw.add_argument(
+        "--tenants", type=Path, default=None, metavar="FILE",
+        help="tenant config file (tenant.<id>.weight = N etc.); "
+             "enables the job gateway",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -125,6 +136,22 @@ def server_main(argv: list[str] | None = None) -> int:
         integrity=policy,
         pipeline=pipeline,
     )
+    gateway = None
+    tenant_configs = []
+    if args.tenants is not None:
+        from repro.core.gateway import JobGateway, parse_tenants
+        from repro.util.config import ConfigError, ConfigFile
+
+        try:
+            tenant_configs = parse_tenants(ConfigFile.from_path(args.tenants))
+        except (ConfigError, OSError) as exc:
+            parser.error(f"--tenants: {exc}")
+        if not tenant_configs:
+            parser.error(f"--tenants: no tenant.* keys in {args.tenants}")
+        # Created before recovery so journaled gateway records have a
+        # gateway to replay into; tenant definitions from the file are
+        # upserted afterwards (the file wins over journaled configs).
+        gateway = JobGateway(server)
     checkpoint_path = None
     if args.journal is not None:
         from repro.core.journal import DirStore, recover
@@ -135,7 +162,8 @@ def server_main(argv: list[str] | None = None) -> int:
             checkpoint_path.read_bytes() if checkpoint_path.exists() else None
         )
         report = recover(
-            server, store, checkpoint=checkpoint, now=time.monotonic()
+            server, store, checkpoint=checkpoint, now=time.monotonic(),
+            gateway=gateway,
         )
         if report.restored_problems or report.replayed:
             print(
@@ -148,10 +176,18 @@ def server_main(argv: list[str] | None = None) -> int:
                 ),
                 flush=True,
             )
+    if gateway is not None:
+        now = time.monotonic()
+        for config in tenant_configs:
+            gateway.ensure_tenant(config, now)
+        print(
+            f"job gateway on: tenants {', '.join(gateway.tenant_ids())}",
+            flush=True,
+        )
     # Shared payload blobs go out over the bulk data channel; donors
     # learn its address via the facade and cache blobs by digest.
     data_channel = DataChannelServer(host=args.host, meters=server.obs.meters)
-    facade = ServerFacade(server, data_channel=data_channel)
+    facade = ServerFacade(server, data_channel=data_channel, gateway=gateway)
     # Reclaim leases even when every donor has vanished.
     facade.start_lease_sweeper()
     # Share the farm's meter registry so RMI dispatch telemetry lands in

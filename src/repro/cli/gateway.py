@@ -1,0 +1,188 @@
+"""``repro-jobs``: submit, track, and cancel jobs on a gateway server.
+
+The client side of the multi-tenant job gateway
+(:mod:`repro.core.gateway`): a scientist submits a DSEARCH or DPRml
+problem under their tenant id, gets a job id back (or an explicit
+retry-after when their admission queue is full), and polls or cancels
+it by id.  The server must run ``repro-server --tenants FILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.rmi import connect
+
+
+def _parse_address(parser: argparse.ArgumentParser, text: str) -> tuple[str, int]:
+    host, _, port_text = text.partition(":")
+    if not port_text:
+        parser.error("server must be host:port")
+    try:
+        return host, int(port_text)
+    except ValueError:
+        parser.error(f"bad port {port_text!r}")
+
+
+def _build_dsearch(args: argparse.Namespace):
+    from repro.apps.dsearch import DSearchConfig, build_problem
+    from repro.bio.seq import DNA, read_fasta
+
+    config = (
+        DSearchConfig.from_path(args.config) if args.config else DSearchConfig()
+    )
+    database = read_fasta(args.database, DNA)
+    queries = read_fasta(args.queries, DNA)
+    return build_problem(database, queries, config)
+
+
+def _build_dprml(args: argparse.Namespace):
+    from repro.apps.dprml import DPRmlConfig, build_problem
+    from repro.bio.phylo.alignment import SiteAlignment
+    from repro.bio.seq import DNA, read_fasta
+
+    config = DPRmlConfig.from_path(args.config) if args.config else DPRmlConfig()
+    sequences = read_fasta(args.alignment, DNA)
+    return build_problem(SiteAlignment.from_sequences(sequences), config)
+
+
+def jobs_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-jobs",
+        description="Submit and manage jobs on a multi-tenant task-farm "
+        "server (repro-server --tenants FILE).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser("submit", help="submit a job under a tenant")
+    submit.add_argument("server", help="server address as host:port")
+    submit.add_argument("--tenant", required=True, help="tenant id")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its outcome",
+    )
+    kind = submit.add_subparsers(dest="kind", required=True)
+    ds = kind.add_parser("dsearch", help="distributed database search")
+    ds.add_argument("database", type=Path, help="FASTA database file")
+    ds.add_argument("queries", type=Path, help="FASTA query sequences file")
+    ds.add_argument("--config", type=Path, help="configuration file")
+    dp = kind.add_parser("dprml", help="distributed ML phylogeny")
+    dp.add_argument("alignment", type=Path, help="aligned FASTA (DNA)")
+    dp.add_argument("--config", type=Path, help="configuration file")
+
+    status = sub.add_parser("status", help="show one job's lifecycle state")
+    status.add_argument("server", help="server address as host:port")
+    status.add_argument("job_id", type=int)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("server", help="server address as host:port")
+    cancel.add_argument("job_id", type=int)
+
+    tenants = sub.add_parser("tenants", help="per-tenant gateway accounting")
+    tenants.add_argument("server", help="server address as host:port")
+    tenants.add_argument(
+        "--json", action="store_true", help="dump the raw snapshot as JSON"
+    )
+
+    args = parser.parse_args(argv)
+    host, port = _parse_address(parser, args.server)
+    proxy = connect(host, port, "taskfarm")
+    try:
+        return _dispatch(args, proxy)
+    finally:
+        proxy.close()
+
+
+def _dispatch(args: argparse.Namespace, proxy: Any) -> int:
+    if args.command == "submit":
+        problem = (
+            _build_dsearch(args) if args.kind == "dsearch" else _build_dprml(args)
+        )
+        reply = proxy.submit_job(args.tenant, problem)
+        if "error" in reply:
+            print(f"repro-jobs: {reply['error']}", file=sys.stderr)
+            return 1
+        if not reply.get("accepted"):
+            print(
+                f"repro-jobs: rejected: {reply['reason']}", file=sys.stderr
+            )
+            print(f"retry after {reply['retry_after']:g}s", file=sys.stderr)
+            return 2
+        job_id = reply["job_id"]
+        print(f"job {job_id} submitted (tenant {args.tenant})")
+        if args.wait:
+            return _wait(proxy, job_id)
+        return 0
+    if args.command == "status":
+        reply = proxy.job_status(args.job_id)
+        if "error" in reply:
+            print(f"repro-jobs: {reply['error']}", file=sys.stderr)
+            return 1
+        _print_status(reply)
+        return 0
+    if args.command == "cancel":
+        reply = proxy.cancel_job(args.job_id)
+        if "error" in reply:
+            print(f"repro-jobs: {reply['error']}", file=sys.stderr)
+            return 1
+        if reply["cancelled"]:
+            print(f"job {args.job_id} cancelled")
+            return 0
+        print(f"job {args.job_id} had already finished")
+        return 1
+    if args.command == "tenants":
+        snap = proxy.gateway_snapshot()
+        if "error" in snap:
+            print(f"repro-jobs: {snap['error']}", file=sys.stderr)
+            return 1
+        if args.json:
+            json.dump(snap, sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+            return 0
+        jobs = snap["jobs"]
+        print(
+            f"jobs: {jobs['queued']} queued, {jobs['running']} running, "
+            f"{jobs['done']} done, {jobs['failed']} failed, "
+            f"{jobs['cancelled']} cancelled"
+        )
+        print(
+            f"{'tenant':<14} {'weight':>6} {'run':>4} {'pend':>5} "
+            f"{'items':>10} {'done':>5} {'rejected':>9}"
+        )
+        for t in snap["tenants"]:
+            print(
+                f"{t['tenant']:<14.14} {t['weight']:>6.1f} {t['running']:>4} "
+                f"{t['pending']:>5} {t['items_delivered']:>10,.0f} "
+                f"{t['jobs_done']:>5} {t['rejected']:>9}"
+            )
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _print_status(info: dict) -> None:
+    print(f"job {info['job_id']}: {info['status']} (tenant {info['tenant']})")
+    if info.get("progress") is not None:
+        print(f"  progress: {info['progress']:.1%}")
+    if info.get("failure"):
+        print(f"  failure: {info['failure']}")
+
+
+def _wait(proxy: Any, job_id: int, poll: float = 2.0) -> int:
+    while True:
+        info = proxy.job_status(job_id)
+        if "error" in info:
+            print(f"repro-jobs: {info['error']}", file=sys.stderr)
+            return 1
+        if info["status"] in ("done", "failed", "cancelled"):
+            _print_status(info)
+            return 0 if info["status"] == "done" else 1
+        time.sleep(poll)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(jobs_main())

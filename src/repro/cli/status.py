@@ -33,6 +33,13 @@ _KEY_COUNTERS = (
     "farm.bytes.in",
     "farm.bytes.out",
     "farm.leases.expired",
+    "farm.problems.cancelled",
+    "farm.gateway.jobs.submitted",
+    "farm.gateway.jobs.started",
+    "farm.gateway.jobs.done",
+    "farm.gateway.jobs.failed",
+    "farm.gateway.jobs.cancelled",
+    "farm.gateway.jobs.rejected",
     "farm.journal.records",
     "farm.journal.bytes",
     "farm.journal.fsyncs",
@@ -238,6 +245,47 @@ def render_snapshot(snap: dict[str, Any]) -> str:
             lines.append(
                 "  quarantined: " + ", ".join(sorted(quarantined))
             )
+    gateway = snap.get("gateway")
+    if gateway:
+        jobs = gateway.get("jobs", {})
+        lines.append("")
+        lines.append(
+            "gateway: "
+            f"{jobs.get('queued', 0)} queued, {jobs.get('running', 0)} running, "
+            f"{jobs.get('done', 0)} done, {jobs.get('failed', 0)} failed, "
+            f"{jobs.get('cancelled', 0)} cancelled job(s)"
+        )
+        tenants = gateway.get("tenants", [])
+        if tenants:
+            lines.append(
+                f"  {'tenant':<14} {'weight':>6} {'run':>4} {'pend':>5} "
+                f"{'items':>9} {'done':>5} {'rej':>4} {'wait-avg':>9} {'wait-max':>9}"
+            )
+            total_weight = sum(t["weight"] for t in tenants)
+            total_items = gateway.get("items_delivered_total", 0.0)
+            for t in tenants:
+                if t["queue_wait_count"]:
+                    avg = f"{t['queue_wait_total'] / t['queue_wait_count']:.1f}s"
+                else:
+                    avg = "-"
+                lines.append(
+                    f"  {t['tenant']:<14.14} {t['weight']:>6.1f} "
+                    f"{t['running']:>4} {t['pending']:>5} "
+                    f"{_fmt_quantity(t['items_delivered']):>9} "
+                    f"{t['jobs_done']:>5} {t['rejected']:>4} "
+                    f"{avg:>9} {t['queue_wait_max']:>8.1f}s"
+                )
+            for t in tenants:
+                # Delivered share vs the weight target — same
+                # zero-denominator guard as every derived rate.
+                target = t["weight"] / total_weight if total_weight else 0.0
+                lines.append(
+                    _ratio_line(
+                        f"share {t['tenant']} (target {target:.0%})",
+                        t["items_delivered"],
+                        total_items,
+                    )
+                )
     traces = snap.get("traces")
     if traces:
         lines.append("")

@@ -48,10 +48,14 @@ class ServerFacade:
         self,
         server: TaskFarmServer,
         data_channel: DataChannelServer | None = None,
+        gateway=None,
     ):
         self._server = server
         self._lock = threading.RLock()
         self._data_channel = data_channel
+        # Optional multi-tenant job gateway (repro.core.gateway); its
+        # pump runs after every event that can finish a problem.
+        self._gateway = gateway
         # problem_id -> blob keys published to the data channel for it.
         self._published: dict[int, set[str]] = {}
         self._m_published = server.obs.meters.counter("net.blob.published")
@@ -78,6 +82,7 @@ class ServerFacade:
             while not stop.wait(interval):
                 with self._lock:
                     self._server.expire_leases(self._now())
+                    self._pump_gateway()
 
         self._sweep_stop = stop
         self._sweep_thread = threading.Thread(
@@ -94,7 +99,7 @@ class ServerFacade:
         self._sweep_thread = None
 
     def checkpoint_to(self, path) -> int:
-        """Write an atomic v3 checkpoint covering the journal so far.
+        """Write an atomic v4 checkpoint covering the journal so far.
 
         Holds the facade lock across dump + LSN capture so the snapshot
         and the LSN it records describe the same quiescent state, then
@@ -109,7 +114,9 @@ class ServerFacade:
         with self._lock:
             writer = self._server.journal
             lsn = writer.last_lsn if writer is not None else 0
-            data = dumps_checkpoint(self._server, self._now(), journal_lsn=lsn)
+            data = dumps_checkpoint(
+                self._server, self._now(), journal_lsn=lsn, gateway=self._gateway
+            )
             path = Path(path)
             tmp = path.with_suffix(path.suffix + ".tmp")
             tmp.write_bytes(data)
@@ -164,9 +171,15 @@ class ServerFacade:
                 self._publish_blobs(assignment)
             return assignment
 
+    def _pump_gateway(self) -> None:
+        """Reconcile finished jobs + start queued ones (under the lock)."""
+        if self._gateway is not None:
+            self._gateway.pump(self._now())
+
     def submit_result(self, result: WorkResult) -> bool:
         with self._lock:
             accepted = self._server.submit_result(result, self._now())
+            self._pump_gateway()
             self._sweep_finished_blobs()
             return accepted
 
@@ -181,6 +194,7 @@ class ServerFacade:
             self._server.report_failure(
                 problem_id, unit_id, donor_id, error, self._now()
             )
+            self._pump_gateway()
             self._sweep_finished_blobs()
 
     def get_algorithm(self, problem_id: int) -> Algorithm:
@@ -226,6 +240,66 @@ class ServerFacade:
         with self._lock:
             return self._server.final_result(problem_id)
 
+    # -- job gateway (multi-tenant front door) -------------------------
+    # RMI-friendly: admission rejections come back as plain dicts with
+    # retry_after, not exceptions tunnelled over the wire.
+
+    def submit_job(self, tenant_id: str, problem: Problem) -> dict:
+        from repro.core.gateway import AdmissionError
+
+        with self._lock:
+            if self._gateway is None:
+                return {"error": "server runs no job gateway (--tenants)"}
+            # Each remote submitter numbers problems from its own
+            # process-local counter, so independent repro-jobs runs all
+            # ship "problem 1" — re-key at the admission boundary.
+            problem.problem_id = self._gateway.fresh_problem_id()
+            try:
+                job_id = self._gateway.submit_job(
+                    tenant_id, problem, self._now()
+                )
+            except AdmissionError as exc:
+                return {
+                    "accepted": False,
+                    "retry_after": exc.retry_after,
+                    "reason": str(exc),
+                }
+            except (KeyError, ValueError) as exc:
+                return {"error": str(exc)}
+            return {"accepted": True, "job_id": job_id}
+
+    def job_status(self, job_id: int) -> dict:
+        with self._lock:
+            if self._gateway is None:
+                return {"error": "server runs no job gateway (--tenants)"}
+            try:
+                return self._gateway.job_status(job_id)
+            except KeyError as exc:
+                return {"error": str(exc)}
+
+    def cancel_job(self, job_id: int) -> dict:
+        with self._lock:
+            if self._gateway is None:
+                return {"error": "server runs no job gateway (--tenants)"}
+            try:
+                cancelled = self._gateway.cancel_job(job_id, self._now())
+            except KeyError as exc:
+                return {"error": str(exc)}
+            self._sweep_finished_blobs()
+            return {"cancelled": cancelled}
+
+    def job_result(self, job_id: int) -> Any:
+        with self._lock:
+            if self._gateway is None:
+                raise RuntimeError("server runs no job gateway (--tenants)")
+            return self._gateway.job_result(job_id)
+
+    def gateway_snapshot(self) -> dict:
+        with self._lock:
+            if self._gateway is None:
+                return {"error": "server runs no job gateway (--tenants)"}
+            return self._gateway.snapshot()
+
     def status_report(self) -> str:
         """Operator snapshot (also callable remotely over RMI)."""
         from repro.core.status import render_status
@@ -242,7 +316,7 @@ class ServerFacade:
         from repro.core.status import snapshot_dict
 
         with self._lock:
-            return snapshot_dict(self._server, self._now())
+            return snapshot_dict(self._server, self._now(), gateway=self._gateway)
 
     def metrics_snapshot(self) -> dict:
         """Just the streaming meters (cheap; no per-problem scan)."""

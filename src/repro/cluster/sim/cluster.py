@@ -121,6 +121,7 @@ class SimCluster:
         max_unit_attempts: int = 5,
         donor_cache_bytes: int = DEFAULT_CACHE_BYTES,
         pipeline: PipelineConfig | None = None,
+        tenants: list | None = None,
     ):
         if not machines:
             raise ValueError("need at least one machine")
@@ -150,6 +151,20 @@ class SimCluster:
             self.server.journal = JournalWriter(
                 self.journal_store, meters=self.obs.meters
             )
+        # Optional multi-tenant job gateway: fair-share dispatch +
+        # admission control in front of the same server, driven by
+        # virtual time.  Created after the journal writer so tenant
+        # definitions land in the journal when recovery drills run.
+        self.gateway = None
+        if tenants:
+            if chaos is not None and not self._journal_enabled:
+                raise ValueError(
+                    "a gateway under chaos requires journal_recovery=True "
+                    "(the legacy checkpoint handoff cannot carry jobs)"
+                )
+            from repro.core.gateway import JobGateway
+
+            self.gateway = JobGateway(self.server, tenants)
         self.network = NetworkModel(self.sim, network, meters=self.obs.meters)
         self.seed = seed
         self.execute = execute
@@ -211,9 +226,41 @@ class SimCluster:
             self.sim.schedule(at, land)
         return pid
 
+    def submit_job(self, tenant_id: str, problem: Problem, at: float = 0.0) -> int:
+        """Submit through the job gateway (requires ``tenants=``).
+
+        Mirrors :meth:`submit`: immediate at the current virtual time,
+        or deferred as a simulation event.  Returns the problem id (the
+        job id is recoverable via ``gateway`` introspection); donors
+        keep polling while jobs sit queued behind tenant quotas.
+        """
+        if self.gateway is None:
+            raise RuntimeError("SimCluster was built without tenants")
+        pid = problem.problem_id
+        self._problem_ids.append(pid)
+        if at <= 0.0:
+            self.gateway.submit_job(tenant_id, problem, now=self.sim.now)
+        else:
+            self._pending_submissions += 1
+
+            def land() -> None:
+                self.gateway.submit_job(tenant_id, problem, now=self.sim.now)
+                self._pending_submissions -= 1
+
+            self.sim.schedule(at, land)
+        return pid
+
+    def _pump_gateway(self) -> None:
+        if self.gateway is not None:
+            self.gateway.pump(self.sim.now)
+
     def _all_done(self) -> bool:
         """No active problems *and* none still scheduled to arrive."""
-        return self._pending_submissions == 0 and self.server.all_complete()
+        return (
+            self._pending_submissions == 0
+            and self.server.all_complete()
+            and (self.gateway is None or not self.gateway.has_open_jobs())
+        )
 
     def status_snapshot(self) -> dict:
         """Mid-run JSON snapshot at the current virtual time.
@@ -224,7 +271,7 @@ class SimCluster:
         """
         from repro.core.status import snapshot_dict
 
-        return snapshot_dict(self.server, self.sim.now)
+        return snapshot_dict(self.server, self.sim.now, gateway=self.gateway)
 
     def status_report(self) -> str:
         """Human-readable status table at the current virtual time."""
@@ -241,9 +288,13 @@ class SimCluster:
                     self._spawn_session(spec, end, session_index), delay=start
                 )
         # Periodic lease sweep, as the live server's timer thread does.
+        def sweep() -> None:
+            self.server.expire_leases(self.sim.now)
+            self._pump_gateway()
+
         self.sim.every(
             max(1.0, self.server.leases.timeout / 4),
-            lambda: self.server.expire_leases(self.sim.now),
+            sweep,
             until=self._all_done,
         )
         if self._journal_enabled and self.chaos.checkpoint_every is not None:
@@ -264,7 +315,9 @@ class SimCluster:
                 makespans[pid] = self.server.makespan(pid)
                 results[pid] = self.server.final_result(pid)
             except RuntimeError:
-                pass  # unfinished problem under an `until` horizon
+                pass  # unfinished/cancelled under an `until` horizon
+            except KeyError:
+                pass  # gateway job still queued: the server never saw it
         return SimReport(
             sim_time=sim_time,
             makespans=makespans,
@@ -291,7 +344,7 @@ class SimCluster:
         writer = self.server.journal
         lsn = writer.last_lsn
         self._checkpoint_bytes = dumps_checkpoint(
-            self.server, self.sim.now, journal_lsn=lsn
+            self.server, self.sim.now, journal_lsn=lsn, gateway=self.gateway
         )
         writer.rotate()
         compact(self.journal_store, lsn)
@@ -326,13 +379,26 @@ class SimCluster:
         if self.chaos.torn_tail_bytes:
             torn_tail(self.journal_store, self.chaos.torn_tail_bytes)
         fresh = self._make_server(log=log)
+        fresh_gateway = None
+        if self.gateway is not None:
+            from repro.core.gateway import JobGateway
+
+            # A fresh, empty gateway attached to the fresh server;
+            # recover() restores the checkpointed gateway state into it
+            # and replays gateway.* journal records through it.
+            fresh_gateway = JobGateway(fresh)
         recover(
             fresh,
             self.journal_store,
             checkpoint=self._checkpoint_bytes,
             now=now,
+            gateway=fresh_gateway,
         )
         self.server = fresh
+        if fresh_gateway is not None:
+            self.gateway = fresh_gateway
+            # Queued jobs freed slots may start immediately.
+            self._pump_gateway()
 
     def _spawn_session(
         self, spec: MachineSpec, session_end: float, session_index: int
@@ -567,6 +633,7 @@ class SimCluster:
         )
         for _ in range(deliveries):
             self.server.submit_result(result, sim.now)
+            self._pump_gateway()
             if (
                 plan is not None
                 and plan.ack_crash_rate > 0
@@ -582,6 +649,7 @@ class SimCluster:
                 # never ack-crash, preserving their fault schedules.)
                 self._restart_server()
                 self.server.submit_result(result, sim.now)
+                self._pump_gateway()
         self._machine_units[donor_id] += 1
         return True
 

@@ -19,6 +19,12 @@ Version 3 records ``journal_lsn``: the last write-ahead journal record
 the checkpoint, then replays only journal records past that LSN, and
 compaction may delete any segment the checkpoint fully covers.
 
+Version 4 adds the job gateway (:mod:`repro.core.gateway`): tenant
+definitions, per-tenant counters, and every job — including *queued*
+jobs, whose pristine pickled Problems ride inside the blob so a crash
+cannot lose admitted-but-unstarted work.  Version 3 files fail loudly
+(the gateway state they lack cannot be invented).
+
 Format: one pickled :class:`CheckpointBlob` per file, with a magic
 header and version so a stale or foreign file fails loudly.
 """
@@ -35,7 +41,7 @@ from repro.core.server import ProblemStatus, TaskFarmServer, _ProblemState
 from repro.core.workunit import WorkUnit
 
 MAGIC = b"TFCK"
-VERSION = 3
+VERSION = 4
 
 
 @dataclass
@@ -63,6 +69,8 @@ class CheckpointBlob:
     reputations: dict[str, DonorReputation] = field(default_factory=dict)
     # Last journal LSN this snapshot covers (0 = no journal in use).
     journal_lsn: int = 0
+    # Job-gateway snapshot (JobGateway.dump(); None = no gateway).
+    gateway: Any = None
 
 
 class CheckpointError(RuntimeError):
@@ -70,14 +78,16 @@ class CheckpointError(RuntimeError):
 
 
 def dumps_checkpoint(
-    server: TaskFarmServer, now: float, journal_lsn: int = 0
+    server: TaskFarmServer, now: float, journal_lsn: int = 0, gateway=None
 ) -> bytes:
     """Serialize the server's problem state to checkpoint bytes.
 
     When the server journals, pass the writer's ``last_lsn`` taken at
     the same quiescent point this dump runs (the sim checkpoints
     synchronously; the live facade holds its lock), so the snapshot and
-    the LSN describe the same state.
+    the LSN describe the same state.  Pass the server's
+    :class:`~repro.core.gateway.JobGateway` (when one is installed) so
+    tenants and queued jobs ride in the same snapshot.
     """
     snapshots = []
     for state in server._problems.values():
@@ -115,6 +125,7 @@ def dumps_checkpoint(
         snapshots=snapshots,
         reputations=server.reputation.dump(),
         journal_lsn=journal_lsn,
+        gateway=gateway.dump() if gateway is not None else None,
     )
     return MAGIC + pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
 

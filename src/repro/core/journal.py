@@ -453,6 +453,13 @@ def _apply(server: TaskFarmServer, record: dict) -> None:
         state.requeue.clear()
         state.replicas.clear()
         state.voting.clear()
+    elif kind == "problem.cancelled":
+        state = server._problems[record["pid"]]
+        state.status = ProblemStatus.CANCELLED
+        state.completed_at = now
+        state.requeue.clear()
+        state.replicas.clear()
+        state.voting.clear()
     elif kind == "problem.completed":
         state = server._problems[record["pid"]]
         if state.status is not ProblemStatus.COMPLETE:
@@ -470,6 +477,7 @@ def recover(
     checkpoint: bytes | None = None,
     now: float = 0.0,
     segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+    gateway=None,
 ) -> RecoveryReport:
     """Rebuild a *fresh* server from ``checkpoint + journal tail``.
 
@@ -480,6 +488,15 @@ def recover(
     lost suffix donors simply recompute.  On return the server journals
     into *store* at the next LSN, so recovery composes with further
     crashes.
+
+    When the dead server ran a job gateway
+    (:class:`repro.core.gateway.JobGateway`), pass a fresh gateway
+    already attached to *server*: the checkpoint's gateway snapshot is
+    restored into it, ``gateway.*`` journal records are replayed
+    through it, and a final ``gateway.reconcile`` folds terminal
+    problem statuses into jobs and rebuilds the fair-share accounting.
+    A journal that contains gateway state while ``gateway`` is None
+    fails loudly — silently dropping queued jobs is not recovery.
     """
     from repro.core.checkpoint import parse_checkpoint, restore_checkpoint
 
@@ -497,12 +514,29 @@ def recover(
             blob = parse_checkpoint(checkpoint, origin="recovery checkpoint")
             checkpoint_lsn = blob.journal_lsn
             restored = restore_checkpoint(blob, server, now)
+            if blob.gateway is not None:
+                if gateway is None:
+                    raise JournalError(
+                        "checkpoint contains gateway state but no gateway "
+                        "was provided to recover() — restart with the "
+                        "gateway enabled (e.g. repro-server --tenants)"
+                    )
+                gateway.restore(blob.gateway)
         records, next_lsn, torn_bytes = read_journal(store, meters=meters)
         replayed = 0
         for record in records:
             if record["lsn"] <= checkpoint_lsn:
                 continue
-            _apply(server, record)
+            if record["kind"].startswith("gateway."):
+                if gateway is None:
+                    raise JournalError(
+                        "journal contains gateway records but no gateway "
+                        "was provided to recover() — restart with the "
+                        "gateway enabled (e.g. repro-server --tenants)"
+                    )
+                gateway.replay(record)
+            else:
+                _apply(server, record)
             replayed += 1
         # A torn tail can rip a unit's voting.open while its cut (and a
         # result already in flight to a donor) survive; under a
@@ -530,6 +564,8 @@ def recover(
         server._g_problems_running.set(len(server.active_problem_ids()))
         server._g_quarantined.set(len(server.reputation.quarantined_ids()))
         server._sync_donor_gauges()
+        if gateway is not None:
+            gateway.reconcile(now)
     finally:
         server.log = real_log
     server.log.record(

@@ -296,3 +296,11 @@ class ProblemRoundRobin:
 
     def served(self, problem_id: int) -> None:
         self._last_served = problem_id
+
+    def completed(self, problem_id: int, items: int) -> None:
+        """Dispatch-policy hook: *items* of this problem were folded.
+
+        Round robin keeps no delivered-work account; fair-share
+        policies (:class:`repro.core.gateway.WeightedFairShare`)
+        override this to charge the problem's tenant.
+        """

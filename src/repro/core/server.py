@@ -48,6 +48,7 @@ class ProblemStatus(enum.Enum):
     RUNNING = "running"
     COMPLETE = "complete"
     FAILED = "failed"
+    CANCELLED = "cancelled"
 
 
 @dataclass(frozen=True, slots=True)
@@ -198,6 +199,7 @@ class TaskFarmServer:
         integrity: IntegrityPolicy | None = None,
         pipeline: PipelineConfig | None = None,
         journal=None,
+        dispatch=None,
     ):
         if max_unit_attempts < 1:
             raise ValueError("max_unit_attempts must be >= 1")
@@ -215,7 +217,10 @@ class TaskFarmServer:
         self.reputation = ReputationLedger()
         self._problems: dict[int, _ProblemState] = {}
         self._donors: dict[str, DonorState] = {}
-        self._rr = ProblemRoundRobin()
+        # Cross-problem dispatch policy (order/served/completed).  The
+        # default round robin reproduces the paper; the job gateway
+        # (:mod:`repro.core.gateway`) swaps in weighted fair share.
+        self.dispatch = dispatch or ProblemRoundRobin()
         self._failures: dict[int, str] = {}
         self._problem_spans: dict[int, Span] = {}
         self._unit_spans: dict[tuple[int, int], Span] = {}
@@ -233,6 +238,7 @@ class TaskFarmServer:
         self._m_problems_submitted = meters.counter("farm.problems.submitted")
         self._m_problems_completed = meters.counter("farm.problems.completed")
         self._m_problems_failed = meters.counter("farm.problems.failed")
+        self._m_problems_cancelled = meters.counter("farm.problems.cancelled")
         self._g_donors = meters.gauge("farm.donors.registered")
         self._g_donors_busy = meters.gauge("farm.donors.busy")
         self._g_problems_running = meters.gauge("farm.problems.running")
@@ -308,6 +314,8 @@ class TaskFarmServer:
             raise RuntimeError(
                 f"problem {problem_id} failed: {self._failures.get(problem_id)}"
             )
+        if state.status is ProblemStatus.CANCELLED:
+            raise RuntimeError(f"problem {problem_id} was cancelled")
         if state.status is not ProblemStatus.COMPLETE:
             raise RuntimeError(f"problem {problem_id} is not complete")
         return state.problem.data_manager.final_result()
@@ -427,7 +435,7 @@ class TaskFarmServer:
             (pid, self._problems[pid].problem.priority)
             for pid in self.active_problem_ids()
         ]
-        order = self._rr.order(candidates)
+        order = self.dispatch.order(candidates)
         for pid in order:
             state = self._problems[pid]
             unit = self._take_unit(state, donor, now)
@@ -485,7 +493,7 @@ class TaskFarmServer:
         lease = self.leases.grant(unit, donor_id, now)
         donor.start_unit(pid, unit.unit_id)
         state.units_issued += 1
-        self._rr.served(pid)
+        self.dispatch.served(pid)
         inline_bytes, wire_bytes = self._charge_delivery(donor_id, unit)
         self.log.record(
             now,
@@ -862,6 +870,7 @@ class TaskFarmServer:
         state.completed_units.add(result.unit_id)
         state.units_completed += 1
         state.items_completed += result.items
+        self.dispatch.completed(result.problem_id, result.items)
         self.log.record(
             now,
             "unit.completed",
@@ -1051,6 +1060,44 @@ class TaskFarmServer:
         span = self._problem_spans.pop(state.problem.problem_id, None)
         if span is not None:
             self.obs.tracer.finish(span, now, status="failed", reason=reason[:100])
+
+    def cancel_problem(self, problem_id: int, now: float = 0.0) -> bool:
+        """Cancel a running problem; returns False when already ended.
+
+        Every outstanding lease is released and the holding donor's
+        slot freed (no leaked ``farm.donors.busy``); queued/voting
+        state is dropped.  A donor that still reports a result for a
+        cancelled unit hits the exactly-once stale path in
+        :meth:`submit_result` — a clean ``False``, never an exception.
+        """
+        state = self._state(problem_id)
+        if state.status is not ProblemStatus.RUNNING:
+            return False
+        self._journal("problem.cancelled", now, pid=problem_id)
+        state.status = ProblemStatus.CANCELLED
+        state.completed_at = now
+        for lease in self.leases.outstanding(problem_id):
+            donor = self._donors.get(lease.donor_id)
+            if donor is not None:
+                donor.end_unit(problem_id, lease.unit.unit_id)
+            self.leases.release(problem_id, lease.unit.unit_id, lease.donor_id)
+        self._close_unit_spans(problem_id, now, "cancelled")
+        state.requeue.clear()
+        state.replicas.clear()
+        state.voting.clear()
+        self.log.record(
+            now,
+            "problem.cancelled",
+            problem_id=problem_id,
+            name=state.problem.name,
+        )
+        self._m_problems_cancelled.inc()
+        self._g_problems_running.set(len(self.active_problem_ids()))
+        self._sync_donor_gauges()
+        span = self._problem_spans.pop(problem_id, None)
+        if span is not None:
+            self.obs.tracer.finish(span, now, status="cancelled")
+        return True
 
     def expire_leases(self, now: float) -> int:
         """Requeue every unit whose lease has lapsed; returns the count."""

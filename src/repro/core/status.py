@@ -140,12 +140,14 @@ def render_status(server: TaskFarmServer, now: float) -> str:
     return snapshot(server, now).render()
 
 
-def snapshot_dict(server: TaskFarmServer, now: float) -> dict:
+def snapshot_dict(server: TaskFarmServer, now: float, gateway=None) -> dict:
     """A JSON-able mid-run snapshot: farm status + streaming meters.
 
     This is what the status CLI consumes — over RMI from a live
     deployment, or directly from a paused :class:`SimCluster` — and
-    what the benchmarks dump alongside their reports.
+    what the benchmarks dump alongside their reports.  Pass the
+    server's :class:`~repro.core.gateway.JobGateway` (when one runs) to
+    include the per-tenant section.
     """
     status = snapshot(server, now)
     reputations = server.reputation.snapshot()
@@ -193,4 +195,6 @@ def snapshot_dict(server: TaskFarmServer, now: float) -> dict:
             "reputations": reputations,
             "quarantined": server.reputation.quarantined_ids(),
         }
+    if gateway is not None:
+        out["gateway"] = gateway.snapshot()
     return out

@@ -367,6 +367,101 @@ class TestRecoveryDrills:
         assert counters["farm.journal.torn.truncated"] > 0
 
 
+def run_gateway_sim(build_problem, chaos=None, integrity=None, cancel_at=None):
+    """Four identical jobs through the job gateway: alice's second job
+    queues behind her ``max_running=1`` cap, bob's two run at once, and
+    (with *cancel_at*) bob's second is cancelled mid-flight — so a
+    restart inside the run crashes a gateway holding queued, running,
+    and cancelled jobs at once."""
+    from repro.core.gateway import TenantConfig
+
+    cluster = SimCluster(
+        heterogeneous_pool(6, seed=2),
+        policy=FixedGranularity(4),
+        lease_timeout=60.0,
+        seed=5,
+        integrity=integrity,
+        chaos=chaos,
+        max_unit_attempts=10,
+        tenants=[
+            TenantConfig("alice", weight=1.0, max_running=1, max_pending=8),
+            TenantConfig("bob", weight=2.0, max_running=2, max_pending=8),
+        ],
+    )
+    pids = [
+        cluster.submit_job("alice", build_problem()),  # job 1: runs
+        cluster.submit_job("alice", build_problem()),  # job 2: queued behind it
+        cluster.submit_job("bob", build_problem()),  # job 3: runs
+        cluster.submit_job("bob", build_problem()),  # job 4: cancelled mid-run
+    ]
+    if cancel_at is not None:
+        cluster.sim.schedule(
+            cancel_at,
+            lambda: cluster.gateway.cancel_job(4, now=cluster.sim.now),
+        )
+    report = cluster.run()
+    return cluster, pids, report
+
+
+class TestGatewayRecoveryDrills:
+    """Kill the server while the gateway holds queued + running +
+    cancelled jobs; journal replay must restore the job queue and the
+    per-tenant accounting exactly, and every surviving job's result
+    must match the fault-free single-problem baseline bit-for-bit."""
+
+    def _check(self, cluster, pids, report, baseline_digest, seed):
+        assert report.completed, f"seed {seed}: run did not finish"
+        for pid in pids[:3]:
+            assert canonical_digest(report.results[pid]) == baseline_digest, (
+                f"seed {seed}: job result diverged from fault-free run"
+            )
+        # The cancelled job never assembles a result.
+        assert pids[3] not in report.results
+        gateway = cluster.gateway
+        assert gateway.job_status(4)["status"] == "cancelled"
+        snap = {t["tenant"]: t for t in gateway.snapshot()["tenants"]}
+        assert snap["alice"]["jobs_done"] == 2
+        assert snap["bob"]["jobs_done"] == 1
+        assert snap["bob"]["jobs_cancelled"] == 1
+        # Accounting consistency across the crash: each tenant's
+        # delivered-items total is exactly the sum of its problems'
+        # folded items (the quantity journal replay rebuilds).
+        for tenant, jobs in (("alice", pids[:2]), ("bob", pids[2:])):
+            folded = sum(
+                cluster.server._problems[pid].items_completed
+                for pid in jobs
+                if pid in cluster.server._problems
+            )
+            assert gateway.scheduler.delivered_items(tenant) == folded
+        counters = cluster.obs.meters.snapshot()["counters"]
+        assert counters["farm.journal.records"] > 0
+        assert counters["farm.recovery.seconds"] > 0
+        assert report.log.of_kind("server.recovered")
+
+    @pytest.mark.parametrize("seed", RECOVERY_SEEDS)
+    def test_dsearch_gateway_journal_recovery(
+        self, seed, dsearch_factory, dsearch_baseline
+    ):
+        baseline_digest, restart_at = dsearch_baseline
+        cluster, pids, report = run_gateway_sim(
+            dsearch_factory,
+            chaos=recovery_plan(seed, restart_at),
+            integrity=IntegrityPolicy(replication=2),
+            cancel_at=restart_at * 0.5,
+        )
+        self._check(cluster, pids, report, baseline_digest, seed)
+
+    def test_dprml_gateway_journal_recovery(self, dprml_factory, dprml_baseline):
+        baseline_digest, restart_at = dprml_baseline
+        cluster, pids, report = run_gateway_sim(
+            dprml_factory,
+            chaos=recovery_plan(RECOVERY_SEEDS[0], restart_at),
+            integrity=IntegrityPolicy(replication=2),
+            cancel_at=restart_at * 0.5,
+        )
+        self._check(cluster, pids, report, baseline_digest, RECOVERY_SEEDS[0])
+
+
 def _free_port() -> int:
     with socket.socket() as sock:
         sock.bind(("127.0.0.1", 0))

@@ -248,6 +248,116 @@ class TestSlotsColumn:
         assert row.split()[1] == "1"
 
 
+def _tenant_line(**overrides: Any) -> dict[str, Any]:
+    tenant = {
+        "tenant": "alice",
+        "weight": 1.0,
+        "max_running": 4,
+        "max_pending": 16,
+        "running": 1,
+        "pending": 0,
+        "items_delivered": 100,
+        "jobs_done": 2,
+        "jobs_failed": 0,
+        "jobs_cancelled": 0,
+        "rejected": 0,
+        "queue_wait_total": 0.0,
+        "queue_wait_count": 0,
+        "queue_wait_max": 0.0,
+    }
+    tenant.update(overrides)
+    return tenant
+
+
+class TestGatewaySection:
+    """Per-tenant table and share lines for gateway snapshots."""
+
+    def _gateway_snapshot(self) -> dict[str, Any]:
+        snap = _meters_only_snapshot(
+            {
+                "farm.problems.cancelled": 1.0,
+                "farm.gateway.jobs.submitted": 5.0,
+                "farm.gateway.jobs.rejected": 2.0,
+            }
+        )
+        snap["gateway"] = {
+            "jobs": {"queued": 1, "running": 2, "done": 2, "failed": 0,
+                     "cancelled": 1},
+            "items_delivered_total": 400,
+            "tenants": [
+                _tenant_line(
+                    queue_wait_total=6.0, queue_wait_count=2, queue_wait_max=4.0
+                ),
+                _tenant_line(
+                    tenant="bob", weight=3.0, items_delivered=300, rejected=2
+                ),
+            ],
+        }
+        return snap
+
+    def test_tenant_table_and_share_lines(self):
+        text = render_snapshot(self._gateway_snapshot())
+        assert "gateway: 1 queued, 2 running, 2 done" in text
+        alice = [l for l in text.splitlines() if l.strip().startswith("alice")][0]
+        assert "3.0s" in alice  # queue_wait_total / queue_wait_count
+        bob = [l for l in text.splitlines() if l.strip().startswith("bob")][0]
+        assert bob.split()[-4] == "2"  # rejected column
+        # Weight 1:3 split delivered 100:300 — share lines hit target.
+        assert "share alice (target 25%)" in text
+        assert "share bob (target 75%)" in text
+        assert "25.0%" in text and "75.0%" in text
+        # Gateway counters surface in the meter summary.
+        assert "farm.gateway.jobs.submitted" in text
+        assert "farm.gateway.jobs.rejected" in text
+        assert "farm.problems.cancelled" in text
+
+    def test_share_lines_guard_zero_delivery(self):
+        # A gateway that admitted jobs but delivered nothing yet: share
+        # lines render a dash through the shared guard, no crash.
+        snap = self._gateway_snapshot()
+        snap["gateway"]["items_delivered_total"] = 0
+        for tenant in snap["gateway"]["tenants"]:
+            tenant["items_delivered"] = 0
+        text = render_snapshot(snap)
+        share_lines = [
+            l for l in text.splitlines() if l.strip().startswith("share ")
+        ]
+        assert len(share_lines) == 2
+        assert all(l.rstrip().endswith("-") for l in share_lines)
+
+    def test_old_snapshot_without_gateway_renders(self):
+        # Pre-gateway snapshots carry no "gateway" key at all.
+        text = render_snapshot(_meters_only_snapshot({}))
+        assert "gateway:" not in text
+
+    def test_sim_gateway_snapshot_round_trips_through_json(self, tmp_path, capsys):
+        from repro.core.gateway import TenantConfig
+
+        cluster = SimCluster(
+            [MachineSpec(f"m{i}", speed=1.0 + i) for i in range(3)],
+            policy=FixedGranularity(10),
+            seed=7,
+            tenants=[
+                TenantConfig("alice", weight=1.0),
+                TenantConfig("bob", weight=2.0),
+            ],
+        )
+        cluster.submit_job(
+            "alice",
+            Problem("rangesum", RangeSumDataManager(400), RangeSumAlgorithm()),
+        )
+        cluster.run(until=50.0)
+        snap = cluster.status_snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(snap))
+        assert status_main(["--from-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "gateway:" in out
+        assert "alice" in out and "bob" in out
+        assert "share alice" in out
+
+
 class TestArgumentHandling:
     def test_requires_exactly_one_source(self, tmp_path):
         with pytest.raises(SystemExit):

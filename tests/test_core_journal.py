@@ -215,11 +215,11 @@ class TestFraming:
         assert (mem_next, mem_torn) == (disk_next, disk_torn)
 
 
-class TestCheckpointV3:
+class TestCheckpointV4:
     def test_older_version_rejected_loudly(self):
-        stale = CheckpointBlob(version=2, saved_at=0.0, snapshots=[])
+        stale = CheckpointBlob(version=3, saved_at=0.0, snapshots=[])
         raw = CKPT_MAGIC + pickle.dumps(stale)
-        with pytest.raises(CheckpointError, match="version 2, expected 3"):
+        with pytest.raises(CheckpointError, match="version 3, expected 4"):
             parse_checkpoint(raw)
 
     def test_journal_lsn_roundtrip(self):

@@ -251,7 +251,7 @@ class TestReputationPersistence:
     def test_version_mismatch_fails_loudly(self):
         stale = CheckpointBlob(version=1, saved_at=0.0, snapshots=[])
         raw = MAGIC + pickle.dumps(stale)
-        with pytest.raises(CheckpointError, match="version 1, expected 3"):
+        with pytest.raises(CheckpointError, match="version 1, expected 4"):
             loads_checkpoint(raw, make_server(), 0.0)
 
     def test_foreign_bytes_fail_loudly(self):
